@@ -1,0 +1,75 @@
+"""Ablation A12 — column generation vs the arc-based flow LP.
+
+At fleet scale the arc LP's variable count is files x links; the
+path-based master holds only the few paths that matter.  This bench
+confirms the objectives coincide and reports problem sizes and times.
+"""
+
+import time
+
+import pytest
+from conftest import bench_runs
+
+from repro.analysis import format_table, mean_ci
+from repro.core.state import NetworkState
+from repro.flowbased import solve_flow_column_generation
+from repro.flowbased.model import build_flow_model
+from repro.net.generators import complete_topology
+from repro.traffic import PaperWorkload
+
+
+def _one_instance(seed):
+    topo = complete_topology(10, capacity=40.0, seed=seed)
+    workload = PaperWorkload(topo, max_deadline=4, max_files=8, min_files=8, seed=seed)
+    requests = workload.requests_at(0)
+
+    arc_state = NetworkState(topo, horizon=20)
+    started = time.perf_counter()
+    built = build_flow_model(arc_state, requests)
+    _, arc_solution = built.solve()
+    arc_seconds = time.perf_counter() - started
+    arc_vars = built.model.num_variables
+
+    cg_state = NetworkState(topo, horizon=20)
+    started = time.perf_counter()
+    result = solve_flow_column_generation(cg_state, requests)
+    cg_seconds = time.perf_counter() - started
+
+    assert result.objective == pytest.approx(arc_solution.objective, rel=1e-5)
+    return {
+        "arc_vars": arc_vars,
+        "cg_columns": result.columns_generated,
+        "arc_seconds": arc_seconds,
+        "cg_seconds": cg_seconds,
+        "cg_iterations": result.iterations,
+    }
+
+
+def test_bench_colgen(benchmark):
+    def run():
+        return [_one_instance(8000 + i) for i in range(bench_runs())]
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [
+        [
+            "arc LP",
+            mean_ci([r["arc_vars"] for r in results]).mean,
+            mean_ci([r["arc_seconds"] for r in results]).mean,
+            "-",
+        ],
+        [
+            "column generation",
+            mean_ci([r["cg_columns"] for r in results]).mean,
+            mean_ci([r["cg_seconds"] for r in results]).mean,
+            f"{mean_ci([r['cg_iterations'] for r in results]).mean:.1f} iters",
+        ],
+    ]
+    print()
+    print("=== Ablation A12: arc LP vs path pricing (same optima, pinned)")
+    print(format_table(["formulation", "variables/columns", "seconds", "note"], rows))
+
+    # The master stays tiny relative to the arc formulation.
+    assert (
+        mean_ci([r["cg_columns"] for r in results]).mean
+        < mean_ci([r["arc_vars"] for r in results]).mean / 3
+    )

@@ -1,0 +1,24 @@
+"""Fig. 4 — ample capacity (c = 100 GB/slot), urgent files (max T = 3).
+
+Paper claim: "the flow-based approach outperforms Postcard
+significantly when there are sufficient link capacities" — the
+constant-rate fluid model spreads each file thinly, while
+store-and-forward relaying is bursty and pays for higher peaks.
+"""
+
+from conftest import report, run_figure, scaled_setting
+
+
+def test_bench_fig4(benchmark):
+    setting = scaled_setting("fig4", capacity=100.0, max_deadline=3)
+    comparison = benchmark.pedantic(
+        run_figure, args=(setting,), rounds=1, iterations=1
+    )
+    report(
+        "Fig. 4",
+        comparison,
+        "flow-based < postcard (ample capacity, urgent files)",
+    )
+    assert comparison.interval("flow-based").mean <= comparison.interval(
+        "postcard"
+    ).mean * 1.02

@@ -1,0 +1,43 @@
+"""Fig. 5 — ample capacity (c = 100 GB/slot), delay-tolerant (max T = 8).
+
+Paper claims: the flow-based approach still wins under ample capacity,
+but "Postcard leads to lower costs when there are more delay tolerant
+files in the system" — its cost falls sharply relative to Fig. 4.
+
+Reproduction note (see EXPERIMENTS.md): the second claim reproduces
+cleanly.  The first does not under honest accounting — with a fully
+delay-tolerant workload our exact online Postcard overtakes even the
+exact flow LP at T = 8, because the store-and-forward pipelining
+penalty (peak F/(T-1) per hop instead of F/T) vanishes as T grows
+while the time-shifting gains keep accruing.  The asserted invariant
+here is the delay-tolerance claim; the winner is recorded, not forced.
+"""
+
+from conftest import report, run_figure, scaled_setting
+
+
+def test_bench_fig5(benchmark):
+    setting = scaled_setting("fig5", capacity=100.0, max_deadline=8)
+    comparison = benchmark.pedantic(
+        run_figure, args=(setting,), rounds=1, iterations=1
+    )
+    report(
+        "Fig. 5",
+        comparison,
+        "postcard cheaper than its own Fig. 4 cost (delay tolerance pays)",
+    )
+
+    # Cross-figure claim: delay tolerance lowers Postcard's cost.
+    fig4 = run_figure(scaled_setting("fig4", capacity=100.0, max_deadline=3))
+    assert (
+        comparison.interval("postcard").mean
+        <= fig4.interval("postcard").mean * 1.02
+    )
+    # And the flow-vs-postcard gap narrows (or inverts) from Fig. 4 to
+    # Fig. 5 — the direction the paper's argument predicts.
+    gap4 = fig4.interval("postcard").mean / fig4.interval("flow-based").mean
+    gap5 = (
+        comparison.interval("postcard").mean
+        / comparison.interval("flow-based").mean
+    )
+    assert gap5 <= gap4 * 1.02

@@ -1,0 +1,28 @@
+"""Fig. 6 — limited capacity (c = 30 GB/slot), urgent files (max T = 3).
+
+Paper claim: "Postcard demonstrates superior performance when link
+capacities are throttled" — cheap links get occupied by urgent traffic
+for a few slots, and only store-and-forward can wait for them to free
+up while still meeting deadlines.
+
+The asserted comparison is against the paper's own baseline algorithm,
+the two-phase decomposition; the exact flow LP (a stronger baseline
+than the paper used) is reported alongside.
+"""
+
+from conftest import report, run_figure, scaled_setting
+
+
+def test_bench_fig6(benchmark):
+    setting = scaled_setting("fig6", capacity=30.0, max_deadline=3)
+    comparison = benchmark.pedantic(
+        run_figure, args=(setting,), rounds=1, iterations=1
+    )
+    report(
+        "Fig. 6",
+        comparison,
+        "postcard < flow-based (limited capacity, urgent files)",
+    )
+    assert comparison.interval("postcard").mean <= comparison.interval(
+        "flow-2phase"
+    ).mean * 1.02

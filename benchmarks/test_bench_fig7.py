@@ -1,0 +1,36 @@
+"""Fig. 7 — limited capacity (c = 30 GB/slot), delay-tolerant (max T = 8).
+
+Paper claims: Postcard still wins under limited capacity, and both
+approaches get cheaper than in the urgent setting of Fig. 6 — more
+delay tolerance means more "time-shifting" opportunities.
+"""
+
+from conftest import report, run_figure, scaled_setting
+
+
+def test_bench_fig7(benchmark):
+    setting = scaled_setting("fig7", capacity=30.0, max_deadline=8)
+    comparison = benchmark.pedantic(
+        run_figure, args=(setting,), rounds=1, iterations=1
+    )
+    report(
+        "Fig. 7",
+        comparison,
+        "postcard < flow-based; both cheaper than their Fig. 6 costs",
+    )
+    assert comparison.interval("postcard").mean <= comparison.interval(
+        "flow-2phase"
+    ).mean * 1.02
+    assert comparison.interval("postcard").mean <= comparison.interval(
+        "flow-based"
+    ).mean * 1.02
+
+    fig6 = run_figure(scaled_setting("fig6", capacity=30.0, max_deadline=3))
+    assert (
+        comparison.interval("postcard").mean
+        <= fig6.interval("postcard").mean * 1.02
+    )
+    assert (
+        comparison.interval("flow-based").mean
+        <= fig6.interval("flow-based").mean * 1.02
+    )

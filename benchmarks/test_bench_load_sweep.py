@@ -1,0 +1,63 @@
+"""Ablation A10 — where does the Postcard-vs-flow crossover live?
+
+Sec. VII fixes the load (1-20 files/slot) and varies capacity; here we
+fix limited capacity (c = 30) and sweep the offered load instead.  The
+paper's argument predicts the store-and-forward advantage grows with
+contention: more concurrent files means cheap links are more often
+transiently occupied, which only a time-shifting scheduler can wait
+out.
+"""
+
+import pytest
+from conftest import bench_runs
+
+from repro.analysis import format_table, mean_ci
+from repro.core import PostcardScheduler
+from repro.flowbased import FlowBasedScheduler
+from repro.sim.runner import ExperimentSetting, run_comparison
+
+LOADS = [3, 6, 12]
+
+
+def _comparison(max_files):
+    setting = ExperimentSetting(
+        f"load{max_files}",
+        capacity=30.0,
+        max_deadline=4,
+        num_datacenters=8,
+        num_slots=10,
+        min_files=max(1, max_files // 2),
+        max_files=max_files,
+    )
+    factories = {
+        "postcard": lambda t, h: PostcardScheduler(t, h, on_infeasible="drop"),
+        "flow-based": lambda t, h: FlowBasedScheduler(t, h, on_infeasible="drop"),
+    }
+    return run_comparison(setting, factories, runs=bench_runs(), base_seed=2012)
+
+
+def test_bench_load_sweep(benchmark):
+    def run():
+        return {load: _comparison(load) for load in LOADS}
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = []
+    ratios = {}
+    for load in LOADS:
+        comparison = results[load]
+        post = comparison.interval("postcard")
+        flow = comparison.interval("flow-based")
+        ratios[load] = post.mean / flow.mean
+        rows.append([f"{load} files/slot", post.mean, flow.mean, f"{ratios[load]:.3f}"])
+    print()
+    print("=== Ablation A10: offered-load sweep at c=30 GB/slot")
+    print(
+        format_table(
+            ["load", "postcard", "flow-based", "post/flow ratio"], rows
+        )
+    )
+
+    # The relative position of Postcard improves (ratio non-increasing,
+    # modulo noise) as contention rises.
+    assert ratios[LOADS[-1]] <= ratios[LOADS[0]] * 1.05

@@ -1,0 +1,64 @@
+"""Ablation A17 — what does multicast sharing save over the paper's
+per-destination expansion?
+
+Sec. III replicates a one-to-many job as independent files; shared-
+upstream multicast carries common prefixes once.  Sweep the fan-out and
+report both costs; the saving should grow with the destination count.
+"""
+
+import pytest
+from conftest import bench_runs
+
+from repro.analysis import format_table, mean_ci
+from repro.core import PostcardScheduler
+from repro.core.state import NetworkState
+from repro.extensions import solve_multicast
+from repro.net.generators import complete_topology
+from repro.traffic import expand_multicast
+
+FANOUTS = [1, 2, 4, 6]
+
+
+def _one(fanout, seed):
+    topo = complete_topology(8, capacity=40.0, seed=seed)
+    destinations = list(range(1, fanout + 1))
+
+    state = NetworkState(topo, horizon=20)
+    shared = solve_multicast(state, 0, destinations, 30.0, deadline_slots=4)
+
+    separate = PostcardScheduler(
+        complete_topology(8, capacity=40.0, seed=seed), horizon=20
+    )
+    separate.on_slot(0, expand_multicast(0, destinations, 30.0, 4, release_slot=0))
+    return shared.cost_per_slot, separate.state.current_cost_per_slot()
+
+
+def test_bench_multicast(benchmark):
+    def run():
+        out = {}
+        for fanout in FANOUTS:
+            out[fanout] = [_one(fanout, 9900 + i) for i in range(bench_runs())]
+        return out
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = []
+    savings = {}
+    for fanout in FANOUTS:
+        shared = mean_ci([s for s, _e in results[fanout]]).mean
+        expanded = mean_ci([e for _s, e in results[fanout]]).mean
+        savings[fanout] = 1.0 - shared / expanded
+        rows.append([fanout, shared, expanded, f"{savings[fanout]:.1%}"])
+    print()
+    print("=== Ablation A17: shared multicast vs per-destination files")
+    print(
+        format_table(
+            ["destinations", "multicast", "separate files", "saving"], rows
+        )
+    )
+
+    # Sharing can never lose, and the saving grows with fan-out.
+    for fanout in FANOUTS:
+        for shared, expanded in results[fanout]:
+            assert shared <= expanded + 1e-6
+    assert savings[FANOUTS[-1]] >= savings[FANOUTS[0]] - 1e-9

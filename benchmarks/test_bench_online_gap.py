@@ -1,0 +1,79 @@
+"""Ablation A6 — the price of being online.
+
+Postcard commits each slot's schedule without knowing future arrivals.
+This bench measures, on identical instances:
+
+* the myopic online controller (the paper's setting),
+* lookahead controllers previewing 2 and 4 future slots,
+* the offline hindsight optimum (all files in one LP).
+
+The empirical competitive ratio (online / offline) quantifies how much
+the unknown future costs; lookahead should sit between the two.
+"""
+
+import pytest
+from conftest import bench_runs
+
+from repro.analysis import format_table, mean_ci
+from repro.core import (
+    LookaheadPostcardScheduler,
+    PostcardScheduler,
+    solve_offline,
+)
+from repro.net.generators import complete_topology
+from repro.sim import Simulation
+from repro.traffic import PaperWorkload, TraceWorkload
+
+
+def _one_instance(seed):
+    topo = complete_topology(6, capacity=30.0, seed=seed)
+    slots = 6
+    horizon = slots + 8
+    base = PaperWorkload(topo, max_deadline=6, max_files=4, seed=seed + 500)
+    all_requests = base.all_requests(slots)
+
+    costs = {}
+    online = PostcardScheduler(topo, horizon=horizon, on_infeasible="drop")
+    Simulation(online, TraceWorkload(all_requests), slots).run()
+    costs["online"] = online.state.current_cost_per_slot()
+
+    for window in (2, 4):
+        trace = TraceWorkload(all_requests)
+        ahead = LookaheadPostcardScheduler(
+            topo, horizon=horizon, preview=trace.requests_at,
+            lookahead=window, on_infeasible="drop",
+        )
+        Simulation(ahead, trace, slots).run()
+        costs[f"lookahead-{window}"] = ahead.state.current_cost_per_slot()
+
+    offline = solve_offline(topo, all_requests, horizon=horizon)
+    costs["offline"] = offline.cost_per_slot
+    return costs
+
+
+def test_bench_online_gap(benchmark):
+    def run():
+        return [_one_instance(3000 + i) for i in range(bench_runs())]
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    names = ["online", "lookahead-2", "lookahead-4", "offline"]
+    rows = []
+    means = {}
+    for name in names:
+        ci = mean_ci([r[name] for r in results])
+        means[name] = ci.mean
+        ratio = ci.mean / mean_ci([r["offline"] for r in results]).mean
+        rows.append([name, ci.mean, ci.half_width, f"{ratio:.3f}"])
+    print()
+    print("=== Ablation A6: online vs lookahead vs offline optimum")
+    print(format_table(["controller", "cost/slot", "95% CI +/-", "vs offline"], rows))
+
+    # Offline bounds everything; per-instance (same traffic!), not just
+    # on averages.
+    for r in results:
+        for name in names[:-1]:
+            assert r[name] >= r["offline"] - 1e-6
+    # Deep lookahead should not lose to myopia on average (small slack
+    # for LP-degeneracy tie-breaks).
+    assert means["lookahead-4"] <= means["online"] * 1.05

@@ -1,0 +1,58 @@
+"""Ablation A9 — is q-awareness worth it under real 95th-percentile bills?
+
+The paper's optimizer assumes q = 100.  When the ISP actually bills the
+95th (or 90th) percentile, the percentile-aware scheduler spends each
+link's free burst slots deliberately.  This bench bills both schedulers
+under the *same* q-percentile scheme and reports the saving.
+"""
+
+import pytest
+from conftest import bench_runs
+
+from repro.analysis import format_table, mean_ci
+from repro.charging import PercentileCharging
+from repro.core import PostcardScheduler
+from repro.extensions import PercentileAwareScheduler
+from repro.net.generators import complete_topology
+from repro.sim import Simulation
+from repro.traffic import PaperWorkload
+
+Q = 90.0
+
+
+def _run(seed):
+    topo = complete_topology(6, capacity=30.0, seed=seed)
+    horizon = 30
+    out = {}
+    for name, factory in {
+        "q100-postcard": lambda: PostcardScheduler(topo, horizon, on_infeasible="drop"),
+        "q-aware": lambda: PercentileAwareScheduler(
+            topo, horizon, q=Q, on_infeasible="drop"
+        ),
+    }.items():
+        scheduler = factory()
+        workload = PaperWorkload(topo, max_deadline=6, max_files=5, seed=seed + 40)
+        Simulation(scheduler, workload, num_slots=10).run()
+        out[name] = scheduler.state.ledger.cost_per_slot(PercentileCharging(Q))
+    return out
+
+
+def test_bench_percentile_aware(benchmark):
+    def run():
+        return [_run(6000 + i) for i in range(bench_runs())]
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = []
+    means = {}
+    for name in ("q100-postcard", "q-aware"):
+        ci = mean_ci([r[name] for r in results])
+        means[name] = ci.mean
+        rows.append([name, ci.mean, ci.half_width])
+    print()
+    print(f"=== Ablation A9: both schedulers billed at q={Q:g}")
+    print(format_table(["scheduler", f"bill@q={Q:g}", "95% CI +/-"], rows))
+    saving = 1.0 - means["q-aware"] / means["q100-postcard"]
+    print(f"q-awareness saves {saving:.1%} of the percentile bill")
+
+    assert means["q-aware"] <= means["q100-postcard"] * 1.02

@@ -1,0 +1,56 @@
+"""Ablation A3 — how the Postcard LP scales.
+
+One online slot's LP is solved for growing datacenter counts and
+deadline horizons; the printed table records variables, constraints and
+solve time.  The time-expanded graph grows as
+O(num_links * horizon * files), which is why the paper's time-slotted
+simplification matters: the general continuous-time problem has no such
+finite parameterization.
+"""
+
+import time
+
+import pytest
+
+from repro.analysis import format_table
+from repro.core.formulation import build_postcard_model
+from repro.core.state import NetworkState
+from repro.net.generators import complete_topology
+from repro.traffic import PaperWorkload
+
+
+def _solve_one_slot(num_dcs: int, max_deadline: int, files: int):
+    topo = complete_topology(num_dcs, capacity=60.0, seed=1)
+    state = NetworkState(topo, horizon=60)
+    workload = PaperWorkload(
+        topo, max_deadline=max_deadline, min_files=files, max_files=files, seed=7
+    )
+    requests = workload.requests_at(0)
+    built = build_postcard_model(state, requests)
+    started = time.perf_counter()
+    schedule, _ = built.solve()
+    elapsed = time.perf_counter() - started
+    return built.model.num_variables, built.model.num_constraints, elapsed
+
+
+@pytest.mark.parametrize(
+    "num_dcs,max_deadline",
+    [(5, 3), (10, 3), (15, 3), (10, 6), (10, 9)],
+)
+def test_bench_scaling(benchmark, num_dcs, max_deadline):
+    num_vars, num_cons, _ = _solve_one_slot(num_dcs, max_deadline, files=5)
+    result = benchmark.pedantic(
+        _solve_one_slot,
+        args=(num_dcs, max_deadline, 5),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(
+        format_table(
+            ["DCs", "maxT", "vars", "constraints", "solve s"],
+            [[num_dcs, max_deadline, num_vars, num_cons, result[2]]],
+        )
+    )
+    # A slot must stay interactive at any bench scale.
+    assert result[2] < 60.0

@@ -1,0 +1,64 @@
+"""Ablation A7 — how expensive can storage get before S&F stops paying?
+
+The paper assumes storage is free.  Sweeping a metered $/GB-slot
+storage price shows where the store-and-forward advantage erodes: as
+the price grows, the optimizer parks less data and the WAN bill climbs
+toward the storage-free-but-never-parked optimum.
+"""
+
+import pytest
+from conftest import bench_runs
+
+from repro.analysis import format_table, mean_ci
+from repro.core import PostcardScheduler
+from repro.net.generators import complete_topology
+from repro.sim import Simulation
+from repro.traffic import PaperWorkload
+
+PRICES = [0.0, 0.05, 0.5, 5.0]
+
+
+def _run(price, seed):
+    topo = complete_topology(6, capacity=30.0, seed=seed)
+    scheduler = PostcardScheduler(
+        topo, horizon=20, storage_price=price, on_infeasible="drop"
+    )
+    workload = PaperWorkload(topo, max_deadline=6, max_files=4, seed=seed + 900)
+    result = Simulation(scheduler, workload, num_slots=6).run()
+    return (
+        scheduler.state.current_cost_per_slot(),
+        result.total_storage_gb_slots,
+    )
+
+
+def test_bench_storage_price(benchmark):
+    def run():
+        out = {}
+        for price in PRICES:
+            out[price] = [_run(price, 4000 + i) for i in range(bench_runs())]
+        return out
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = []
+    wan_cost = {}
+    storage_used = {}
+    for price in PRICES:
+        wan = mean_ci([c for c, _s in results[price]])
+        stored = mean_ci([s for _c, s in results[price]])
+        wan_cost[price] = wan.mean
+        storage_used[price] = stored.mean
+        rows.append([f"{price:g}", wan.mean, wan.half_width, stored.mean])
+    print()
+    print("=== Ablation A7: metered storage price sweep")
+    print(
+        format_table(
+            ["$/GB-slot", "WAN cost/slot", "95% CI +/-", "GB-slots stored"], rows
+        )
+    )
+
+    # Pricier storage => (weakly) less of it is used, and the WAN bill
+    # can only rise as the time-shifting tool gets taxed away.
+    used = [storage_used[p] for p in PRICES]
+    assert all(b <= a + 1e-6 for a, b in zip(used, used[1:]))
+    assert wan_cost[PRICES[0]] <= wan_cost[PRICES[-1]] + 1e-6

@@ -1,0 +1,104 @@
+"""Diurnal traffic across time zones: where time-shifting shines.
+
+Chen et al. (INFOCOM'11) observed strong diurnal patterns in
+inter-datacenter traffic.  Under percentile billing, a link paid for
+its daytime peak is free at night — exactly the structure
+store-and-forward exploits.  This example simulates a two-region
+deployment with out-of-phase diurnal workloads and compares the
+schedulers under both 100-th and 95-th percentile billing.
+
+Run:  python examples/diurnal_workload.py
+"""
+
+from repro import (
+    DirectScheduler,
+    DiurnalWorkload,
+    FlowBasedScheduler,
+    MaxCharging,
+    PercentileCharging,
+    PostcardScheduler,
+    Simulation,
+    format_table,
+)
+from repro.net import two_region_topology
+
+
+class TwoRegionDiurnal(DiurnalWorkload):
+    """East-region load peaks half a day before the west region's.
+
+    Sources are drawn from whichever region is currently busy, so the
+    traffic matrix itself follows the sun.
+    """
+
+    def requests_at(self, slot):
+        import numpy as np
+
+        requests = super().requests_at(slot)
+        rng = np.random.default_rng((self.seed, slot, 7))
+        east = [dc.id for dc in self.topology.datacenters if dc.region == "east"]
+        west = [dc.id for dc in self.topology.datacenters if dc.region == "west"]
+        day_phase = (slot % self.slots_per_day) / self.slots_per_day
+        busy, quiet = (east, west) if day_phase < 0.5 else (west, east)
+        rebased = []
+        for request in requests:
+            src = int(rng.choice(busy))
+            dst = int(rng.choice([n for n in quiet + busy if n != src]))
+            rebased.append(request.__class__(
+                src, dst, request.size_gb, request.deadline_slots, request.release_slot
+            ))
+        return rebased
+
+
+def main():
+    topology = two_region_topology(
+        per_region=3, capacity=35.0, intra_price=1.0, inter_price=7.0, seed=5
+    )
+    slots_per_day = 8   # a compressed day so the example runs in seconds
+    num_days = 2
+    num_slots = slots_per_day * num_days
+    horizon = num_slots + 8
+
+    rows = []
+    for name, factory in [
+        ("postcard", lambda: PostcardScheduler(topology, horizon, on_infeasible="drop")),
+        ("flow-based", lambda: FlowBasedScheduler(topology, horizon, on_infeasible="drop")),
+        ("direct", lambda: DirectScheduler(topology, horizon, on_infeasible="drop")),
+    ]:
+        scheduler = factory()
+        workload = TwoRegionDiurnal(
+            topology,
+            max_deadline=6,
+            peak_files=6,
+            trough_files=1,
+            slots_per_day=slots_per_day,
+            min_size=10.0,
+            max_size=40.0,
+            seed=17,
+        )
+        result = Simulation(scheduler, workload, num_slots).run()
+        ledger = scheduler.state.ledger
+        rows.append(
+            [
+                name,
+                ledger.cost_per_slot(MaxCharging()),
+                ledger.cost_per_slot(PercentileCharging(95)),
+                f"{result.acceptance_rate:.0%}",
+                f"{result.total_storage_gb_slots:.0f}",
+            ]
+        )
+
+    print("=== Two regions, out-of-phase diurnal load, 2 compressed days")
+    print(
+        format_table(
+            ["scheduler", "bill @q=100", "bill @q=95", "accepted", "GB-slots stored"],
+            rows,
+        )
+    )
+    print(
+        "\nUnder q=95 the busiest ~5% of slots are free, which forgives\n"
+        "bursts; under q=100 every peak is billed for the whole period."
+    )
+
+
+if __name__ == "__main__":
+    main()

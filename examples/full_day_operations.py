@@ -1,0 +1,95 @@
+"""A full operations day, end to end.
+
+Everything in one story: diurnal interactive traffic on a two-region
+overlay, a mid-day transatlantic outage the optimizer routes around, a
+multicast database replication in the afternoon, nightly bulk backups
+on leftover paid bandwidth, and the midnight charging-period rollover
+that makes yesterday's paid peaks expire.
+
+Run:  python examples/full_day_operations.py
+"""
+
+from repro import (
+    DiurnalWorkload,
+    PostcardScheduler,
+    Simulation,
+    TransferRequest,
+    format_table,
+    maximize_bulk_throughput,
+    two_region_topology,
+)
+from repro.analysis.plots import cost_trajectory_sketch
+from repro.extensions import solve_multicast
+from repro.sim import FaultModel, Outage
+
+
+def main():
+    topology = two_region_topology(
+        per_region=3, capacity=40.0, intra_price=1.0, inter_price=7.0, seed=11
+    )
+    slots_per_day = 10     # compressed day
+    horizon = 3 * slots_per_day
+
+    scheduler = PostcardScheduler(topology, horizon=horizon, on_infeasible="drop")
+
+    # 09:00 — a transatlantic circuit goes down for two slots.
+    scheduler.state.fault_model = FaultModel([Outage(0, 3, 3, 5), Outage(3, 0, 3, 5)])
+
+    # The interactive day.
+    workload = DiurnalWorkload(
+        topology, max_deadline=4, peak_files=5, trough_files=1,
+        slots_per_day=slots_per_day, min_size=5.0, max_size=30.0, seed=13,
+    )
+    result = Simulation(scheduler, workload, num_slots=slots_per_day).run()
+    state = scheduler.state
+
+    print("=== The interactive day (with a 2-slot transatlantic outage)")
+    print(result.summary())
+    print("cost trajectory:", cost_trajectory_sketch(result.cost_trajectory()))
+    for slot in (3, 4):
+        assert state.ledger.volume(0, 3, slot) == 0.0  # outage respected
+    print("outage slots carried nothing on (0,3), as audited\n")
+
+    # 15:00 — replicate the primary database to both west-region sites.
+    replication = solve_multicast(
+        state, source=0, destinations=[4, 5], size_gb=60.0,
+        deadline_slots=4, release_slot=slots_per_day,
+    )
+    print("=== Afternoon: multicast replication 0 -> {4, 5}")
+    print(
+        f"60 GB to two sites for {replication.cost_per_slot - state.current_cost_per_slot():.1f} "
+        f"extra per interval (shared upstream)"
+    )
+    print(f"completions: {replication.completions}\n")
+
+    # 22:00 — bulk archives on leftover paid bandwidth only.
+    backups = [
+        TransferRequest(1, 5, 300.0, 8, release_slot=slots_per_day + 4),
+        TransferRequest(2, 4, 300.0, 8, release_slot=slots_per_day + 4),
+    ]
+    bulk = maximize_bulk_throughput(state, backups)
+    print("=== Night: archives ride leftover bandwidth")
+    print(
+        format_table(
+            ["archive", "requested GB", "delivered GB"],
+            [
+                [f"{r.source}->{r.destination}", r.size_gb,
+                 bulk.delivered.get(r.request_id, 0.0)]
+                for r in backups
+            ],
+        )
+    )
+    print(f"bill unchanged at {state.current_cost_per_slot():.1f}/interval\n")
+
+    # 24:00 — the charging period rolls over; paid peaks expire.
+    bill = state.start_new_period(slots_per_day * 2)
+    print("=== Midnight: charging-period rollover")
+    print(f"yesterday's bill banked: {bill:.0f}")
+    print(
+        f"charged volumes reset: cost/interval restarts at "
+        f"{state.current_cost_per_slot():.1f} (in-flight traffic only)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,107 @@
+#!/usr/bin/env python
+"""Run the full Sec. VII evaluation at the paper's own scale.
+
+Defaults to the paper's parameters — 20 datacenters, 100 slots,
+1-20 files/slot, 10 runs per setting — which takes a few hours on a
+laptop (the maxT=8 settings dominate; each online round solves a
+~64k-variable LP).  `--runs/--slots` trade fidelity for time; the
+benchmark suite's smoke scale is the 12-slot/3-run corner of the same
+grid.
+
+Results append to ``benchmarks/results/paper.jsonl`` in the same record
+format as the pytest benchmarks, so
+
+    python -m repro report benchmarks/results/paper.jsonl -o PAPER.md
+
+renders the final tables.
+
+Usage:
+    python scripts/run_paper_scale.py                  # everything
+    python scripts/run_paper_scale.py --figures fig6 fig7 --runs 3
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+import time
+
+from repro.registry import scheduler_factory
+from repro.sim.runner import ExperimentSetting, run_comparison
+
+FIGURES = {
+    "fig4": (100.0, 3),
+    "fig5": (100.0, 8),
+    "fig6": (30.0, 3),
+    "fig7": (30.0, 8),
+}
+
+DEFAULT_SCHEDULERS = ["postcard", "flow-based", "flow-2phase", "direct"]
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--figures", nargs="+", choices=sorted(FIGURES),
+                        default=sorted(FIGURES))
+    parser.add_argument("--schedulers", nargs="+", default=DEFAULT_SCHEDULERS)
+    parser.add_argument("--runs", type=int, default=10)
+    parser.add_argument("--slots", type=int, default=100)
+    parser.add_argument("--datacenters", type=int, default=20)
+    parser.add_argument("--seed", type=int, default=2012)
+    parser.add_argument(
+        "--output",
+        default=str(
+            pathlib.Path(__file__).resolve().parent.parent
+            / "benchmarks" / "results" / "paper.jsonl"
+        ),
+    )
+    args = parser.parse_args(argv)
+
+    factories = {name: scheduler_factory(name) for name in args.schedulers}
+    out_path = pathlib.Path(args.output)
+    out_path.parent.mkdir(parents=True, exist_ok=True)
+
+    for figure in args.figures:
+        capacity, max_deadline = FIGURES[figure]
+        setting = ExperimentSetting(
+            figure,
+            capacity=capacity,
+            max_deadline=max_deadline,
+            num_datacenters=args.datacenters,
+            num_slots=args.slots,
+        )
+        print(f"== {setting.describe()} x {args.runs} runs", flush=True)
+        started = time.time()
+        comparison = run_comparison(
+            setting, factories, runs=args.runs, base_seed=args.seed
+        )
+        elapsed = time.time() - started
+        print(comparison.to_table())
+        print(f"({elapsed:.0f}s)\n", flush=True)
+
+        record = {
+            "figure": figure,
+            "scale": "paper",
+            "setting": setting.describe(),
+            "runs": args.runs,
+            "means": {n: comparison.interval(n).mean for n in comparison.costs},
+            "half_widths": {
+                n: comparison.interval(n).half_width for n in comparison.costs
+            },
+            "rejected": {
+                n: sum(r.total_rejected for r in rs)
+                for n, rs in comparison.results.items()
+            },
+            "elapsed_seconds": elapsed,
+        }
+        with open(out_path, "a") as fh:
+            fh.write(json.dumps(record) + "\n")
+
+    print(f"records appended to {out_path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

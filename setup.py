@@ -1,0 +1,12 @@
+"""Legacy setup shim.
+
+The offline environment for this reproduction has setuptools but no
+``wheel`` package, so PEP 517 editable installs fail.  Keeping a plain
+``setup.py`` lets ``pip install -e .`` fall back to the legacy
+``develop`` code path, which needs neither network access nor wheel.
+All real metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

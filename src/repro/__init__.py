@@ -1,0 +1,171 @@
+"""Postcard: minimizing costs on inter-datacenter traffic with
+store-and-forward — a full reproduction of Feng, Li & Li (ICDCS 2012).
+
+Quickstart
+----------
+>>> from repro import (
+...     PostcardScheduler, FlowBasedScheduler, TransferRequest, fig3_topology,
+... )
+>>> topology = fig3_topology()
+>>> scheduler = PostcardScheduler(topology, horizon=100)
+>>> files = [
+...     TransferRequest(2, 4, 8.0, 4, release_slot=3),
+...     TransferRequest(1, 4, 10.0, 2, release_slot=3),
+... ]
+>>> schedule = scheduler.on_slot(3, files)
+>>> round(scheduler.state.current_cost_per_slot(), 2)
+32.67
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-versus-measured record of every figure.
+"""
+
+from repro.errors import (
+    ChargingError,
+    InfeasibleError,
+    ModelError,
+    ReproError,
+    SchedulingError,
+    SimulationError,
+    SolverError,
+    TopologyError,
+    UnboundedError,
+    WorkloadError,
+)
+from repro.net import (
+    Datacenter,
+    Link,
+    Topology,
+    complete_topology,
+    fig1_topology,
+    fig3_topology,
+    paper_topology,
+    two_region_topology,
+)
+from repro.charging import (
+    LinearCost,
+    MaxCharging,
+    PercentileCharging,
+    PiecewiseLinearCost,
+    TrafficLedger,
+)
+from repro.traffic import (
+    DiurnalWorkload,
+    PaperWorkload,
+    PoissonWorkload,
+    TraceWorkload,
+    TransferRequest,
+    expand_multicast,
+)
+from repro.timeexp import TimeExpandedGraph
+from repro.core import (
+    LookaheadPostcardScheduler,
+    NetworkState,
+    PostcardScheduler,
+    ScheduleEntry,
+    Scheduler,
+    TimedPath,
+    TransferSchedule,
+    build_postcard_model,
+    decompose_paths,
+    empirical_competitive_ratio,
+    solve_offline,
+)
+from repro.flowbased import FlowBasedScheduler, build_flow_model, solve_two_phase
+from repro.baselines import DirectScheduler
+from repro.extensions import (
+    PercentileAwareScheduler,
+    maximize_bulk_throughput,
+    maximize_transfers_under_budget,
+)
+from repro.net.presets import global_cloud_topology
+from repro.traffic.io import (
+    load_requests,
+    load_schedule,
+    save_requests,
+    save_schedule,
+)
+from repro.sim import (
+    ExperimentSetting,
+    SchedulerComparison,
+    Simulation,
+    SimulationResult,
+    run_comparison,
+)
+from repro.analysis import ConfidenceInterval, format_table, mean_ci
+
+__version__ = "1.0.0"
+
+__all__ = [
+    # errors
+    "ReproError",
+    "ModelError",
+    "SolverError",
+    "InfeasibleError",
+    "UnboundedError",
+    "TopologyError",
+    "ChargingError",
+    "WorkloadError",
+    "SchedulingError",
+    "SimulationError",
+    # network
+    "Datacenter",
+    "Link",
+    "Topology",
+    "complete_topology",
+    "paper_topology",
+    "fig1_topology",
+    "fig3_topology",
+    "two_region_topology",
+    # charging
+    "LinearCost",
+    "PiecewiseLinearCost",
+    "PercentileCharging",
+    "MaxCharging",
+    "TrafficLedger",
+    # traffic
+    "TransferRequest",
+    "expand_multicast",
+    "PaperWorkload",
+    "DiurnalWorkload",
+    "PoissonWorkload",
+    "TraceWorkload",
+    # time expansion + core
+    "TimeExpandedGraph",
+    "NetworkState",
+    "Scheduler",
+    "PostcardScheduler",
+    "TransferSchedule",
+    "ScheduleEntry",
+    "build_postcard_model",
+    # baselines
+    "FlowBasedScheduler",
+    "build_flow_model",
+    "solve_two_phase",
+    "DirectScheduler",
+    # advanced core
+    "LookaheadPostcardScheduler",
+    "solve_offline",
+    "empirical_competitive_ratio",
+    "TimedPath",
+    "decompose_paths",
+    # extensions
+    "maximize_bulk_throughput",
+    "maximize_transfers_under_budget",
+    "PercentileAwareScheduler",
+    # presets + io
+    "global_cloud_topology",
+    "save_requests",
+    "load_requests",
+    "save_schedule",
+    "load_schedule",
+    # simulation + analysis
+    "Simulation",
+    "SimulationResult",
+    "ExperimentSetting",
+    "SchedulerComparison",
+    "run_comparison",
+    "ConfidenceInterval",
+    "mean_ci",
+    "format_table",
+]

@@ -1,0 +1,18 @@
+"""Statistics and table rendering for the experiment harness."""
+
+from repro.analysis.stats import ConfidenceInterval, mean_ci, percentile
+from repro.analysis.tables import format_table
+from repro.analysis.sensitivity import SweepResult, sweep
+from repro.analysis.plots import bar_chart, sparkline, utilization_rows
+
+__all__ = [
+    "ConfidenceInterval",
+    "mean_ci",
+    "percentile",
+    "format_table",
+    "SweepResult",
+    "sweep",
+    "sparkline",
+    "bar_chart",
+    "utilization_rows",
+]

@@ -1,0 +1,93 @@
+"""One-dimensional parameter sweeps with confidence intervals.
+
+The ablation benches all share a pattern — vary one knob, run seeded
+repetitions, tabulate mean ± CI, check a monotonicity claim.  This
+module makes that pattern a library feature so downstream users can run
+their own sweeps (storage price, capacity, SLA penalty, fan-out, ...)
+in three lines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Sequence
+
+from repro.errors import ReproError
+from repro.analysis.stats import ConfidenceInterval, mean_ci
+from repro.analysis.tables import format_table
+
+#: measure(parameter_value, seed) -> metric value for one repetition.
+MeasureFn = Callable[[object, int], float]
+
+
+@dataclass
+class SweepResult:
+    """Metric curve over the swept parameter values."""
+
+    parameter: str
+    metric: str
+    values: List[object]
+    intervals: Dict[object, ConfidenceInterval]
+    runs: int
+
+    def means(self) -> List[float]:
+        return [self.intervals[v].mean for v in self.values]
+
+    def is_monotone(self, increasing: bool = True, slack: float = 0.0) -> bool:
+        """Whether the mean curve is monotone (within ``slack``)."""
+        means = self.means()
+        if increasing:
+            return all(b >= a - slack for a, b in zip(means, means[1:]))
+        return all(b <= a + slack for a, b in zip(means, means[1:]))
+
+    def spread(self) -> float:
+        """max(mean) / min(mean): the effect size of the knob."""
+        means = self.means()
+        low = min(means)
+        if low <= 0:
+            return float("inf") if max(means) > 0 else 1.0
+        return max(means) / low
+
+    def to_table(self) -> str:
+        rows = [
+            [
+                str(value),
+                self.intervals[value].mean,
+                self.intervals[value].half_width,
+            ]
+            for value in self.values
+        ]
+        return format_table(
+            [self.parameter, self.metric, "95% CI +/-"], rows
+        )
+
+
+def sweep(
+    parameter: str,
+    values: Sequence[object],
+    measure: MeasureFn,
+    runs: int = 3,
+    base_seed: int = 0,
+    metric: str = "cost/slot",
+) -> SweepResult:
+    """Evaluate ``measure(value, seed)`` over a grid with seeded runs.
+
+    Seeds are shared across parameter values (run ``i`` uses
+    ``base_seed + i`` everywhere), so the sweep is a paired comparison:
+    curve differences are the knob's effect, not sampling noise.
+    """
+    if not values:
+        raise ReproError("sweep needs at least one parameter value")
+    if runs < 1:
+        raise ReproError("sweep needs at least one run")
+    intervals: Dict[object, ConfidenceInterval] = {}
+    for value in values:
+        samples = [measure(value, base_seed + run) for run in range(runs)]
+        intervals[value] = mean_ci(samples)
+    return SweepResult(
+        parameter=parameter,
+        metric=metric,
+        values=list(values),
+        intervals=intervals,
+        runs=runs,
+    )

@@ -1,0 +1,39 @@
+"""Plain-text tables for benchmark output."""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Render an aligned monospace table.
+
+    >>> print(format_table(["a", "b"], [[1, "x"], [22, "yy"]]))
+    a   b
+    --  --
+    1   x
+    22  yy
+    """
+    cells: List[List[str]] = [[str(h) for h in headers]]
+    for row in rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells, expected {len(headers)}"
+            )
+        cells.append([_fmt(v) for v in row])
+    widths = [max(len(r[i]) for r in cells) for i in range(len(headers))]
+    lines = []
+    header_line = "  ".join(c.ljust(w) for c, w in zip(cells[0], widths))
+    lines.append(header_line.rstrip())
+    lines.append("  ".join("-" * w for w in widths).rstrip())
+    for row_cells in cells[1:]:
+        lines.append(
+            "  ".join(c.ljust(w) for c, w in zip(row_cells, widths)).rstrip()
+        )
+    return "\n".join(lines)
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)

@@ -1,0 +1,7 @@
+"""Non-LP schedulers: the naive direct baseline and a fast greedy
+store-and-forward heuristic."""
+
+from repro.baselines.direct import DirectScheduler
+from repro.baselines.greedy import GreedyStoreAndForwardScheduler
+
+__all__ = ["DirectScheduler", "GreedyStoreAndForwardScheduler"]

@@ -1,0 +1,25 @@
+"""Percentile-based ISP charging.
+
+ISPs sample each link's traffic volume every 5 minutes; at the end of a
+charging period the samples are sorted ascending and the q-th percentile
+sample is the *charged volume* ``x``, billed through a non-decreasing
+cost function ``c(x)`` (Goldberg et al., SIGCOMM'04).  The paper's
+analysis uses q = 100 (the per-period peak) and linear ``c``; the
+simulator's accounting supports any q and piecewise-linear ``c`` so the
+same schedules can be re-billed under different schemes.
+"""
+
+from repro.charging.costfunc import CostFunction, LinearCost, PiecewiseLinearCost
+from repro.charging.schemes import ChargingScheme, MaxCharging, PercentileCharging
+from repro.charging.ledger import LinkUsage, TrafficLedger
+
+__all__ = [
+    "CostFunction",
+    "LinearCost",
+    "PiecewiseLinearCost",
+    "ChargingScheme",
+    "MaxCharging",
+    "PercentileCharging",
+    "LinkUsage",
+    "TrafficLedger",
+]

@@ -1,0 +1,112 @@
+"""Cost functions mapping a charged volume to dollars.
+
+The paper assumes the linear case ``c(x) = a * x`` for tractability but
+defines the general scheme with a piece-wise linear non-decreasing
+``c(x)``; both are provided.  :class:`PiecewiseLinearCost` also knows
+whether it is convex, because only convex cost functions can be pushed
+into the LP objective via the epigraph trick.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import List, Sequence, Tuple
+
+from repro.errors import ChargingError
+
+
+class CostFunction:
+    """Maps a charged traffic volume (GB) to a cost (dollars)."""
+
+    def __call__(self, volume: float) -> float:
+        raise NotImplementedError
+
+    @property
+    def is_convex(self) -> bool:
+        raise NotImplementedError
+
+
+class LinearCost(CostFunction):
+    """The paper's ``c(x) = a * x`` with a flat per-GB price ``a``."""
+
+    def __init__(self, price: float):
+        if price < 0:
+            raise ChargingError(f"price must be non-negative, got {price}")
+        self.price = float(price)
+
+    def __call__(self, volume: float) -> float:
+        if volume < 0:
+            raise ChargingError(f"volume must be non-negative, got {volume}")
+        return self.price * volume
+
+    @property
+    def is_convex(self) -> bool:
+        return True
+
+    def __repr__(self) -> str:
+        return f"LinearCost({self.price:g})"
+
+
+class PiecewiseLinearCost(CostFunction):
+    """A non-decreasing piece-wise linear cost through given breakpoints.
+
+    ``points`` is a sequence of (volume, cost) pairs; the function
+    interpolates linearly between them and extrapolates the last
+    segment's slope beyond the final breakpoint.  Volume 0 must map to
+    cost 0 unless an explicit flat fee is intended.
+
+    Typical ISP shapes — volume discounts — are *concave*, which the LP
+    objective cannot express; :attr:`is_convex` lets callers check
+    before embedding the function in a model.
+    """
+
+    def __init__(self, points: Sequence[Tuple[float, float]]):
+        if len(points) < 2:
+            raise ChargingError("need at least two breakpoints")
+        pts = sorted((float(v), float(c)) for v, c in points)
+        for (v0, c0), (v1, c1) in zip(pts, pts[1:]):
+            if v1 <= v0:
+                raise ChargingError("breakpoint volumes must be strictly increasing")
+            if c1 < c0:
+                raise ChargingError("cost function must be non-decreasing")
+        if pts[0][0] < 0:
+            raise ChargingError("breakpoint volumes must be non-negative")
+        self.points: List[Tuple[float, float]] = pts
+        self._volumes = [v for v, _ in pts]
+
+    def _slope(self, i: int) -> float:
+        (v0, c0), (v1, c1) = self.points[i], self.points[i + 1]
+        return (c1 - c0) / (v1 - v0)
+
+    def __call__(self, volume: float) -> float:
+        if volume < 0:
+            raise ChargingError(f"volume must be non-negative, got {volume}")
+        pts = self.points
+        if volume <= pts[0][0]:
+            # Below the first breakpoint: interpolate from the origin
+            # using the first segment's slope anchored at the first point.
+            v0, c0 = pts[0]
+            return max(0.0, c0 - (v0 - volume) * self._slope(0)) if volume < v0 else c0
+        if volume >= pts[-1][0]:
+            v_last, c_last = pts[-1]
+            return c_last + (volume - v_last) * self._slope(len(pts) - 2)
+        i = bisect.bisect_right(self._volumes, volume) - 1
+        v0, c0 = pts[i]
+        return c0 + (volume - v0) * self._slope(i)
+
+    @property
+    def is_convex(self) -> bool:
+        slopes = [self._slope(i) for i in range(len(self.points) - 1)]
+        return all(s1 >= s0 - 1e-12 for s0, s1 in zip(slopes, slopes[1:]))
+
+    def segments(self) -> List[Tuple[float, float]]:
+        """(slope, intercept) of each linear piece, for LP epigraphs."""
+        out = []
+        for i in range(len(self.points) - 1):
+            v0, c0 = self.points[i]
+            slope = self._slope(i)
+            out.append((slope, c0 - slope * v0))
+        return out
+
+    def __repr__(self) -> str:
+        return f"PiecewiseLinearCost({self.points!r})"

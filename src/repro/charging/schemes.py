@@ -1,0 +1,66 @@
+"""Charging schemes: how a charged volume is picked from slot samples."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import ChargingError
+from repro.units import percentile_slot_index
+
+
+class ChargingScheme:
+    """Selects the charged volume from a link's per-slot volume samples."""
+
+    def charged_volume(self, samples: Sequence[float]) -> float:
+        raise NotImplementedError
+
+
+class PercentileCharging(ChargingScheme):
+    """The q-th percentile scheme (Goldberg et al., SIGCOMM'04).
+
+    Samples are sorted ascending and the q-th percentile entry is
+    charged: with ``q=95`` the top 5% of slots are free, which is why
+    real CDNs burst carefully.  ``q=100`` charges the peak slot, which
+    is the case the Postcard formulation optimizes.
+    """
+
+    def __init__(self, q: float = 95.0):
+        if not 0 < q <= 100:
+            raise ChargingError(f"percentile must be in (0, 100], got {q}")
+        self.q = float(q)
+
+    def charged_volume(self, samples: Sequence[float]) -> float:
+        arr = np.asarray(samples, dtype=float)
+        if arr.size == 0:
+            return 0.0
+        if np.any(arr < 0):
+            raise ChargingError("traffic samples must be non-negative")
+        idx = percentile_slot_index(self.q, arr.size)
+        return float(np.sort(arr)[idx])
+
+    def __repr__(self) -> str:
+        return f"PercentileCharging(q={self.q:g})"
+
+
+class MaxCharging(PercentileCharging):
+    """The 100-th percentile scheme: the peak slot volume is charged.
+
+    This is the scheme assumed by the paper's optimization objective,
+    where a link's bill never decreases once a peak is paid for.
+    """
+
+    def __init__(self):
+        super().__init__(q=100.0)
+
+    def charged_volume(self, samples: Sequence[float]) -> float:
+        arr = np.asarray(samples, dtype=float)
+        if arr.size == 0:
+            return 0.0
+        if np.any(arr < 0):
+            raise ChargingError("traffic samples must be non-negative")
+        return float(arr.max())
+
+    def __repr__(self) -> str:
+        return "MaxCharging()"

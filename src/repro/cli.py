@@ -1,0 +1,272 @@
+"""Command-line interface: simulate, regenerate figures, inspect traces.
+
+Usage (after ``pip install -e .``)::
+
+    python -m repro simulate --datacenters 8 --capacity 30 --slots 10
+    python -m repro figure fig6 --runs 3
+    python -m repro example fig3
+    python -m repro trace generate --datacenters 6 --slots 5 -o trace.json
+    python -m repro trace run trace.json --scheduler postcard
+
+Every subcommand prints plain-text tables; nothing writes outside the
+paths the user names.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, List, Optional
+
+from repro.analysis import format_table
+from repro.core import PostcardScheduler
+from repro.net.generators import complete_topology, fig1_topology, fig3_topology
+from repro.registry import make_scheduler, scheduler_factory, scheduler_names
+from repro.sim import Simulation
+from repro.sim.runner import ExperimentSetting, run_comparison
+from repro.traffic import PaperWorkload, TraceWorkload, TransferRequest
+from repro.traffic.io import load_requests, save_requests
+
+FIGURE_SETTINGS = {
+    "fig4": (100.0, 3),
+    "fig5": (100.0, 8),
+    "fig6": (30.0, 3),
+    "fig7": (30.0, 8),
+}
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    topology = complete_topology(
+        args.datacenters, capacity=args.capacity, seed=args.seed
+    )
+    horizon = args.slots + args.max_deadline
+    rows = []
+    last_scheduler = None
+    for name in args.schedulers:
+        scheduler = make_scheduler(name, topology, horizon)
+        workload = PaperWorkload(
+            topology,
+            max_deadline=args.max_deadline,
+            max_files=args.max_files,
+            seed=args.seed + 1000,
+        )
+        result = Simulation(scheduler, workload, args.slots).run()
+        last_scheduler = scheduler
+        rows.append(
+            [
+                name,
+                result.final_cost_per_slot,
+                result.total_requests,
+                result.total_rejected,
+                f"{result.relay_overhead:.2f}",
+                f"{result.solve_seconds_total:.2f}",
+            ]
+        )
+    print(
+        format_table(
+            ["scheduler", "cost/slot", "files", "rejected", "relay", "solve s"],
+            rows,
+        )
+    )
+
+    if args.show_links and last_scheduler is not None:
+        from repro.analysis.plots import utilization_rows
+
+        state = last_scheduler.state
+        samples = {
+            link.key: state.ledger.samples(link.src, link.dst)[: args.slots]
+            for link in topology.links
+        }
+        caps = {link.key: link.capacity for link in topology.links}
+        print(f"\nlink utilization ({args.schedulers[-1]}, busiest first):")
+        print(utilization_rows(samples, caps, top=8))
+    return 0
+
+
+def _cmd_figure(args: argparse.Namespace) -> int:
+    capacity, max_deadline = FIGURE_SETTINGS[args.name]
+    setting = ExperimentSetting(
+        args.name,
+        capacity=capacity,
+        max_deadline=max_deadline,
+        num_datacenters=args.datacenters,
+        num_slots=args.slots,
+        max_files=args.max_files,
+    )
+    factories = {name: scheduler_factory(name) for name in args.schedulers}
+    comparison = run_comparison(setting, factories, runs=args.runs, base_seed=args.seed)
+    print(setting.describe())
+    print(comparison.to_table())
+    return 0
+
+
+def _cmd_example(args: argparse.Namespace) -> int:
+    if args.name == "fig1":
+        request = TransferRequest(2, 3, 6.0, 3, release_slot=0)
+        scheduler = PostcardScheduler(fig1_topology(), horizon=100)
+        scheduler.on_slot(0, [request])
+        print(f"Fig. 1 optimized cost/interval: "
+              f"{scheduler.state.current_cost_per_slot():.2f} (paper: 12)")
+    else:
+        files = [
+            TransferRequest(2, 4, 8.0, 4, release_slot=3),
+            TransferRequest(1, 4, 10.0, 2, release_slot=3),
+        ]
+        scheduler = PostcardScheduler(fig3_topology(), horizon=100)
+        scheduler.on_slot(3, files)
+        print(f"Fig. 3 Postcard cost/interval: "
+              f"{scheduler.state.current_cost_per_slot():.2f} (paper: 32.67)")
+    return 0
+
+
+def _cmd_trace_generate(args: argparse.Namespace) -> int:
+    topology = complete_topology(args.datacenters, capacity=args.capacity, seed=args.seed)
+    workload = PaperWorkload(
+        topology, max_deadline=args.max_deadline, max_files=args.max_files,
+        seed=args.seed,
+    )
+    requests = workload.all_requests(args.slots)
+    save_requests(requests, args.output)
+    print(f"wrote {len(requests)} requests to {args.output}")
+    return 0
+
+
+def _cmd_trace_run(args: argparse.Namespace) -> int:
+    requests = load_requests(args.trace)
+    if not requests:
+        print("trace is empty", file=sys.stderr)
+        return 1
+    max_node = max(max(r.source, r.destination) for r in requests)
+    topology = complete_topology(
+        max_node + 1, capacity=args.capacity, seed=args.seed
+    )
+    num_slots = max(r.release_slot for r in requests) + 1
+    horizon = num_slots + max(r.deadline_slots for r in requests)
+    scheduler = make_scheduler(args.scheduler, topology, horizon)
+    result = Simulation(scheduler, TraceWorkload(requests), num_slots).run()
+    print(result.summary())
+    return 0
+
+
+def _cmd_trace_stats(args: argparse.Namespace) -> int:
+    from repro.traffic.stats import collect_stats
+
+    requests = load_requests(args.trace)
+    if not requests:
+        print("trace is empty", file=sys.stderr)
+        return 1
+    num_slots = max(r.release_slot for r in requests) + 1
+    stats = collect_stats(TraceWorkload(requests), num_slots)
+    print(stats.describe())
+    print("hottest pairs:")
+    print(
+        format_table(
+            ["pair", "GB"],
+            [[f"{s}->{d}", volume] for (s, d), volume in stats.hottest_pairs],
+        )
+    )
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.sim.report import load_records, render_markdown
+
+    records = load_records(args.results)
+    text = render_markdown(records)
+    if args.output == "-":
+        print(text)
+    else:
+        from pathlib import Path
+
+        Path(args.output).write_text(text)
+        print(f"wrote report for {len(records)} records to {args.output}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Postcard (ICDCS'12) reproduction: schedulers, figures, traces.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p, slots=10):
+        p.add_argument("--datacenters", type=int, default=8)
+        p.add_argument("--capacity", type=float, default=30.0)
+        p.add_argument("--max-deadline", type=int, default=4)
+        p.add_argument("--max-files", type=int, default=6)
+        p.add_argument("--slots", type=int, default=slots)
+        p.add_argument("--seed", type=int, default=0)
+
+    p_sim = sub.add_parser("simulate", help="run one seeded simulation")
+    common(p_sim)
+    p_sim.add_argument(
+        "--schedulers",
+        nargs="+",
+        choices=scheduler_names(),
+        default=["postcard", "flow-based", "direct"],
+    )
+    p_sim.add_argument(
+        "--show-links",
+        action="store_true",
+        help="print per-link utilization sparklines for the last scheduler",
+    )
+    p_sim.set_defaults(func=_cmd_simulate)
+
+    p_fig = sub.add_parser("figure", help="regenerate a paper figure")
+    p_fig.add_argument("name", choices=sorted(FIGURE_SETTINGS))
+    p_fig.add_argument("--runs", type=int, default=3)
+    p_fig.add_argument("--datacenters", type=int, default=10)
+    p_fig.add_argument("--slots", type=int, default=12)
+    p_fig.add_argument("--max-files", type=int, default=10)
+    p_fig.add_argument("--seed", type=int, default=2012)
+    p_fig.add_argument(
+        "--schedulers",
+        nargs="+",
+        choices=scheduler_names(),
+        default=["postcard", "flow-based"],
+    )
+    p_fig.set_defaults(func=_cmd_figure)
+
+    p_ex = sub.add_parser("example", help="print a worked paper example")
+    p_ex.add_argument("name", choices=["fig1", "fig3"])
+    p_ex.set_defaults(func=_cmd_example)
+
+    p_trace = sub.add_parser("trace", help="generate or replay traces")
+    trace_sub = p_trace.add_subparsers(dest="trace_command", required=True)
+
+    p_gen = trace_sub.add_parser("generate", help="write a workload trace")
+    common(p_gen, slots=5)
+    p_gen.add_argument("-o", "--output", required=True)
+    p_gen.set_defaults(func=_cmd_trace_generate)
+
+    p_stats = trace_sub.add_parser("stats", help="summarize a trace")
+    p_stats.add_argument("trace")
+    p_stats.set_defaults(func=_cmd_trace_stats)
+
+    p_run = trace_sub.add_parser("run", help="replay a trace")
+    p_run.add_argument("trace")
+    p_run.add_argument(
+        "--scheduler", choices=scheduler_names(), default="postcard"
+    )
+    p_run.add_argument("--capacity", type=float, default=30.0)
+    p_run.add_argument("--seed", type=int, default=0)
+    p_run.set_defaults(func=_cmd_trace_run)
+
+    p_report = sub.add_parser(
+        "report", help="render a benchmark results .jsonl as Markdown"
+    )
+    p_report.add_argument("results", help="path to benchmarks/results/<scale>.jsonl")
+    p_report.add_argument("-o", "--output", default="-", help="output file or - for stdout")
+    p_report.set_defaults(func=_cmd_report)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

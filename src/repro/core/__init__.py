@@ -1,0 +1,55 @@
+"""The paper's primary contribution: the Postcard optimizer.
+
+At every slot ``t`` the online controller receives the newly released
+files ``K(t)``, builds the LP of Sec. V on a time-expanded graph over
+``[t, t + max_k T_k]`` — respecting capacity already committed to
+earlier files and the charged volumes ``X_ij(t-1)`` already paid for —
+solves it, and commits the resulting store-and-forward schedule.
+"""
+
+from repro.core.interfaces import Scheduler
+from repro.core.state import NetworkState
+from repro.core.schedule import (
+    SEMANTICS_FLUID,
+    SEMANTICS_STORE_AND_FORWARD,
+    ScheduleEntry,
+    TransferSchedule,
+)
+from repro.core.formulation import PostcardModel, build_postcard_model
+from repro.core.scheduler import PostcardScheduler
+from repro.core.offline import OfflineResult, empirical_competitive_ratio, solve_offline
+from repro.core.lookahead import LookaheadPostcardScheduler
+from repro.core.replan import ActiveFile, ReplanningPostcardScheduler
+from repro.core.paths import TimedPath, decompose_paths
+from repro.core.bounds import DualBoundResult, dual_lower_bound, shortest_path_over_time
+from repro.core.soft import SoftDeadlineResult, solve_soft_deadline
+from repro.core.checkpoint import load_state, save_state, state_from_json, state_to_json
+
+__all__ = [
+    "Scheduler",
+    "NetworkState",
+    "ScheduleEntry",
+    "TransferSchedule",
+    "SEMANTICS_FLUID",
+    "SEMANTICS_STORE_AND_FORWARD",
+    "PostcardModel",
+    "build_postcard_model",
+    "PostcardScheduler",
+    "OfflineResult",
+    "solve_offline",
+    "empirical_competitive_ratio",
+    "LookaheadPostcardScheduler",
+    "ReplanningPostcardScheduler",
+    "ActiveFile",
+    "TimedPath",
+    "decompose_paths",
+    "DualBoundResult",
+    "dual_lower_bound",
+    "shortest_path_over_time",
+    "SoftDeadlineResult",
+    "solve_soft_deadline",
+    "save_state",
+    "load_state",
+    "state_to_json",
+    "state_from_json",
+]

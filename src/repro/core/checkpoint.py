@@ -1,0 +1,131 @@
+"""Checkpoint and restore a NetworkState.
+
+Long experiments (paper-scale runs, multi-day operational simulations)
+want to stop and resume; operators want end-of-day snapshots of the
+billing state.  A checkpoint captures everything the online model
+needs to continue: per-link-slot ledger volumes, charged volumes
+``X_ij``, completions, rejections, storage accounting, and
+charging-period bookkeeping.
+
+Topology is *not* serialized — a checkpoint is only meaningful against
+the network it was taken from, so restore requires the same topology
+(checked by shape: node ids and link keys must match).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+from repro.errors import SchedulingError
+from repro.core.state import NetworkState
+from repro.net.topology import Topology
+
+PathLike = Union[str, Path]
+
+_VERSION = 1
+
+
+def state_to_json(state: NetworkState) -> str:
+    """Serialize the accounting of a NetworkState (not its topology)."""
+    usage = {
+        f"{src},{dst}": {str(slot): volume for slot, volume in u.volumes.items()}
+        for (src, dst), u in state.ledger._usage.items()
+        if u.volumes
+    }
+    payload = {
+        "version": _VERSION,
+        "kind": "postcard-state",
+        "horizon": state.horizon,
+        "node_ids": state.topology.node_ids(),
+        "link_keys": sorted(f"{l.src},{l.dst}" for l in state.topology.links),
+        "usage": usage,
+        "charged": {
+            f"{src},{dst}": volume
+            for (src, dst), volume in state.charged_snapshot().items()
+            if volume > 0
+        },
+        "completions": {str(k): v for k, v in state.completions.items()},
+        "rejected": [
+            {
+                "source": r.source,
+                "destination": r.destination,
+                "size_gb": r.size_gb,
+                "deadline_slots": r.deadline_slots,
+                "release_slot": r.release_slot,
+            }
+            for r in state.rejected
+        ],
+        "storage_used": state.storage_used,
+        "period_start": state.period_start,
+        "banked_period_bills": list(state.banked_period_bills),
+    }
+    return json.dumps(payload, indent=1)
+
+
+def state_from_json(text: str, topology: Topology) -> NetworkState:
+    """Rebuild a NetworkState against ``topology``.
+
+    Raises :class:`SchedulingError` when the checkpoint's network shape
+    (node ids, link keys) does not match — restoring billing data onto
+    a different overlay would silently corrupt every number downstream.
+    Rejected files are restored as fresh :class:`TransferRequest`
+    objects (ids are process-local).
+    """
+    from repro.traffic.spec import TransferRequest
+
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise SchedulingError(f"checkpoint is not valid JSON: {exc}") from exc
+    if payload.get("kind") != "postcard-state":
+        raise SchedulingError("not a postcard state checkpoint")
+    if payload.get("version") != _VERSION:
+        raise SchedulingError(
+            f"unsupported checkpoint version {payload.get('version')!r}"
+        )
+
+    if payload["node_ids"] != topology.node_ids():
+        raise SchedulingError("checkpoint node ids do not match this topology")
+    expected_links = sorted(f"{l.src},{l.dst}" for l in topology.links)
+    if payload["link_keys"] != expected_links:
+        raise SchedulingError("checkpoint link set does not match this topology")
+
+    state = NetworkState(topology, payload["horizon"])
+    for key, slots in payload.get("usage", {}).items():
+        src, dst = (int(part) for part in key.split(","))
+        for slot, volume in slots.items():
+            state.ledger.record(src, dst, int(slot), float(volume))
+    for key, volume in payload.get("charged", {}).items():
+        src, dst = (int(part) for part in key.split(","))
+        state._charged[(src, dst)] = float(volume)
+    state.completions = {
+        int(k): int(v) for k, v in payload.get("completions", {}).items()
+    }
+    state.rejected = [
+        TransferRequest(
+            source=int(row["source"]),
+            destination=int(row["destination"]),
+            size_gb=float(row["size_gb"]),
+            deadline_slots=int(row["deadline_slots"]),
+            release_slot=int(row["release_slot"]),
+        )
+        for row in payload.get("rejected", [])
+    ]
+    state.storage_used = float(payload.get("storage_used", 0.0))
+    state.period_start = int(payload.get("period_start", 0))
+    state.banked_period_bills = [
+        float(v) for v in payload.get("banked_period_bills", [])
+    ]
+    return state
+
+
+def save_state(state: NetworkState, path: PathLike) -> None:
+    """Write a checkpoint file."""
+    Path(path).write_text(state_to_json(state))
+
+
+def load_state(path: PathLike, topology: Topology) -> NetworkState:
+    """Read a checkpoint file back against the same topology."""
+    return state_from_json(Path(path).read_text(), topology)

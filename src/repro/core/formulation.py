@@ -1,0 +1,317 @@
+"""The Postcard LP on the time-expanded graph (Sec. V, problem (6)-(10)).
+
+Variables ``M[k, arc]`` give the GB of file ``k`` carried by each
+admissible arc of the time-expanded graph.  Charged volumes ``X_ij``
+enter through the epigraph transform: minimizing
+``sum(a_ij * X_ij)`` subject to ``X_ij >= X_ij(t-1)`` and, for every
+slot ``n``, ``X_ij >= B_ij(n) + sum_k M[k, (i,j,n)]``, where ``B_ij(n)``
+is traffic already committed by earlier online rounds.  With
+``B == 0`` this is exactly the paper's
+``X_ij(t) = max{X_ij(t-1), max_n sum_k M_ij^k(n)}``; with in-flight
+traffic it is the strictly more accurate form (see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import SchedulingError
+from repro.core.schedule import ScheduleEntry, TransferSchedule
+from repro.core.state import NetworkState
+from repro.lp import LinExpr, Model, Solution, Variable
+from repro.timeexp.graph import Arc, ArcKind, TimeExpandedGraph
+from repro.traffic.spec import TransferRequest
+from repro.units import VOLUME_ATOL
+
+#: Storage policies for :func:`build_postcard_model`.
+STORAGE_FULL = "full"
+STORAGE_DESTINATION_ONLY = "destination_only"
+
+
+class PostcardModel:
+    """A built (not yet solved) Postcard LP plus its variable maps."""
+
+    def __init__(
+        self,
+        model: Model,
+        graph: TimeExpandedGraph,
+        requests: List[TransferRequest],
+        flow_vars: Dict[Tuple[int, Arc], Variable],
+        charge_vars: Dict[Tuple[int, int], Variable],
+        fixed_charge_cost: float,
+        capacity_rows=None,
+    ):
+        self.model = model
+        self.graph = graph
+        self.requests = requests
+        self.flow_vars = flow_vars
+        self.charge_vars = charge_vars
+        #: sum(a_ij * X_ij(t-1)) over links the new files cannot touch;
+        #: a constant added to the objective so it reports the full
+        #: network-wide cost per slot.
+        self.fixed_charge_cost = fixed_charge_cost
+        #: (src, dst, slot) -> the capacity Constraint, for shadow prices.
+        self.capacity_rows: Dict[Tuple[int, int, int], object] = capacity_rows or {}
+
+    def solve(self, backend: str = "highs", **options) -> Tuple[TransferSchedule, Solution]:
+        """Optimize and extract the store-and-forward schedule."""
+        solution = self.model.solve(backend=backend, **options)
+        entries = []
+        for (request_id, arc), var in self.flow_vars.items():
+            volume = solution.value(var)
+            if volume > VOLUME_ATOL:
+                entries.append(
+                    ScheduleEntry(
+                        request_id=request_id,
+                        src=arc.src,
+                        dst=arc.dst,
+                        slot=arc.slot,
+                        volume=volume,
+                        kind=arc.kind,
+                    )
+                )
+        return TransferSchedule(entries), solution
+
+    def charged_volumes(self, solution: Solution) -> Dict[Tuple[int, int], float]:
+        """Optimal X_ij for the links the model optimizes over."""
+        return {key: solution.value(var) for key, var in self.charge_vars.items()}
+
+    def congestion_prices(self, solution: Solution) -> Dict[Tuple[int, int, int], float]:
+        """Shadow price of each binding capacity row, in $/GB.
+
+        The dual of the capacity constraint on (src, dst, slot) is the
+        marginal saving one extra GB/slot of capacity there would buy —
+        the LP-theoretic answer to "which link should we upgrade?".
+        Only links whose price is positive appear; zero-price entries
+        are filtered.  Requires the HiGHS backend (duals).
+        """
+        prices = {}
+        for key, constraint in self.capacity_rows.items():
+            dual = solution.dual(constraint)
+            # A <=-row dual in a minimization is <= 0: relaxing the
+            # capacity lowers cost.  Report the positive saving.
+            if dual < -1e-9:
+                prices[key] = -dual
+        return prices
+
+
+def build_postcard_model(
+    state: NetworkState,
+    requests: List[TransferRequest],
+    storage: str = STORAGE_FULL,
+    name: str = "postcard",
+    storage_capacity: float = float("inf"),
+    storage_price: float = 0.0,
+    cost_fn_factory=None,
+    charge_exempt=None,
+    charged_volume_fn=None,
+) -> PostcardModel:
+    """Assemble the Sec. V LP for the files released at the current slot.
+
+    Parameters
+    ----------
+    state:
+        Online state providing residual capacities, committed per-slot
+        volumes ``B_ij(n)`` and charged volumes ``X_ij(t-1)``.
+    requests:
+        The slot's released files ``K(t)`` (mixed release slots are
+        allowed; the graph spans all their windows).
+    storage:
+        ``"full"`` (the paper) allows holdover at any datacenter;
+        ``"destination_only"`` disables intermediate/source storage so
+        data must keep moving — the ablation quantifying what
+        store-and-forward itself contributes.
+    storage_capacity:
+        GB of buffer available per datacenter per slot for in-transit
+        data.  The paper assumes infinite (datacenter disk dwarfs WAN
+        bandwidth); finite values study the capacitated variant.  Data
+        already at its own destination is delivered and never counts.
+    storage_price:
+        Dollars per GB-slot of intermediate buffering.  The paper
+        assumes zero; a positive price makes the optimizer trade
+        storage against transit peaks.  Billed per use, not per peak
+        (disk is metered, unlike percentile-billed WAN links).
+    cost_fn_factory:
+        Optional ``factory(link) -> CostFunction`` replacing the
+        default linear ``a_ij * X_ij`` term of each link.  Piece-wise
+        linear functions must be convex (epigraph representation).
+    charge_exempt:
+        Optional predicate ``(src, dst, slot) -> bool``; link-slots for
+        which it returns True get no charge row — their traffic is
+        assumed to land in the free top percentile of a q < 100
+        charging scheme (see
+        :class:`repro.extensions.percentile.PercentileAwareScheduler`).
+    charged_volume_fn:
+        Optional override for ``X_ij(t-1)``; percentile-aware callers
+        pass the charged volume *excluding* amnestied burst slots.
+    """
+    if not requests:
+        raise SchedulingError("build_postcard_model needs at least one request")
+    if storage not in (STORAGE_FULL, STORAGE_DESTINATION_ONLY):
+        raise SchedulingError(f"unknown storage policy {storage!r}")
+    if storage_capacity < 0:
+        raise SchedulingError("storage_capacity must be non-negative")
+    if storage_price < 0:
+        raise SchedulingError("storage_price must be non-negative")
+
+    start = min(r.release_slot for r in requests)
+    end = max(r.release_slot + r.deadline_slots for r in requests)
+    graph = TimeExpandedGraph(
+        state.topology,
+        start_slot=start,
+        horizon=end - start,
+        capacity_fn=state.residual_capacity,
+    )
+
+    model = Model(name)
+    flow_vars: Dict[Tuple[int, Arc], Variable] = {}
+    #: per transit (link, slot): list of vars crossing it (for capacity
+    #: and charge rows)
+    arc_users: Dict[Arc, List[Variable]] = defaultdict(list)
+    #: per holdover arc: vars of files *in transit* stored there (a
+    #: file buffered at its own destination is delivered, not stored)
+    storage_users: Dict[Arc, List[Variable]] = defaultdict(list)
+
+    for request in requests:
+        rid = request.request_id
+        arcs = graph.arcs_for_request(request)
+        if storage == STORAGE_DESTINATION_ONLY:
+            arcs = [
+                a
+                for a in arcs
+                if a.kind is ArcKind.TRANSIT or a.src == request.destination
+            ]
+        # Node balance built incrementally: +1 on out-arcs, -1 on in-arcs.
+        balance: Dict[Tuple[int, int], List[Tuple[float, Variable]]] = defaultdict(list)
+        for arc in arcs:
+            if arc.kind is ArcKind.TRANSIT and arc.capacity <= 0:
+                continue  # fully committed link-slot: no variable at all
+            var = model.add_variable(f"M[{rid},{arc.src},{arc.dst},{arc.slot}]")
+            flow_vars[(rid, arc)] = var
+            if arc.kind is ArcKind.TRANSIT:
+                arc_users[arc].append(var)
+            elif arc.src != request.destination:
+                storage_users[arc].append(var)
+            balance[arc.tail].append((1.0, var))
+            balance[arc.head].append((-1.0, var))
+
+        source = graph.source_node(request)
+        sink = graph.sink_node(request)
+        if source not in balance:
+            raise SchedulingError(
+                f"file {rid}: no admissible arc leaves its source; "
+                "the problem is trivially infeasible"
+            )
+        for node, terms in balance.items():
+            net = LinExpr.from_terms(terms)
+            if node == source:
+                model.add_constraint(net == request.size_gb, name=f"src[{rid}]")
+            elif node == sink:
+                model.add_constraint(net == -request.size_gb, name=f"snk[{rid}]")
+            else:
+                model.add_constraint(
+                    net == 0.0, name=f"cons[{rid},{node[0]},{node[1]}]"
+                )
+
+    # Capacity rows: aggregate new traffic within residual capacity.
+    capacity_rows: Dict[Tuple[int, int, int], object] = {}
+    for arc, users in arc_users.items():
+        if arc.capacity != float("inf"):
+            capacity_rows[(arc.src, arc.dst, arc.slot)] = model.add_constraint(
+                LinExpr.sum(users) <= arc.capacity,
+                name=f"cap[{arc.src},{arc.dst},{arc.slot}]",
+            )
+
+    # Storage rows: per-datacenter buffer capacity for in-transit data.
+    if storage_capacity != float("inf"):
+        for arc, users in storage_users.items():
+            model.add_constraint(
+                LinExpr.sum(users) <= storage_capacity,
+                name=f"store[{arc.src},{arc.slot}]",
+            )
+
+    # Charge rows: one X_ij per overlay link that new traffic can use.
+    by_link: Dict[Tuple[int, int], Dict[int, List[Variable]]] = defaultdict(
+        lambda: defaultdict(list)
+    )
+    for arc, users in arc_users.items():
+        by_link[arc.link_key][arc.slot].extend(users)
+
+    charge_vars: Dict[Tuple[int, int], Variable] = {}
+    objective_terms: List[Tuple[float, Variable]] = []
+    fixed_cost = 0.0
+    for link in state.topology.links:
+        key = link.key
+        prior = (
+            charged_volume_fn(*key)
+            if charged_volume_fn is not None
+            else state.charged_volume(*key)
+        )
+        cost_fn = cost_fn_factory(link) if cost_fn_factory else None
+        if key not in by_link:
+            fixed_cost += cost_fn(prior) if cost_fn else link.price * prior
+            continue
+        x = model.add_variable(f"X[{key[0]},{key[1]}]", lb=prior)
+        charge_vars[key] = x
+        for slot, users in by_link[key].items():
+            if charge_exempt is not None and charge_exempt(key[0], key[1], slot):
+                continue
+            committed = state.committed_volume(key[0], key[1], slot)
+            model.add_constraint(
+                x >= LinExpr.sum(users) + committed,
+                name=f"chg[{key[0]},{key[1]},{slot}]",
+            )
+        if cost_fn is None:
+            objective_terms.append((link.price, x))
+        else:
+            objective_terms.append(
+                (1.0, _link_cost_variable(model, key, x, cost_fn))
+            )
+
+    # Metered storage cost: price per GB-slot of in-transit buffering.
+    storage_terms: List[Tuple[float, Variable]] = []
+    if storage_price > 0.0:
+        for users in storage_users.values():
+            storage_terms.extend((storage_price, var) for var in users)
+
+    model.minimize(
+        LinExpr.from_terms(objective_terms + storage_terms, constant=fixed_cost)
+    )
+
+    return PostcardModel(
+        model, graph, list(requests), flow_vars, charge_vars, fixed_cost,
+        capacity_rows=capacity_rows,
+    )
+
+
+def _link_cost_variable(model: Model, key, x: Variable, cost_fn) -> Variable:
+    """Epigraph variable for a (convex) cost of one link's charge.
+
+    ``LinearCost`` lowers to ``c == price * X``; a convex
+    :class:`~repro.charging.costfunc.PiecewiseLinearCost` lowers to one
+    ``c >= slope * X + intercept`` row per segment.  Concave functions
+    (volume discounts) cannot be minimized this way and are rejected.
+    """
+    from repro.charging.costfunc import LinearCost, PiecewiseLinearCost
+
+    c = model.add_variable(f"C[{key[0]},{key[1]}]", lb=None)
+    if isinstance(cost_fn, LinearCost):
+        model.add_constraint(c >= cost_fn.price * x, name=f"cost[{key}]")
+        return c
+    if isinstance(cost_fn, PiecewiseLinearCost):
+        if not cost_fn.is_convex:
+            raise SchedulingError(
+                f"cost function for link {key} is not convex; the epigraph "
+                "objective cannot represent volume discounts"
+            )
+        model.add_constraint(c >= 0.0, name=f"cost0[{key}]")
+        for i, (slope, intercept) in enumerate(cost_fn.segments()):
+            model.add_constraint(
+                c >= slope * x + intercept, name=f"cost[{key},{i}]"
+            )
+        return c
+    raise SchedulingError(
+        f"unsupported cost function type {type(cost_fn).__name__} for the "
+        "LP objective (use LinearCost or a convex PiecewiseLinearCost)"
+    )

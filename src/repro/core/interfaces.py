@@ -1,0 +1,39 @@
+"""The scheduler interface shared by Postcard and every baseline."""
+
+from __future__ import annotations
+
+import abc
+from typing import List, TYPE_CHECKING
+
+if TYPE_CHECKING:
+    from repro.core.schedule import TransferSchedule
+    from repro.core.state import NetworkState
+    from repro.traffic.spec import TransferRequest
+
+
+class Scheduler(abc.ABC):
+    """Decides routing and timing for each slot's newly released files.
+
+    A scheduler owns a :class:`~repro.core.state.NetworkState` and is
+    driven slot by slot: the simulator calls :meth:`on_slot` with the
+    files released at that slot; the scheduler returns the committed
+    :class:`~repro.core.schedule.TransferSchedule` (already applied to
+    its state).  Decisions are *online*: once committed, a transfer is
+    never rescheduled, matching the paper's model where "all routing
+    paths and flow assignments for previous traffic pairs are already
+    known".
+    """
+
+    #: Human-readable name used in benchmark tables.
+    name: str = "scheduler"
+
+    @property
+    @abc.abstractmethod
+    def state(self) -> "NetworkState":
+        """The scheduler's view of committed traffic and paid volumes."""
+
+    @abc.abstractmethod
+    def on_slot(
+        self, slot: int, requests: List["TransferRequest"]
+    ) -> "TransferSchedule":
+        """Schedule the files released at ``slot`` and commit the result."""

@@ -1,0 +1,154 @@
+"""Path decomposition of store-and-forward schedules.
+
+An LP solution assigns volumes to time-expanded arcs; operators think
+in terms of *paths*: "2 GB leave DC2 at slot 3, wait one slot at DC1,
+arrive at DC4 at slot 6".  This module strips a file's arc flows into
+such timed paths (the classic flow-decomposition argument on a DAG:
+repeatedly follow positive arcs from the source, peel off the
+bottleneck volume; termination is guaranteed because each round zeroes
+at least one arc).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.errors import SchedulingError
+from repro.core.schedule import TransferSchedule
+from repro.timeexp.graph import TimeNode
+from repro.traffic.spec import TransferRequest
+from repro.units import VOLUME_ATOL
+
+
+@dataclass(frozen=True)
+class TimedPath:
+    """One path through the time-expanded graph with a volume.
+
+    ``nodes`` is the sequence of (datacenter, layer) hops, source
+    first.  Consecutive nodes with the same datacenter are storage
+    steps; datacenter changes are transmissions.
+    """
+
+    nodes: Tuple[TimeNode, ...]
+    volume: float
+
+    @property
+    def hop_count(self) -> int:
+        """Number of actual transmissions along the path."""
+        return sum(
+            1 for a, b in zip(self.nodes, self.nodes[1:]) if a[0] != b[0]
+        )
+
+    @property
+    def storage_slots(self) -> int:
+        """Number of slots the volume spends parked at a datacenter."""
+        return sum(
+            1 for a, b in zip(self.nodes, self.nodes[1:]) if a[0] == b[0]
+        )
+
+    @property
+    def departure_slot(self) -> int:
+        return self.nodes[0][1]
+
+    @property
+    def arrival_slot(self) -> int:
+        """Slot *boundary* at which the volume is at the destination."""
+        return self.nodes[-1][1]
+
+    def describe(self) -> str:
+        steps = []
+        for a, b in zip(self.nodes, self.nodes[1:]):
+            if a[0] == b[0]:
+                steps.append(f"hold@{a[0]}")
+            else:
+                steps.append(f"{a[0]}->{b[0]}")
+        return f"{self.volume:g} GB: " + ", ".join(
+            f"slot {a[1]}: {step}" for (a, _b), step in zip(zip(self.nodes, self.nodes[1:]), steps)
+        )
+
+
+def decompose_paths(
+    schedule: TransferSchedule, request: TransferRequest
+) -> List[TimedPath]:
+    """Decompose one file's schedule into timed paths.
+
+    Requires a store-and-forward schedule that fully delivers the file
+    (raises :class:`SchedulingError` otherwise).  The returned volumes
+    sum to the file size; at most ``#arcs`` paths are produced.
+    """
+    residual: Dict[Tuple[TimeNode, TimeNode], float] = {}
+    for entry in schedule.entries_for_request(request.request_id):
+        key = ((entry.src, entry.slot), (entry.dst, entry.slot + 1))
+        residual[key] = residual.get(key, 0.0) + entry.volume
+
+    total = schedule.delivered_volume(request)
+    if abs(total - request.size_gb) > max(1e-5, 1e-5 * request.size_gb):
+        raise SchedulingError(
+            f"cannot decompose: file {request.request_id} is not fully "
+            f"delivered ({total:g} of {request.size_gb:g} GB)"
+        )
+
+    # Out-adjacency over positive-residual arcs, rebuilt lazily.
+    def out_arcs(node: TimeNode):
+        return [
+            (tail, head)
+            for (tail, head), volume in residual.items()
+            if tail == node and volume > VOLUME_ATOL
+        ]
+
+    paths: List[TimedPath] = []
+    remaining = total
+    tol = max(VOLUME_ATOL, 1e-9 * request.size_gb)
+    guard = 2 * len(residual) + 2
+    while remaining > tol and guard > 0:
+        guard -= 1
+        # Start at the earliest source node that still has outflow.
+        starts = sorted(
+            (
+                tail
+                for (tail, _head), volume in residual.items()
+                if tail[0] == request.source and volume > VOLUME_ATOL
+            ),
+            key=lambda n: n[1],
+        )
+        if not starts:
+            raise SchedulingError(
+                f"decomposition stuck: {remaining:g} GB of file "
+                f"{request.request_id} unaccounted"
+            )
+        node = starts[0]
+        path = [node]
+        arcs_taken: List[Tuple[TimeNode, TimeNode]] = []
+        # Walk until the volume first touches the destination; trailing
+        # holds at the destination (riding to the sink layer) are
+        # delivery bookkeeping, not part of the operational path.
+        while node[0] != request.destination:
+            candidates = out_arcs(node)
+            if not candidates:
+                raise SchedulingError(
+                    f"decomposition dead-ends at {node} for file "
+                    f"{request.request_id}"
+                )
+            # Prefer transmissions over holds (terminates briskly) and,
+            # among those, the fattest arc (fewer total paths).
+            candidates.sort(
+                key=lambda arc: (arc[0][0] == arc[1][0], -residual[arc])
+            )
+            arc = candidates[0]
+            arcs_taken.append(arc)
+            node = arc[1]
+            path.append(node)
+        bottleneck = min(residual[arc] for arc in arcs_taken)
+        volume = min(bottleneck, remaining)
+        for arc in arcs_taken:
+            residual[arc] -= volume
+        paths.append(TimedPath(tuple(path), volume))
+        remaining -= volume
+
+    if remaining > max(1e-4, 1e-6 * request.size_gb):
+        raise SchedulingError(
+            f"decomposition left {remaining:g} GB of file "
+            f"{request.request_id} unexplained"
+        )
+    return paths

@@ -1,0 +1,287 @@
+"""Replanning Postcard: in-flight transfers are re-optimized every slot.
+
+The paper's online model commits a file's entire future schedule the
+moment it arrives ("all routing paths and flow assignments for previous
+traffic pairs are already known").  That makes each slot's LP small,
+but early commitments can strand later arrivals.  This module
+implements the natural relaxation: only the *current* slot's traffic is
+ever executed; everything not yet transmitted — including data already
+parked at intermediate datacenters — is re-optimized jointly with each
+new batch.
+
+Formally, at slot ``t`` every active file ``k`` is described by its
+remaining volume distribution: ``supplies[i]`` GB currently sitting at
+datacenter ``i`` (its source, and/or intermediate nodes where earlier
+slots parked it).  The LP is the Sec. V formulation with multi-source
+supply nodes; only the ``n = t`` arcs of the solution are executed,
+and the rest is thrown away and re-derived next slot.
+
+Feasibility is monotone: the tail of last slot's plan is always still
+feasible (capacities ahead are untouched), so replanning can only help
+— at the price of solving a bigger LP every slot.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import InfeasibleError, SchedulingError
+from repro.core.interfaces import Scheduler
+from repro.core.schedule import ScheduleEntry, TransferSchedule
+from repro.core.state import NetworkState
+from repro.lp import LinExpr, Model, Variable
+from repro.net.topology import Topology
+from repro.timeexp.graph import Arc, ArcKind, TimeExpandedGraph
+from repro.traffic.spec import TransferRequest
+from repro.units import VOLUME_ATOL
+
+
+@dataclass
+class ActiveFile:
+    """An accepted file that has not finished arriving yet."""
+
+    request: TransferRequest
+    #: Where its undelivered data currently sits: node -> GB.
+    supplies: Dict[int, float] = field(default_factory=dict)
+    #: GB already delivered to the destination.
+    delivered: float = 0.0
+
+    @property
+    def remaining(self) -> float:
+        return sum(self.supplies.values())
+
+    @property
+    def deadline_slot(self) -> int:
+        return self.request.last_slot
+
+
+class ReplanningPostcardScheduler(Scheduler):
+    """Executes one slot at a time, re-deriving the rest every slot."""
+
+    name = "postcard-replan"
+
+    def __init__(
+        self,
+        topology: Topology,
+        horizon: int,
+        backend: str = "highs",
+        on_infeasible: str = "raise",
+    ):
+        if on_infeasible not in ("raise", "drop"):
+            raise SchedulingError(f"unknown on_infeasible policy {on_infeasible!r}")
+        self._state = NetworkState(topology, horizon)
+        self.backend = backend
+        self.on_infeasible = on_infeasible
+        self.active: List[ActiveFile] = []
+        self.last_objective: Optional[float] = None
+
+    @property
+    def state(self) -> NetworkState:
+        return self._state
+
+    # -- the online loop -------------------------------------------------
+
+    def on_slot(self, slot: int, requests: List[TransferRequest]) -> TransferSchedule:
+        for request in requests:
+            if request.release_slot != slot:
+                raise SchedulingError(
+                    f"file {request.request_id} released at "
+                    f"{request.release_slot}, scheduled at {slot}"
+                )
+
+        newcomers = [
+            ActiveFile(r, supplies={r.source: r.size_gb}) for r in requests
+        ]
+
+        # Admission: the current active set stays feasible by
+        # construction (last slot's plan tail is untouched), so only
+        # newcomers can break feasibility.  Shedding mirrors
+        # shed_until_feasible: individually-impossible files first,
+        # then the hungriest, one at a time.
+        def attempt(subset):
+            return self._solve(slot, self.active + subset)
+
+        try:
+            plan = attempt(newcomers)
+        except InfeasibleError:
+            if self.on_infeasible == "raise":
+                raise
+            survivors = []
+            for f in newcomers:
+                try:
+                    attempt([f])
+                    survivors.append(f)
+                except InfeasibleError:
+                    self._state.reject(f.request)
+            newcomers = survivors
+            while True:
+                try:
+                    plan = attempt(newcomers)
+                    break
+                except InfeasibleError:
+                    if not newcomers:
+                        raise
+                    victim = max(
+                        newcomers,
+                        key=lambda f: (f.request.desired_rate, f.remaining),
+                    )
+                    newcomers.remove(victim)
+                    self._state.reject(victim.request)
+
+        self.active.extend(newcomers)
+        executed = self._execute_slot(slot, plan)
+        self.active = [f for f in self.active if f.remaining > VOLUME_ATOL]
+        return executed
+
+    # -- planning ----------------------------------------------------------
+
+    def _solve(
+        self, slot: int, files: List[ActiveFile]
+    ) -> Dict[Tuple[int, Arc], float]:
+        """Plan all remaining volume; returns arc volumes per file."""
+        if not files:
+            return {}
+        end = max(f.deadline_slot for f in files) + 1
+        graph = TimeExpandedGraph(
+            self._state.topology,
+            start_slot=slot,
+            horizon=end - slot,
+            capacity_fn=self._future_residual(slot),
+        )
+
+        model = Model("replan")
+        flow_vars: Dict[Tuple[int, Arc], Variable] = {}
+        arc_users: Dict[Arc, List[Variable]] = defaultdict(list)
+
+        for f in files:
+            rid = f.request.request_id
+            window_last = f.deadline_slot
+            balance: Dict[Tuple[int, int], List[Tuple[float, Variable]]] = defaultdict(list)
+            arcs = [a for a in graph.arcs if slot <= a.slot <= window_last]
+            for arc in arcs:
+                if arc.kind is ArcKind.TRANSIT and arc.capacity <= 0:
+                    continue
+                var = model.add_variable(f"M[{rid},{arc.src},{arc.dst},{arc.slot}]")
+                flow_vars[(rid, arc)] = var
+                if arc.kind is ArcKind.TRANSIT:
+                    arc_users[arc].append(var)
+                balance[arc.tail].append((1.0, var))
+                balance[arc.head].append((-1.0, var))
+
+            sink = (f.request.destination, window_last + 1)
+            for node, terms in balance.items():
+                net = LinExpr.from_terms(terms)
+                supply = f.supplies.get(node[0], 0.0) if node[1] == slot else 0.0
+                if node == sink:
+                    model.add_constraint(
+                        net == supply - f.remaining, name=f"snk[{rid}]"
+                    )
+                elif supply > 0.0:
+                    model.add_constraint(net == supply, name=f"sup[{rid},{node[0]}]")
+                else:
+                    model.add_constraint(
+                        net == 0.0, name=f"cons[{rid},{node[0]},{node[1]}]"
+                    )
+
+        for arc, users in arc_users.items():
+            if arc.capacity != float("inf"):
+                model.add_constraint(
+                    LinExpr.sum(users) <= arc.capacity,
+                    name=f"cap[{arc.src},{arc.dst},{arc.slot}]",
+                )
+
+        # Charge structure: history peaks are paid; the plan's per-slot
+        # loads set the new peaks (no other future commitments exist —
+        # the plan IS the future).
+        by_link: Dict[Tuple[int, int], Dict[int, List[Variable]]] = defaultdict(
+            lambda: defaultdict(list)
+        )
+        for arc, users in arc_users.items():
+            by_link[arc.link_key][arc.slot].extend(users)
+
+        objective_terms: List[Tuple[float, Variable]] = []
+        fixed_cost = 0.0
+        for link in self._state.topology.links:
+            prior = self._history_peak(link.src, link.dst, slot)
+            if link.key not in by_link:
+                fixed_cost += link.price * prior
+                continue
+            x = model.add_variable(f"X[{link.src},{link.dst}]", lb=prior)
+            for plan_slot, users in by_link[link.key].items():
+                model.add_constraint(
+                    x >= LinExpr.sum(users),
+                    name=f"chg[{link.src},{link.dst},{plan_slot}]",
+                )
+            objective_terms.append((link.price, x))
+
+        model.minimize(LinExpr.from_terms(objective_terms, constant=fixed_cost))
+        solution = model.solve(backend=self.backend)
+        self.last_objective = solution.objective
+        return {
+            key: solution.value(var)
+            for key, var in flow_vars.items()
+            if solution.value(var) > VOLUME_ATOL
+        }
+
+    def _future_residual(self, slot: int):
+        """Future capacities are raw link capacities (nothing is
+        committed ahead of time in the replanning model); the current
+        slot still honors fault models via the state."""
+
+        def capacity(src: int, dst: int, n: int) -> float:
+            if (
+                self._state.fault_model is not None
+                and self._state.fault_model.is_down(src, dst, n)
+            ):
+                return 0.0
+            return self._state.topology.link(src, dst).capacity
+
+        return capacity
+
+    def _history_peak(self, src: int, dst: int, slot: int) -> float:
+        """Peak volume actually executed before ``slot``."""
+        return self._state.ledger.peak_in_range(src, dst, 0, max(slot, 1))
+
+    # -- execution ----------------------------------------------------------
+
+    def _execute_slot(
+        self, slot: int, plan: Dict[Tuple[int, Arc], float]
+    ) -> TransferSchedule:
+        """Apply only the plan's slot-``t`` arcs; update supplies."""
+        entries: List[ScheduleEntry] = []
+        moved: Dict[int, Dict[int, float]] = defaultdict(lambda: defaultdict(float))
+
+        for (rid, arc), volume in plan.items():
+            if arc.slot != slot:
+                continue
+            entries.append(
+                ScheduleEntry(rid, arc.src, arc.dst, slot, volume, arc.kind)
+            )
+            if arc.kind is ArcKind.TRANSIT:
+                self._state.ledger.record(arc.src, arc.dst, slot, volume)
+                level = self._state.ledger.volume(arc.src, arc.dst, slot)
+                if level > self._state.charged_volume(arc.src, arc.dst):
+                    self._state._charged[(arc.src, arc.dst)] = level
+                moved[rid][arc.src] -= volume
+                moved[rid][arc.dst] += volume
+
+        by_id = {f.request.request_id: f for f in self.active}
+        for rid, deltas in moved.items():
+            f = by_id[rid]
+            for node, delta in deltas.items():
+                if node == f.request.destination and delta > 0:
+                    f.delivered += delta
+                else:
+                    f.supplies[node] = f.supplies.get(node, 0.0) + delta
+            f.supplies = {
+                node: volume
+                for node, volume in f.supplies.items()
+                if volume > VOLUME_ATOL
+            }
+            if f.remaining <= max(VOLUME_ATOL, 1e-9 * f.request.size_gb):
+                self._state.completions[rid] = slot
+            self._state.storage_used += sum(f.supplies.values())
+
+        return TransferSchedule(entries)

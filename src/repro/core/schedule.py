@@ -1,0 +1,308 @@
+"""Transfer schedules: the output of every scheduler.
+
+A schedule is a bag of :class:`ScheduleEntry` rows — "move (or hold)
+this volume of file ``k`` on link (i, j) during slot ``n``" — plus
+helpers to audit feasibility and aggregate per-link traffic.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.errors import SchedulingError
+from repro.timeexp.graph import ArcKind
+from repro.traffic.spec import TransferRequest
+from repro.units import VOLUME_ATOL
+
+LinkSlot = Tuple[int, int, int]  # (src, dst, slot)
+
+
+@dataclass(frozen=True)
+class ScheduleEntry:
+    """One scheduling decision.
+
+    ``kind`` distinguishes real transmissions (:attr:`ArcKind.TRANSIT`)
+    from temporary storage (:attr:`ArcKind.HOLDOVER`, where
+    ``src == dst``).  Only transit entries generate billable traffic.
+    """
+
+    request_id: int
+    src: int
+    dst: int
+    slot: int
+    volume: float
+    kind: ArcKind = ArcKind.TRANSIT
+
+    def __post_init__(self):
+        if self.volume < 0:
+            raise SchedulingError(
+                f"entry for file {self.request_id} has negative volume {self.volume}"
+            )
+        if (self.src == self.dst) != (self.kind is ArcKind.HOLDOVER):
+            raise SchedulingError(
+                f"entry ({self.src}->{self.dst}) kind {self.kind.value} is inconsistent"
+            )
+
+
+#: Store-and-forward semantics: data arriving at a node during slot n
+#: can leave no earlier than slot n+1 (the time-expanded-graph model).
+SEMANTICS_STORE_AND_FORWARD = "store_and_forward"
+#: Fluid semantics: data is relayed within the same slot it arrives
+#: (the flow-based model of Sec. II-B, where a file is a constant-rate
+#: flow along its paths).
+SEMANTICS_FLUID = "fluid"
+
+
+class TransferSchedule:
+    """A set of committed scheduling decisions for one or more files.
+
+    ``semantics`` declares which conservation law the schedule obeys —
+    store-and-forward (Postcard) or fluid (the flow-based baseline) —
+    and selects the matching feasibility audit in :meth:`validate`.
+    Billing, capacity accounting and delivery accounting are identical
+    under both.
+    """
+
+    def __init__(
+        self,
+        entries: Iterable[ScheduleEntry] = (),
+        semantics: str = SEMANTICS_STORE_AND_FORWARD,
+    ):
+        if semantics not in (SEMANTICS_STORE_AND_FORWARD, SEMANTICS_FLUID):
+            raise SchedulingError(f"unknown schedule semantics {semantics!r}")
+        self.semantics = semantics
+        self.entries: List[ScheduleEntry] = [
+            e for e in entries if e.volume > VOLUME_ATOL
+        ]
+
+    # -- aggregation -----------------------------------------------------
+
+    def transit_entries(self) -> List[ScheduleEntry]:
+        return [e for e in self.entries if e.kind is ArcKind.TRANSIT]
+
+    def holdover_entries(self) -> List[ScheduleEntry]:
+        return [e for e in self.entries if e.kind is ArcKind.HOLDOVER]
+
+    def link_slot_volumes(self) -> Dict[LinkSlot, float]:
+        """Aggregate billable volume per (src, dst, slot)."""
+        out: Dict[LinkSlot, float] = defaultdict(float)
+        for e in self.transit_entries():
+            out[(e.src, e.dst, e.slot)] += e.volume
+        return dict(out)
+
+    def storage_slot_volumes(self) -> Dict[Tuple[int, int], float]:
+        """Aggregate stored volume per (datacenter, slot)."""
+        out: Dict[Tuple[int, int], float] = defaultdict(float)
+        for e in self.holdover_entries():
+            out[(e.src, e.slot)] += e.volume
+        return dict(out)
+
+    def entries_for_request(self, request_id: int) -> List[ScheduleEntry]:
+        return [e for e in self.entries if e.request_id == request_id]
+
+    def total_transit_volume(self) -> float:
+        """Billable GB across all links and slots (hops count separately)."""
+        return sum(e.volume for e in self.transit_entries())
+
+    def total_storage_volume(self) -> float:
+        """GB-slots of storage used at intermediate datacenters."""
+        return sum(e.volume for e in self.holdover_entries())
+
+    def slots_used(self) -> List[int]:
+        return sorted({e.slot for e in self.entries})
+
+    def merge(self, other: "TransferSchedule") -> "TransferSchedule":
+        """A new schedule containing both sets of entries.
+
+        Merging mixed-semantics schedules is disallowed — the combined
+        object could not be audited consistently.
+        """
+        if other.semantics != self.semantics:
+            raise SchedulingError(
+                f"cannot merge {self.semantics} and {other.semantics} schedules"
+            )
+        return TransferSchedule(self.entries + other.entries, semantics=self.semantics)
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __bool__(self) -> bool:
+        return bool(self.entries)
+
+    # -- per-file accounting ------------------------------------------------
+
+    def delivered_volume(self, request: TransferRequest) -> float:
+        """GB of ``request`` that reach its destination (net inflow)."""
+        inflow = sum(
+            e.volume
+            for e in self.transit_entries()
+            if e.request_id == request.request_id and e.dst == request.destination
+        )
+        outflow = sum(
+            e.volume
+            for e in self.transit_entries()
+            if e.request_id == request.request_id and e.src == request.destination
+        )
+        return inflow - outflow
+
+    def completion_slot(self, request: TransferRequest) -> Optional[int]:
+        """Slot whose end sees the final byte delivered, or None.
+
+        This is the actual transfer time ``T'_k`` measured in slots:
+        ``completion_slot - release_slot + 1 <= deadline_slots`` must
+        hold for a deadline-feasible schedule.
+        """
+        arrivals: Dict[int, float] = defaultdict(float)
+        for e in self.transit_entries():
+            if e.request_id == request.request_id:
+                if e.dst == request.destination:
+                    arrivals[e.slot] += e.volume
+                if e.src == request.destination:
+                    arrivals[e.slot] -= e.volume
+        if not arrivals:
+            return None
+        cumulative = 0.0
+        for slot in sorted(arrivals):
+            cumulative += arrivals[slot]
+            if cumulative >= request.size_gb - max(VOLUME_ATOL, 1e-9 * request.size_gb):
+                return slot
+        return None
+
+    # -- auditing -----------------------------------------------------------
+
+    def validate(
+        self,
+        requests: List[TransferRequest],
+        capacity_fn=None,
+        atol: float = 1e-5,
+        require_full_delivery: bool = True,
+        deadline_slack: int = 0,
+    ) -> None:
+        """Raise :class:`SchedulingError` unless this schedule is feasible.
+
+        Checks, per file: delivery (full by default; partial schedules
+        from the bulk-throughput extension pass
+        ``require_full_delivery=False`` and are only checked for
+        over-delivery), deadline (no movement outside the window, which
+        implies on-time delivery given conservation), and flow
+        conservation at every intermediate time-expanded node.  Checks,
+        per link and slot: aggregate volume within
+        ``capacity_fn(src, dst, slot)`` when provided.
+        """
+        by_request = {r.request_id: r for r in requests}
+        for e in self.entries:
+            if e.request_id not in by_request:
+                raise SchedulingError(
+                    f"schedule references unknown file {e.request_id}"
+                )
+            req = by_request[e.request_id]
+            if not req.release_slot <= e.slot <= req.last_slot + deadline_slack:
+                raise SchedulingError(
+                    f"file {e.request_id} moves at slot {e.slot}, outside its "
+                    f"window [{req.release_slot}, {req.last_slot + deadline_slack}]"
+                )
+
+        for req in requests:
+            delivered = self.delivered_volume(req)
+            tol = max(atol, atol * req.size_gb)
+            if require_full_delivery and abs(delivered - req.size_gb) > tol:
+                raise SchedulingError(
+                    f"file {req.request_id} delivers {delivered:.6f} GB "
+                    f"of {req.size_gb:.6f} GB"
+                )
+            if delivered > req.size_gb + tol:
+                raise SchedulingError(
+                    f"file {req.request_id} over-delivers: {delivered:.6f} GB "
+                    f"of {req.size_gb:.6f} GB"
+                )
+            if self.semantics == SEMANTICS_STORE_AND_FORWARD:
+                self._check_conservation(req, atol, delivered)
+            else:
+                self._check_conservation_fluid(req, atol)
+
+        if capacity_fn is not None:
+            for (src, dst, slot), volume in self.link_slot_volumes().items():
+                cap = capacity_fn(src, dst, slot)
+                if volume > cap + max(atol, atol * max(1.0, cap)):
+                    raise SchedulingError(
+                        f"link ({src},{dst}) carries {volume:.6f} GB at slot "
+                        f"{slot}, over capacity {cap:.6f}"
+                    )
+
+    def _check_conservation(
+        self, request: TransferRequest, atol: float, delivered: Optional[float] = None
+    ) -> None:
+        """Flow conservation for one file at every time-expanded node.
+
+        ``delivered`` overrides the expected source emission for
+        partial-delivery schedules (bulk throughput); by default the
+        whole file must leave the source.
+        """
+        emitted = request.size_gb if delivered is None else delivered
+        balance: Dict[Tuple[int, int], float] = defaultdict(float)
+        for e in self.entries_for_request(request.request_id):
+            balance[(e.src, e.slot)] -= e.volume       # leaves tail node
+            balance[(e.dst, e.slot + 1)] += e.volume   # enters head node
+        source = (request.source, request.release_slot)
+        tol = max(atol, atol * request.size_gb)
+        for node, net in balance.items():
+            if node == source:
+                expected = -emitted
+            elif node[0] == request.destination:
+                # Arrival nodes at the destination absorb flow; partial
+                # arrivals across several slots are each non-negative.
+                if net < -tol:
+                    raise SchedulingError(
+                        f"file {request.request_id}: destination node {node} "
+                        f"re-emits {-net:.6f} GB"
+                    )
+                continue
+            else:
+                expected = 0.0
+            if abs(net - expected) > tol:
+                raise SchedulingError(
+                    f"file {request.request_id}: conservation violated at "
+                    f"node {node}: net {net:.6f}, expected {expected:.6f}"
+                )
+
+    def _check_conservation_fluid(self, request: TransferRequest, atol: float) -> None:
+        """Fluid conservation: within every slot, each intermediate node
+        relays exactly what it receives; the source only emits and the
+        destination only absorbs."""
+        net_out: Dict[Tuple[int, int], float] = defaultdict(float)
+        for e in self.entries_for_request(request.request_id):
+            if e.kind is ArcKind.HOLDOVER:
+                raise SchedulingError(
+                    f"file {request.request_id}: fluid schedules cannot "
+                    "contain holdover entries"
+                )
+            net_out[(e.src, e.slot)] += e.volume
+            net_out[(e.dst, e.slot)] -= e.volume
+        tol = max(atol, atol * request.size_gb)
+        for (node, slot), net in net_out.items():
+            if node == request.source:
+                if net < -tol:
+                    raise SchedulingError(
+                        f"file {request.request_id}: source absorbs "
+                        f"{-net:.6f} GB at slot {slot}"
+                    )
+            elif node == request.destination:
+                if net > tol:
+                    raise SchedulingError(
+                        f"file {request.request_id}: destination emits "
+                        f"{net:.6f} GB at slot {slot}"
+                    )
+            elif abs(net) > tol:
+                raise SchedulingError(
+                    f"file {request.request_id}: fluid conservation violated "
+                    f"at node {node}, slot {slot}: net {net:.6f}"
+                )
+
+    def __repr__(self) -> str:
+        return (
+            f"TransferSchedule(semantics={self.semantics!r}, "
+            f"entries={len(self.entries)}, "
+            f"transit_gb={self.total_transit_volume():.3f})"
+        )

@@ -1,0 +1,144 @@
+"""The online Postcard controller."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.errors import InfeasibleError, SchedulingError
+from repro.core.formulation import STORAGE_FULL, build_postcard_model
+from repro.core.interfaces import Scheduler
+from repro.core.schedule import TransferSchedule
+from repro.core.state import NetworkState
+from repro.net.topology import Topology
+from repro.traffic.spec import TransferRequest
+
+#: What to do when a slot's files cannot all meet their deadlines.
+ON_INFEASIBLE_RAISE = "raise"
+ON_INFEASIBLE_DROP = "drop"
+
+
+def shed_until_feasible(solve_fn, requests, state):
+    """Drop files until ``solve_fn(accepted)`` succeeds.
+
+    Two-stage policy shared by all optimizing schedulers:
+
+    1. Files that are infeasible *alone* (e.g. a deadline shorter than
+       any admissible path) are dropped first — no amount of shedding
+       other traffic can save them.
+    2. If the set is still jointly infeasible (congestion), shed the
+       most capacity-hungry file (largest desired rate, ties by size)
+       one at a time.
+
+    Dropped files are recorded via ``state.reject``.  Returns
+    ``(schedule_or_None, accepted)``; ``None`` means everything was
+    shed.
+    """
+    accepted = list(requests)
+    try:
+        return solve_fn(accepted), accepted
+    except InfeasibleError:
+        pass
+
+    lonely_feasible = []
+    for request in accepted:
+        try:
+            solve_fn([request])
+            lonely_feasible.append(request)
+        except InfeasibleError:
+            state.reject(request)
+    accepted = lonely_feasible
+
+    while accepted:
+        try:
+            return solve_fn(accepted), accepted
+        except InfeasibleError:
+            victim = max(accepted, key=lambda r: (r.desired_rate, r.size_gb))
+            accepted.remove(victim)
+            state.reject(victim)
+    return None, []
+
+
+class PostcardScheduler(Scheduler):
+    """Runs the Sec. V optimization every slot and commits the result.
+
+    Parameters
+    ----------
+    topology:
+        The inter-datacenter network.
+    horizon:
+        Number of slots in the charging period (for billing).
+    backend:
+        LP backend name (``"highs"`` by default).
+    storage:
+        ``"full"`` or ``"destination_only"`` (ablation; see
+        :func:`~repro.core.formulation.build_postcard_model`).
+    on_infeasible:
+        ``"raise"`` propagates :class:`InfeasibleError`;  ``"drop"``
+        greedily rejects the most capacity-hungry files (largest
+        ``size/deadline``) until the rest fit, recording rejects in
+        ``state.rejected``.
+    """
+
+    name = "postcard"
+
+    def __init__(
+        self,
+        topology: Topology,
+        horizon: int,
+        backend: str = "highs",
+        storage: str = STORAGE_FULL,
+        on_infeasible: str = ON_INFEASIBLE_RAISE,
+        storage_capacity: float = float("inf"),
+        storage_price: float = 0.0,
+        cost_fn_factory=None,
+    ):
+        if on_infeasible not in (ON_INFEASIBLE_RAISE, ON_INFEASIBLE_DROP):
+            raise SchedulingError(f"unknown on_infeasible policy {on_infeasible!r}")
+        self._state = NetworkState(topology, horizon)
+        self.backend = backend
+        self.storage = storage
+        self.on_infeasible = on_infeasible
+        self.storage_capacity = storage_capacity
+        self.storage_price = storage_price
+        self.cost_fn_factory = cost_fn_factory
+        #: objective value of the last solved slot (cost per interval).
+        self.last_objective: Optional[float] = None
+
+    @property
+    def state(self) -> NetworkState:
+        return self._state
+
+    def on_slot(self, slot: int, requests: List[TransferRequest]) -> TransferSchedule:
+        if not requests:
+            return TransferSchedule()
+        for request in requests:
+            if request.release_slot != slot:
+                raise SchedulingError(
+                    f"file {request.request_id} released at "
+                    f"{request.release_slot}, scheduled at {slot}"
+                )
+
+        if self.on_infeasible == ON_INFEASIBLE_RAISE:
+            schedule, accepted = self._solve(requests), list(requests)
+        else:
+            schedule, accepted = shed_until_feasible(
+                self._solve, requests, self._state
+            )
+            if schedule is None:
+                return TransferSchedule()
+
+        self._state.commit(schedule, accepted)
+        return schedule
+
+    def _solve(self, requests: List[TransferRequest]) -> TransferSchedule:
+        built = build_postcard_model(
+            self._state,
+            requests,
+            storage=self.storage,
+            storage_capacity=self.storage_capacity,
+            storage_price=self.storage_price,
+            cost_fn_factory=self.cost_fn_factory,
+        )
+        schedule, solution = built.solve(backend=self.backend)
+        self.last_objective = solution.objective
+        return schedule

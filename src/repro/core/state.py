@@ -1,0 +1,180 @@
+"""The online controller's view of the network at time t.
+
+Because Postcard is online, each slot's optimization must respect what
+earlier slots already committed: future link capacity consumed by
+in-flight transfers, and the charged volume ``X_ij(t-1)`` each link has
+already accumulated (traffic up to that peak is "already paid" for the
+rest of the charging period).  :class:`NetworkState` tracks both, on top
+of a :class:`~repro.charging.ledger.TrafficLedger`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import SchedulingError
+from repro.charging.ledger import TrafficLedger
+from repro.charging.schemes import ChargingScheme
+from repro.core.schedule import TransferSchedule
+from repro.net.topology import LinkKey, Topology
+from repro.traffic.spec import TransferRequest
+
+
+class NetworkState:
+    """Committed traffic, paid volumes, and completion records."""
+
+    def __init__(self, topology: Topology, horizon: int):
+        self.topology = topology
+        self.horizon = horizon
+        self.ledger = TrafficLedger(topology, horizon)
+        #: X_ij(t-1): the running per-link peak slot volume, including
+        #: volumes committed to *future* slots by in-flight transfers.
+        self._charged: Dict[LinkKey, float] = {
+            link.key: 0.0 for link in topology.links
+        }
+        #: Completed requests: request_id -> completion slot.
+        self.completions: Dict[int, int] = {}
+        #: Requests that could not be scheduled (dropped by policy).
+        self.rejected: List[TransferRequest] = []
+        #: GB-slots of intermediate storage committed so far.
+        self.storage_used: float = 0.0
+        #: Optional :class:`repro.sim.faults.FaultModel`; downed
+        #: link-slots report zero residual capacity, so every scheduler
+        #: transparently routes around visible outages.
+        self.fault_model = None
+        #: Slot at which the current charging period began.
+        self.period_start: int = 0
+        #: Bills of completed charging periods (dollars each).
+        self.banked_period_bills: List[float] = []
+
+    # -- inputs to the optimizer -----------------------------------------
+
+    def charged_volume(self, src: int, dst: int) -> float:
+        """X_ij(t-1) for one link."""
+        return self._charged[(src, dst)]
+
+    def charged_snapshot(self) -> Dict[LinkKey, float]:
+        return dict(self._charged)
+
+    def committed_volume(self, src: int, dst: int, slot: int) -> float:
+        """B_ij(n): volume already committed on (src, dst) at slot n."""
+        return self.ledger.volume(src, dst, slot)
+
+    def residual_capacity(self, src: int, dst: int, slot: int) -> float:
+        """Capacity left for new traffic on (src, dst) during slot n
+        (zero while the link is down, if a fault model is attached)."""
+        if self.fault_model is not None and self.fault_model.is_down(src, dst, slot):
+            return 0.0
+        return self.ledger.residual_capacity(src, dst, slot)
+
+    def paid_headroom(self, src: int, dst: int, slot: int) -> float:
+        """Volume (src, dst) can carry at slot n *free of extra charge*:
+        up to the already-paid peak, bounded by residual capacity."""
+        free = self._charged[(src, dst)] - self.committed_volume(src, dst, slot)
+        return max(0.0, min(free, self.residual_capacity(src, dst, slot)))
+
+    def current_cost_per_slot(self) -> float:
+        """Sum of a_ij * X_ij(t-1): the bill per interval if nothing
+        further is sent this period."""
+        return sum(
+            link.price * self._charged[link.key] for link in self.topology.links
+        )
+
+    # -- committing decisions ----------------------------------------------
+
+    def commit(
+        self,
+        schedule: TransferSchedule,
+        requests: List[TransferRequest],
+        validate: bool = True,
+    ) -> None:
+        """Apply a schedule: record traffic, update X_ij, log completions.
+
+        With ``validate=True`` (default) the schedule is audited against
+        per-slot residual capacities *before* anything is recorded, so a
+        failed commit leaves the state untouched.
+        """
+        if validate:
+            schedule.validate(requests, capacity_fn=self.residual_capacity)
+
+        for (src, dst, slot), volume in schedule.link_slot_volumes().items():
+            self.ledger.record(src, dst, slot, volume)
+            new_level = self.ledger.volume(src, dst, slot)
+            if new_level > self._charged[(src, dst)]:
+                self._charged[(src, dst)] = new_level
+
+        self.storage_used += schedule.total_storage_volume()
+
+        for request in requests:
+            completion = schedule.completion_slot(request)
+            if completion is None:
+                raise SchedulingError(
+                    f"commit: file {request.request_id} is not delivered "
+                    "by the schedule"
+                )
+            self.completions[request.request_id] = completion
+
+    def reject(self, request: TransferRequest) -> None:
+        """Record a file the scheduling policy chose to drop."""
+        self.rejected.append(request)
+
+    def preview_cost(self, schedule: TransferSchedule) -> float:
+        """Cost per slot if ``schedule`` were committed — without
+        committing it.
+
+        Answers the operator's "what would this plan do to the bill?"
+        question: for every link the new peak is
+        ``max(X_ij(t-1), max_n (B_ij(n) + schedule load))``.
+        """
+        peaks = dict(self._charged)
+        for (src, dst, slot), volume in schedule.link_slot_volumes().items():
+            level = self.committed_volume(src, dst, slot) + volume
+            if level > peaks[(src, dst)]:
+                peaks[(src, dst)] = level
+        return sum(
+            link.price * peaks[link.key] for link in self.topology.links
+        )
+
+    # -- billing -----------------------------------------------------------
+
+    def start_new_period(self, boundary_slot: int) -> float:
+        """Close the charging period ending at ``boundary_slot``.
+
+        The closed period's bill (max-charging over its own samples) is
+        banked and returned.  Crucially, the paid peaks **expire**: the
+        new period's charged volumes ``X_ij`` restart at the largest
+        volume already committed to slots at or after the boundary by
+        in-flight transfers — nothing else is free anymore.
+        """
+        if boundary_slot <= self.period_start:
+            raise SchedulingError(
+                f"period boundary {boundary_slot} does not advance past "
+                f"{self.period_start}"
+            )
+        bill = self.ledger.period_cost(self.period_start, boundary_slot)
+        self.banked_period_bills.append(bill)
+        self.period_start = boundary_slot
+        for link in self.topology.links:
+            self._charged[link.key] = self.ledger.peak_in_range(
+                link.src, link.dst, boundary_slot, boundary_slot + self.horizon
+            )
+        return bill
+
+    def cost_per_slot(self, scheme: Optional[ChargingScheme] = None) -> float:
+        """Average billed cost per slot from the ledger's samples.
+
+        Default scheme is the paper's 100-th percentile, under which
+        this equals :meth:`current_cost_per_slot` once all committed
+        slots lie inside the charging period.
+        """
+        return self.ledger.cost_per_slot(scheme)
+
+    def total_cost(self, scheme: Optional[ChargingScheme] = None) -> float:
+        return self.ledger.total_cost(scheme)
+
+    def __repr__(self) -> str:
+        return (
+            f"NetworkState(completions={len(self.completions)}, "
+            f"rejected={len(self.rejected)}, "
+            f"cost_per_slot={self.current_cost_per_slot():.3f})"
+        )

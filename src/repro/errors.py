@@ -1,0 +1,61 @@
+"""Exception hierarchy for the Postcard reproduction.
+
+Every error raised on purpose by this library derives from
+:class:`ReproError`, so callers can catch one type to handle any
+library-level failure while still letting programming errors propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class ModelError(ReproError):
+    """An optimization model was built or used inconsistently.
+
+    Examples: adding a constraint that references a variable from a
+    different model, or asking for the value of a variable before the
+    model has been solved.
+    """
+
+
+class SolverError(ReproError):
+    """A solver backend failed to produce a usable answer."""
+
+
+class InfeasibleError(SolverError):
+    """The optimization problem admits no feasible point.
+
+    For Postcard this typically means the requested transfers cannot all
+    meet their deadlines under the residual link capacities.
+    """
+
+    def __init__(self, message: str = "problem is infeasible", *, detail: str = ""):
+        super().__init__(message)
+        self.detail = detail
+
+
+class UnboundedError(SolverError):
+    """The optimization problem is unbounded below (for minimization)."""
+
+
+class TopologyError(ReproError):
+    """An inter-datacenter topology was specified inconsistently."""
+
+
+class ChargingError(ReproError):
+    """A charging scheme or cost function was used incorrectly."""
+
+
+class WorkloadError(ReproError):
+    """A transfer request or workload generator was invalid."""
+
+
+class SchedulingError(ReproError):
+    """A scheduler produced or was given an inconsistent schedule."""
+
+
+class SimulationError(ReproError):
+    """The simulation engine detected an internal inconsistency."""

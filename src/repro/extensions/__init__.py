@@ -1,0 +1,27 @@
+"""Sec. VI: other problems the time-expansion approach solves.
+
+* :mod:`repro.extensions.bulk` — NetStitcher-style bulk backhaul:
+  maximize delivered volume using only leftover, already-paid
+  bandwidth (objective (11)), generalized from Laoutaris et al.'s
+  single file to multiple files with individual deadlines.
+* :mod:`repro.extensions.budget` — given a budget on traffic costs,
+  maximize the number of files transferred.
+* :mod:`repro.extensions.percentile` — a q < 100 percentile-aware
+  scheduler that spends each link's free burst slots (beyond the
+  paper, which fixes q = 100 for tractability).
+"""
+
+from repro.extensions.bulk import BulkTransferResult, maximize_bulk_throughput
+from repro.extensions.budget import BudgetResult, maximize_transfers_under_budget
+from repro.extensions.percentile import PercentileAwareScheduler
+from repro.extensions.multicast import MulticastResult, solve_multicast
+
+__all__ = [
+    "MulticastResult",
+    "solve_multicast",
+    "BulkTransferResult",
+    "maximize_bulk_throughput",
+    "BudgetResult",
+    "maximize_transfers_under_budget",
+    "PercentileAwareScheduler",
+]

@@ -1,0 +1,160 @@
+"""A percentile-aware extension of the Postcard scheduler.
+
+The paper fixes q = 100 for tractability: under peak billing, every
+slot's volume matters and the max-epigraph objective is exact.  Real
+ISPs bill the 95-th percentile, under which the busiest
+``(1 - q/100) * horizon`` slots of each link are *free* — an optimizer
+that knows this can deliberately burst a few times per period at no
+cost.  Exact q-percentile optimization is non-convex (choosing which
+slots to sacrifice is combinatorial), so this module implements the
+natural greedy heuristic on top of the Postcard LP:
+
+* each link has a *burst budget* of ``floor((1 - q/100) * horizon)``
+  slots for the charging period;
+* the charged volume fed to the LP excludes already-amnestied slots;
+* per round, the LP is solved once, and if a link's bill rose, its
+  peak slot of this round is amnestied (budget permitting) and the LP
+  re-solved once with that slot's charge row removed.
+
+With q = 100 the budget is zero and the scheduler is exactly
+:class:`~repro.core.scheduler.PostcardScheduler`.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.errors import SchedulingError
+from repro.charging.schemes import PercentileCharging
+from repro.core.formulation import build_postcard_model
+from repro.core.interfaces import Scheduler
+from repro.core.schedule import TransferSchedule
+from repro.core.scheduler import (
+    ON_INFEASIBLE_DROP,
+    ON_INFEASIBLE_RAISE,
+    shed_until_feasible,
+)
+from repro.core.state import NetworkState
+from repro.net.topology import LinkKey, Topology
+from repro.traffic.spec import TransferRequest
+from repro.units import VOLUME_ATOL
+
+
+class PercentileAwareScheduler(Scheduler):
+    """Online Postcard that spends each link's free burst slots."""
+
+    name = "postcard-percentile"
+
+    def __init__(
+        self,
+        topology: Topology,
+        horizon: int,
+        q: float = 95.0,
+        backend: str = "highs",
+        on_infeasible: str = ON_INFEASIBLE_RAISE,
+    ):
+        if not 0 < q <= 100:
+            raise SchedulingError(f"percentile must be in (0, 100], got {q}")
+        if on_infeasible not in (ON_INFEASIBLE_RAISE, ON_INFEASIBLE_DROP):
+            raise SchedulingError(f"unknown on_infeasible policy {on_infeasible!r}")
+        self._state = NetworkState(topology, horizon)
+        self.q = float(q)
+        self.backend = backend
+        self.on_infeasible = on_infeasible
+        #: Free burst slots per link for the whole charging period:
+        #: exactly the samples strictly above the charged index of the
+        #: q-th percentile scheme (matches the ledger's billing).
+        from repro.units import percentile_slot_index
+
+        self.burst_budget = horizon - 1 - percentile_slot_index(q, horizon)
+        #: Amnestied (free) slots per link.
+        self.amnesty: Dict[LinkKey, Set[int]] = defaultdict(set)
+        self.last_objective: Optional[float] = None
+
+    @property
+    def state(self) -> NetworkState:
+        return self._state
+
+    # -- accounting that ignores amnestied slots ------------------------
+
+    def effective_charged_volume(self, src: int, dst: int) -> float:
+        """Peak recorded volume over non-amnestied slots of (src, dst)."""
+        usage = self._state.ledger._usage[(src, dst)]
+        free = self.amnesty[(src, dst)]
+        return max(
+            (v for slot, v in usage.volumes.items() if slot not in free),
+            default=0.0,
+        )
+
+    def billed_cost_per_slot(self) -> float:
+        """The real q-percentile bill of everything recorded so far."""
+        return self._state.ledger.cost_per_slot(PercentileCharging(self.q))
+
+    def remaining_budget(self, src: int, dst: int) -> int:
+        return self.burst_budget - len(self.amnesty[(src, dst)])
+
+    # -- the online loop ----------------------------------------------------
+
+    def on_slot(self, slot: int, requests: List[TransferRequest]) -> TransferSchedule:
+        if not requests:
+            return TransferSchedule()
+        for request in requests:
+            if request.release_slot != slot:
+                raise SchedulingError(
+                    f"file {request.request_id} released at "
+                    f"{request.release_slot}, scheduled at {slot}"
+                )
+
+        if self.on_infeasible == ON_INFEASIBLE_RAISE:
+            schedule, accepted = self._solve_with_amnesty(requests), list(requests)
+        else:
+            schedule, accepted = shed_until_feasible(
+                self._solve_with_amnesty, requests, self._state
+            )
+            if schedule is None:
+                return TransferSchedule()
+
+        self._state.commit(schedule, accepted)
+        return schedule
+
+    def _solve_once(self, requests: List[TransferRequest]):
+        built = build_postcard_model(
+            self._state,
+            requests,
+            charge_exempt=lambda s, d, n: n in self.amnesty[(s, d)],
+            charged_volume_fn=self.effective_charged_volume,
+        )
+        return built.solve(backend=self.backend)
+
+    def _solve_with_amnesty(
+        self, requests: List[TransferRequest]
+    ) -> TransferSchedule:
+        schedule, solution = self._solve_once(requests)
+        self.last_objective = solution.objective
+
+        # Did any link's (effective) bill rise?  If so, amnesty its
+        # peak slot of this round and re-solve once.
+        granted = False
+        loads: Dict[Tuple[LinkKey, int], float] = defaultdict(float)
+        for (src, dst, n), volume in schedule.link_slot_volumes().items():
+            loads[((src, dst), n)] += volume
+        peak_by_link: Dict[LinkKey, Tuple[float, int]] = {}
+        for (key, n), volume in loads.items():
+            total = volume + self._state.committed_volume(key[0], key[1], n)
+            if key not in peak_by_link or total > peak_by_link[key][0]:
+                peak_by_link[key] = (total, n)
+        for key, (total, n) in peak_by_link.items():
+            before = self.effective_charged_volume(*key)
+            if (
+                total > before + VOLUME_ATOL
+                and self.remaining_budget(*key) > 0
+                and n not in self.amnesty[key]
+            ):
+                self.amnesty[key].add(n)
+                granted = True
+
+        if granted:
+            schedule, solution = self._solve_once(requests)
+            self.last_objective = solution.objective
+        return schedule

@@ -1,0 +1,36 @@
+"""The flow-based baseline of Sec. II-B.
+
+Storage at intermediate datacenters is eliminated: every file becomes a
+constant-rate *flow* at its desired rate ``r_k = F_k / T_k`` (GB/slot),
+routed — possibly split over several multi-hop paths — on the static
+overlay graph for the ``T_k`` slots of its window.
+
+Two solution strategies are provided:
+
+* :func:`~repro.flowbased.model.build_flow_model` — the exact LP for
+  the flow-based cost minimization (same percentile objective as
+  Postcard, no storage);
+* :func:`~repro.flowbased.two_phase.solve_two_phase` — the paper's
+  decomposition: a maximum concurrent flow over already-paid headroom,
+  then a minimum-cost multicommodity flow for the remainder.
+"""
+
+from repro.flowbased.model import FlowModel, build_flow_model
+from repro.flowbased.two_phase import solve_two_phase
+from repro.flowbased.colgen import ColGenResult, solve_flow_column_generation
+from repro.flowbased.scheduler import (
+    VARIANT_LP,
+    VARIANT_TWO_PHASE,
+    FlowBasedScheduler,
+)
+
+__all__ = [
+    "FlowModel",
+    "build_flow_model",
+    "solve_two_phase",
+    "FlowBasedScheduler",
+    "VARIANT_LP",
+    "VARIANT_TWO_PHASE",
+    "ColGenResult",
+    "solve_flow_column_generation",
+]

@@ -1,0 +1,93 @@
+"""The flow-based online scheduler (the paper's comparison point)."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.errors import InfeasibleError, SchedulingError
+from repro.core.interfaces import Scheduler
+from repro.core.schedule import TransferSchedule
+from repro.core.state import NetworkState
+from repro.flowbased.model import build_flow_model
+from repro.flowbased.two_phase import solve_two_phase
+from repro.net.topology import Topology
+from repro.traffic.spec import TransferRequest
+
+VARIANT_LP = "lp"
+VARIANT_TWO_PHASE = "two_phase"
+
+ON_INFEASIBLE_RAISE = "raise"
+ON_INFEASIBLE_DROP = "drop"
+
+
+class FlowBasedScheduler(Scheduler):
+    """Routes each slot's files as constant-rate multipath flows.
+
+    ``variant`` selects the exact LP (``"lp"``) or the paper's two-phase
+    decomposition (``"two_phase"``).  Infeasibility handling mirrors
+    :class:`~repro.core.scheduler.PostcardScheduler`.
+    """
+
+    name = "flow-based"
+
+    def __init__(
+        self,
+        topology: Topology,
+        horizon: int,
+        backend: str = "highs",
+        variant: str = VARIANT_LP,
+        on_infeasible: str = ON_INFEASIBLE_RAISE,
+    ):
+        if variant not in (VARIANT_LP, VARIANT_TWO_PHASE):
+            raise SchedulingError(f"unknown flow-based variant {variant!r}")
+        if on_infeasible not in (ON_INFEASIBLE_RAISE, ON_INFEASIBLE_DROP):
+            raise SchedulingError(f"unknown on_infeasible policy {on_infeasible!r}")
+        self._state = NetworkState(topology, horizon)
+        self.backend = backend
+        self.variant = variant
+        self.on_infeasible = on_infeasible
+        self.last_objective: Optional[float] = None
+        #: lambda of the last two-phase solve (None for the LP variant).
+        self.last_lambda: Optional[float] = None
+
+    @property
+    def state(self) -> NetworkState:
+        return self._state
+
+    def on_slot(self, slot: int, requests: List[TransferRequest]) -> TransferSchedule:
+        if not requests:
+            return TransferSchedule()
+        for request in requests:
+            if request.release_slot != slot:
+                raise SchedulingError(
+                    f"file {request.request_id} released at "
+                    f"{request.release_slot}, scheduled at {slot}"
+                )
+
+        if self.on_infeasible == ON_INFEASIBLE_RAISE:
+            schedule, accepted = self._solve(requests), list(requests)
+        else:
+            from repro.core.scheduler import shed_until_feasible
+
+            schedule, accepted = shed_until_feasible(
+                self._solve, requests, self._state
+            )
+            if schedule is None:
+                return TransferSchedule()
+
+        self._state.commit(schedule, accepted)
+        return schedule
+
+    def _solve(self, requests: List[TransferRequest]) -> TransferSchedule:
+        if self.variant == VARIANT_LP:
+            built = build_flow_model(self._state, requests)
+            schedule, solution = built.solve(backend=self.backend)
+            self.last_objective = solution.objective
+            self.last_lambda = None
+        else:
+            schedule, lam, phase2_cost = solve_two_phase(
+                self._state, requests, backend=self.backend
+            )
+            self.last_objective = phase2_cost
+            self.last_lambda = lam
+        return schedule

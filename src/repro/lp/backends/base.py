@@ -1,0 +1,23 @@
+"""Backend interface shared by all LP solvers."""
+
+from __future__ import annotations
+
+import abc
+
+from repro.lp.model import Model
+from repro.lp.result import Solution
+
+
+class Backend(abc.ABC):
+    """A solver capable of optimizing a compiled linear program."""
+
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def solve(self, model: Model, **options) -> Solution:
+        """Solve ``model`` and return a :class:`Solution`.
+
+        Implementations must not raise on infeasible/unbounded problems;
+        they report it through :attr:`Solution.status` and let the model
+        layer turn it into typed exceptions.
+        """

@@ -1,0 +1,122 @@
+"""Compile a Model to sparse standard form.
+
+The compiled form matches what :func:`scipy.optimize.linprog` expects:
+
+    minimize    c @ x + c0
+    subject to  A_ub @ x <= b_ub
+                A_eq @ x == b_eq
+                bounds[i][0] <= x[i] <= bounds[i][1]
+
+Maximization is handled by negating ``c`` and flipping the sign of the
+reported objective, so backends only ever minimize.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+from scipy import sparse
+
+from repro.lp.constraint import Sense
+from repro.lp.model import Model
+
+
+@dataclass
+class CompiledProblem:
+    """Sparse standard-form LP data extracted from a :class:`Model`."""
+
+    c: np.ndarray
+    c0: float
+    a_ub: sparse.csr_matrix
+    b_ub: np.ndarray
+    a_eq: sparse.csr_matrix
+    b_eq: np.ndarray
+    bounds: List[Tuple[float, float]]
+    maximize: bool
+    #: One entry per model constraint, in order: ("ub"|"eq", row, sign).
+    #: ``sign`` is -1 for GE constraints (negated into LE rows), so a
+    #: model-level dual is ``sign * marginal`` of the compiled row.
+    row_map: List[Tuple[str, int, float]] = None
+
+    @property
+    def num_variables(self) -> int:
+        return self.c.shape[0]
+
+    @property
+    def num_inequalities(self) -> int:
+        return self.a_ub.shape[0]
+
+    @property
+    def num_equalities(self) -> int:
+        return self.a_eq.shape[0]
+
+
+def compile_model(model: Model) -> CompiledProblem:
+    """Lower a :class:`Model` into :class:`CompiledProblem` matrices.
+
+    ``GE`` constraints are negated into ``LE`` rows; constraint constants
+    move to the right-hand side.
+    """
+    n = model.num_variables
+
+    c = np.zeros(n)
+    for idx, coef in model.objective.coeffs.items():
+        c[idx] = coef
+    c0 = model.objective.constant
+    if not model.sense_minimize:
+        c = -c
+
+    ub_rows: List[int] = []
+    ub_cols: List[int] = []
+    ub_data: List[float] = []
+    b_ub: List[float] = []
+    eq_rows: List[int] = []
+    eq_cols: List[int] = []
+    eq_data: List[float] = []
+    b_eq: List[float] = []
+
+    row_map: List[Tuple[str, int, float]] = []
+    for con in model.constraints:
+        expr = con.expr
+        if con.sense is Sense.EQ:
+            row = len(b_eq)
+            for idx, coef in expr.coeffs.items():
+                if coef != 0.0:
+                    eq_rows.append(row)
+                    eq_cols.append(idx)
+                    eq_data.append(coef)
+            b_eq.append(-expr.constant)
+            row_map.append(("eq", row, 1.0))
+        else:
+            flip = -1.0 if con.sense is Sense.GE else 1.0
+            row = len(b_ub)
+            for idx, coef in expr.coeffs.items():
+                if coef != 0.0:
+                    ub_rows.append(row)
+                    ub_cols.append(idx)
+                    ub_data.append(flip * coef)
+            b_ub.append(flip * -expr.constant)
+            row_map.append(("ub", row, flip))
+
+    a_ub = sparse.csr_matrix(
+        (ub_data, (ub_rows, ub_cols)), shape=(len(b_ub), n), dtype=float
+    )
+    a_eq = sparse.csr_matrix(
+        (eq_data, (eq_rows, eq_cols)), shape=(len(b_eq), n), dtype=float
+    )
+
+    bounds = [(var.lb, var.ub) for var in model.variables]
+
+    return CompiledProblem(
+        c=c,
+        c0=c0,
+        a_ub=a_ub,
+        b_ub=np.asarray(b_ub, dtype=float),
+        a_eq=a_eq,
+        b_eq=np.asarray(b_eq, dtype=float),
+        bounds=bounds,
+        maximize=not model.sense_minimize,
+        row_map=row_map,
+    )

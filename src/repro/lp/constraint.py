@@ -1,0 +1,47 @@
+"""Linear constraints produced by comparing expressions."""
+
+from __future__ import annotations
+
+import enum
+
+from repro.lp.expr import LinExpr
+
+
+class Sense(enum.Enum):
+    """Direction of a linear constraint."""
+
+    LE = "<="
+    GE = ">="
+    EQ = "=="
+
+
+class Constraint:
+    """A linear constraint in normalized form ``expr (sense) 0``.
+
+    ``expr`` holds all variable terms and the constant moved to the left
+    side, so the constraint reads ``expr.coeffs . x + expr.constant <= 0``
+    (or ``>=``/``==``).  Constraints are created by comparison operators
+    on :class:`~repro.lp.expr.LinExpr` / :class:`~repro.lp.expr.Variable`
+    and registered with :meth:`repro.lp.Model.add_constraint`.
+    """
+
+    __slots__ = ("expr", "sense", "name")
+
+    def __init__(self, expr: LinExpr, sense: Sense, name: str = ""):
+        self.expr = expr
+        self.sense = sense
+        self.name = name
+
+    @property
+    def rhs(self) -> float:
+        """Right-hand side when the constant is moved back to the right."""
+        return -self.expr.constant
+
+    def __bool__(self) -> bool:
+        # Guards against `if x == y:` silently truthy-testing a Constraint.
+        raise TypeError(
+            "a Constraint has no truth value; pass it to Model.add_constraint()"
+        )
+
+    def __repr__(self) -> str:
+        return f"Constraint({self.expr!r} {self.sense.value} 0, name={self.name!r})"

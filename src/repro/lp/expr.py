@@ -1,0 +1,250 @@
+"""Linear expressions over model variables.
+
+A :class:`Variable` is a handle created by :meth:`repro.lp.Model.add_variable`.
+Arithmetic on variables produces :class:`LinExpr` objects — sparse maps
+from variable index to coefficient plus a constant term.  Comparison
+operators (``<=``, ``>=``, ``==``) produce constraints.
+"""
+
+from __future__ import annotations
+
+import numbers
+from typing import Dict, Iterable, Mapping, Tuple, Union
+
+from repro.errors import ModelError
+
+Scalar = Union[int, float]
+ExprLike = Union["Variable", "LinExpr", Scalar]
+
+
+class Variable:
+    """A decision variable belonging to one :class:`~repro.lp.Model`.
+
+    Variables compare by identity; their :attr:`index` is the column in
+    the compiled problem.  Do not instantiate directly — use
+    :meth:`Model.add_variable`.
+    """
+
+    __slots__ = ("name", "index", "lb", "ub", "_model_id")
+
+    def __init__(self, name: str, index: int, lb: float, ub: float, model_id: int):
+        self.name = name
+        self.index = index
+        self.lb = lb
+        self.ub = ub
+        self._model_id = model_id
+
+    def as_expr(self) -> "LinExpr":
+        """This variable as a one-term linear expression."""
+        return LinExpr({self.index: 1.0}, 0.0, self._model_id)
+
+    # -- arithmetic ---------------------------------------------------
+
+    def __add__(self, other: ExprLike) -> "LinExpr":
+        return self.as_expr() + other
+
+    def __radd__(self, other: ExprLike) -> "LinExpr":
+        return self.as_expr() + other
+
+    def __sub__(self, other: ExprLike) -> "LinExpr":
+        return self.as_expr() - other
+
+    def __rsub__(self, other: ExprLike) -> "LinExpr":
+        return (-self.as_expr()) + other
+
+    def __mul__(self, other: Scalar) -> "LinExpr":
+        return self.as_expr() * other
+
+    def __rmul__(self, other: Scalar) -> "LinExpr":
+        return self.as_expr() * other
+
+    def __truediv__(self, other: Scalar) -> "LinExpr":
+        return self.as_expr() / other
+
+    def __neg__(self) -> "LinExpr":
+        return -self.as_expr()
+
+    def __pos__(self) -> "LinExpr":
+        return self.as_expr()
+
+    # -- comparisons build constraints --------------------------------
+
+    def __le__(self, other: ExprLike):
+        return self.as_expr() <= other
+
+    def __ge__(self, other: ExprLike):
+        return self.as_expr() >= other
+
+    def __eq__(self, other):  # type: ignore[override]
+        if isinstance(other, (Variable, LinExpr)) or isinstance(other, numbers.Real):
+            return self.as_expr() == other
+        return NotImplemented
+
+    def __hash__(self):
+        return id(self)
+
+    def __repr__(self) -> str:
+        return f"Variable({self.name!r}, index={self.index})"
+
+
+class LinExpr:
+    """A sparse affine expression ``sum(coef[i] * x_i) + constant``."""
+
+    __slots__ = ("coeffs", "constant", "_model_id")
+
+    def __init__(
+        self,
+        coeffs: Mapping[int, float] = (),
+        constant: float = 0.0,
+        model_id: int = -1,
+    ):
+        self.coeffs: Dict[int, float] = dict(coeffs)
+        self.constant = float(constant)
+        self._model_id = model_id
+
+    # -- construction helpers -----------------------------------------
+
+    @staticmethod
+    def from_terms(terms: Iterable[Tuple[Scalar, "Variable"]], constant: float = 0.0) -> "LinExpr":
+        """Build an expression from ``(coefficient, variable)`` pairs.
+
+        Much faster than repeated ``+`` when summing thousands of terms.
+        """
+        coeffs: Dict[int, float] = {}
+        model_id = -1
+        for coef, var in terms:
+            if model_id == -1:
+                model_id = var._model_id
+            elif var._model_id != model_id:
+                raise ModelError("cannot mix variables from different models")
+            coeffs[var.index] = coeffs.get(var.index, 0.0) + float(coef)
+        return LinExpr(coeffs, constant, model_id)
+
+    @staticmethod
+    def sum(items: Iterable[ExprLike]) -> "LinExpr":
+        """Sum variables/expressions/scalars efficiently."""
+        coeffs: Dict[int, float] = {}
+        constant = 0.0
+        model_id = -1
+        for item in items:
+            if isinstance(item, Variable):
+                if model_id == -1:
+                    model_id = item._model_id
+                elif item._model_id != model_id:
+                    raise ModelError("cannot mix variables from different models")
+                coeffs[item.index] = coeffs.get(item.index, 0.0) + 1.0
+            elif isinstance(item, LinExpr):
+                if item._model_id != -1:
+                    if model_id == -1:
+                        model_id = item._model_id
+                    elif item._model_id != model_id:
+                        raise ModelError("cannot mix expressions from different models")
+                for idx, coef in item.coeffs.items():
+                    coeffs[idx] = coeffs.get(idx, 0.0) + coef
+                constant += item.constant
+            elif isinstance(item, numbers.Real):
+                constant += float(item)
+            else:
+                raise TypeError(f"cannot sum object of type {type(item).__name__}")
+        return LinExpr(coeffs, constant, model_id)
+
+    def _merge_model_id(self, other_id: int) -> int:
+        if self._model_id == -1:
+            return other_id
+        if other_id == -1:
+            return self._model_id
+        if self._model_id != other_id:
+            raise ModelError("cannot mix expressions from different models")
+        return self._model_id
+
+    def _coerce(self, other: ExprLike) -> "LinExpr":
+        if isinstance(other, LinExpr):
+            return other
+        if isinstance(other, Variable):
+            return other.as_expr()
+        if isinstance(other, numbers.Real):
+            return LinExpr({}, float(other), -1)
+        raise TypeError(f"cannot combine LinExpr with {type(other).__name__}")
+
+    # -- arithmetic ----------------------------------------------------
+
+    def __add__(self, other: ExprLike) -> "LinExpr":
+        other = self._coerce(other)
+        model_id = self._merge_model_id(other._model_id)
+        coeffs = dict(self.coeffs)
+        for idx, coef in other.coeffs.items():
+            coeffs[idx] = coeffs.get(idx, 0.0) + coef
+        return LinExpr(coeffs, self.constant + other.constant, model_id)
+
+    def __radd__(self, other: ExprLike) -> "LinExpr":
+        return self.__add__(other)
+
+    def __sub__(self, other: ExprLike) -> "LinExpr":
+        return self.__add__(-self._coerce(other))
+
+    def __rsub__(self, other: ExprLike) -> "LinExpr":
+        return (-self).__add__(other)
+
+    def __neg__(self) -> "LinExpr":
+        return LinExpr(
+            {idx: -coef for idx, coef in self.coeffs.items()},
+            -self.constant,
+            self._model_id,
+        )
+
+    def __pos__(self) -> "LinExpr":
+        return self
+
+    def __mul__(self, other: Scalar) -> "LinExpr":
+        if not isinstance(other, numbers.Real):
+            raise TypeError("LinExpr can only be multiplied by a scalar")
+        scale = float(other)
+        return LinExpr(
+            {idx: coef * scale for idx, coef in self.coeffs.items()},
+            self.constant * scale,
+            self._model_id,
+        )
+
+    def __rmul__(self, other: Scalar) -> "LinExpr":
+        return self.__mul__(other)
+
+    def __truediv__(self, other: Scalar) -> "LinExpr":
+        if not isinstance(other, numbers.Real):
+            raise TypeError("LinExpr can only be divided by a scalar")
+        return self.__mul__(1.0 / float(other))
+
+    # -- comparisons ----------------------------------------------------
+
+    def __le__(self, other: ExprLike):
+        from repro.lp.constraint import Constraint, Sense
+
+        return Constraint(self - self._coerce(other), Sense.LE)
+
+    def __ge__(self, other: ExprLike):
+        from repro.lp.constraint import Constraint, Sense
+
+        return Constraint(self - self._coerce(other), Sense.GE)
+
+    def __eq__(self, other):  # type: ignore[override]
+        from repro.lp.constraint import Constraint, Sense
+
+        if isinstance(other, (Variable, LinExpr)) or isinstance(other, numbers.Real):
+            return Constraint(self - self._coerce(other), Sense.EQ)
+        return NotImplemented
+
+    def __hash__(self):
+        return id(self)
+
+    # -- utilities -------------------------------------------------------
+
+    def is_constant(self) -> bool:
+        """True when the expression references no variable."""
+        return all(coef == 0.0 for coef in self.coeffs.values())
+
+    def __repr__(self) -> str:
+        terms = " + ".join(f"{coef:g}*x{idx}" for idx, coef in sorted(self.coeffs.items()))
+        if not terms:
+            return f"LinExpr({self.constant:g})"
+        if self.constant:
+            return f"LinExpr({terms} + {self.constant:g})"
+        return f"LinExpr({terms})"

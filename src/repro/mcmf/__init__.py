@@ -1,0 +1,22 @@
+"""Combinatorial network-flow algorithms.
+
+The flow-based baseline of Sec. II-B decomposes into a maximum
+concurrent flow problem and a minimum-cost multicommodity flow problem.
+The multicommodity versions are solved as LPs (see
+:mod:`repro.flowbased`), but their single-commodity building blocks are
+implemented here combinatorially — Dinic's max-flow and successive
+shortest paths with Johnson potentials for min-cost flow — and
+cross-checked against networkx in the test suite.
+"""
+
+from repro.mcmf.graph import FlowNetwork
+from repro.mcmf.maxflow import dinic_max_flow
+from repro.mcmf.mincost import min_cost_flow
+from repro.mcmf.concurrent import max_concurrent_flow
+
+__all__ = [
+    "FlowNetwork",
+    "dinic_max_flow",
+    "min_cost_flow",
+    "max_concurrent_flow",
+]

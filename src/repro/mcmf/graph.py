@@ -1,0 +1,89 @@
+"""A residual flow network shared by the max-flow and min-cost solvers."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.errors import TopologyError
+
+
+class _Edge:
+    """One directed edge and its residual twin (linked by index)."""
+
+    __slots__ = ("src", "dst", "capacity", "cost", "flow", "twin")
+
+    def __init__(self, src: int, dst: int, capacity: float, cost: float):
+        self.src = src
+        self.dst = dst
+        self.capacity = capacity
+        self.cost = cost
+        self.flow = 0.0
+        self.twin: Optional["_Edge"] = None
+
+    @property
+    def residual(self) -> float:
+        return self.capacity - self.flow
+
+    def push(self, amount: float) -> None:
+        self.flow += amount
+        assert self.twin is not None
+        self.twin.flow -= amount
+
+
+class FlowNetwork:
+    """Adjacency-list flow network over integer node ids.
+
+    Edges are added with :meth:`add_edge`; each automatically gets a
+    zero-capacity reverse edge carrying negative cost, forming the
+    residual graph both solvers need.
+    """
+
+    def __init__(self, num_nodes: int):
+        if num_nodes < 1:
+            raise TopologyError("flow network needs at least one node")
+        self.num_nodes = num_nodes
+        self.adj: List[List[_Edge]] = [[] for _ in range(num_nodes)]
+        self._forward_edges: List[_Edge] = []
+
+    def add_edge(self, src: int, dst: int, capacity: float, cost: float = 0.0) -> int:
+        """Add a directed edge; returns its index among forward edges."""
+        if not (0 <= src < self.num_nodes and 0 <= dst < self.num_nodes):
+            raise TopologyError(f"edge ({src},{dst}) out of range")
+        if capacity < 0:
+            raise TopologyError(f"edge ({src},{dst}) has negative capacity")
+        fwd = _Edge(src, dst, capacity, cost)
+        rev = _Edge(dst, src, 0.0, -cost)
+        fwd.twin, rev.twin = rev, fwd
+        self.adj[src].append(fwd)
+        self.adj[dst].append(rev)
+        self._forward_edges.append(fwd)
+        return len(self._forward_edges) - 1
+
+    def edge_flow(self, index: int) -> float:
+        """Current flow on the ``index``-th forward edge."""
+        return self._forward_edges[index].flow
+
+    def edge_flows(self) -> List[Tuple[int, int, float]]:
+        """(src, dst, flow) for every forward edge with positive flow."""
+        return [
+            (e.src, e.dst, e.flow) for e in self._forward_edges if e.flow > 1e-12
+        ]
+
+    def reset_flows(self) -> None:
+        for edge in self._forward_edges:
+            edge.flow = 0.0
+            edge.twin.flow = 0.0
+
+    def total_cost(self) -> float:
+        """Sum of cost * flow over forward edges."""
+        return sum(e.cost * e.flow for e in self._forward_edges)
+
+    @staticmethod
+    def from_edges(
+        num_nodes: int, edges: Iterable[Tuple[int, int, float, float]]
+    ) -> "FlowNetwork":
+        """Build from (src, dst, capacity, cost) tuples."""
+        network = FlowNetwork(num_nodes)
+        for src, dst, capacity, cost in edges:
+            network.add_edge(src, dst, capacity, cost)
+        return network

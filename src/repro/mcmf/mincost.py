@@ -1,0 +1,122 @@
+"""Minimum-cost flow via successive shortest paths with potentials.
+
+The classic primal algorithm: repeatedly send flow along the cheapest
+residual source→sink path.  Johnson potentials keep reduced costs
+non-negative so Dijkstra applies after an initial Bellman-Ford pass
+(needed because residual twins carry negative costs, and callers may
+supply negative-cost edges outright).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import List, Optional, Tuple
+
+from repro.errors import SolverError, TopologyError
+from repro.mcmf.graph import FlowNetwork, _Edge
+
+_EPS = 1e-12
+
+
+def _bellman_ford(network: FlowNetwork, source: int) -> List[float]:
+    """Shortest residual distances allowing negative costs."""
+    dist = [float("inf")] * network.num_nodes
+    dist[source] = 0.0
+    for iteration in range(network.num_nodes):
+        changed = False
+        for node in range(network.num_nodes):
+            if dist[node] == float("inf"):
+                continue
+            for edge in network.adj[node]:
+                if edge.residual > _EPS and dist[node] + edge.cost < dist[edge.dst] - _EPS:
+                    dist[edge.dst] = dist[node] + edge.cost
+                    changed = True
+        if not changed:
+            return dist
+    raise SolverError("negative-cost cycle in flow network")
+
+
+def _dijkstra(
+    network: FlowNetwork, source: int, potentials: List[float]
+) -> Tuple[List[float], List[Optional[_Edge]]]:
+    """Shortest residual paths under reduced costs; returns (dist, parent)."""
+    dist = [float("inf")] * network.num_nodes
+    parent: List[Optional[_Edge]] = [None] * network.num_nodes
+    dist[source] = 0.0
+    heap = [(0.0, source)]
+    while heap:
+        d, node = heapq.heappop(heap)
+        if d > dist[node] + _EPS:
+            continue
+        for edge in network.adj[node]:
+            if edge.residual <= _EPS:
+                continue
+            reduced = edge.cost + potentials[node] - potentials[edge.dst]
+            # Tiny negatives from float error are clamped; anything
+            # larger means the potentials are stale (a bug).
+            if reduced < -1e-7:
+                raise SolverError(f"negative reduced cost {reduced}")
+            reduced = max(reduced, 0.0)
+            nd = d + reduced
+            if nd < dist[edge.dst] - _EPS:
+                dist[edge.dst] = nd
+                parent[edge.dst] = edge
+                heapq.heappush(heap, (nd, edge.dst))
+    return dist, parent
+
+
+def min_cost_flow(
+    network: FlowNetwork,
+    source: int,
+    sink: int,
+    amount: float,
+) -> float:
+    """Send ``amount`` units source→sink at minimum total cost.
+
+    Returns that cost.  Raises :class:`SolverError` if the network
+    cannot carry the requested amount.  Flows accumulate on the
+    network's edges.
+    """
+    if source == sink:
+        raise TopologyError("source and sink must differ")
+    if amount < 0:
+        raise TopologyError(f"amount must be non-negative, got {amount}")
+    if amount == 0:
+        return 0.0
+
+    potentials = _bellman_ford(network, source)
+    remaining = amount
+    total_cost = 0.0
+
+    while remaining > _EPS:
+        dist, parent = _dijkstra(network, source, potentials)
+        if dist[sink] == float("inf"):
+            raise SolverError(
+                f"network cannot carry {amount:g} units; "
+                f"{remaining:g} units unroutable"
+            )
+        # Bottleneck along the path.
+        bottleneck = remaining
+        node = sink
+        while node != source:
+            edge = parent[node]
+            assert edge is not None
+            bottleneck = min(bottleneck, edge.residual)
+            node = edge.src
+        # Push and account actual (not reduced) cost.
+        node = sink
+        while node != source:
+            edge = parent[node]
+            assert edge is not None
+            edge.push(bottleneck)
+            total_cost += edge.cost * bottleneck
+            node = edge.src
+        remaining -= bottleneck
+        # Johnson update keeps reduced costs non-negative next round.
+        # Unreachable nodes take the sink's distance (the standard
+        # clamp): they only matter once residual changes reconnect
+        # them, and the clamp keeps all touched reduced costs valid.
+        for i in range(network.num_nodes):
+            potentials[i] += min(dist[i], dist[sink])
+
+    return total_cost

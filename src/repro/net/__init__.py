@@ -1,0 +1,34 @@
+"""The inter-datacenter network substrate.
+
+Models the paper's setting: a set of geographically distributed
+datacenters operated by one cloud provider, inter-connected by directed
+overlay links leased from ISPs.  Each link carries a per-unit price
+(``a_ij``) and a per-slot capacity; capacities may vary over time once
+transfers are committed (see :mod:`repro.core.state`).
+"""
+
+from repro.net.topology import Datacenter, Link, Topology
+from repro.net.generators import (
+    complete_topology,
+    fig1_topology,
+    fig3_topology,
+    line_topology,
+    paper_topology,
+    ring_topology,
+    star_topology,
+    two_region_topology,
+)
+
+__all__ = [
+    "Datacenter",
+    "Link",
+    "Topology",
+    "complete_topology",
+    "fig1_topology",
+    "fig3_topology",
+    "line_topology",
+    "paper_topology",
+    "ring_topology",
+    "star_topology",
+    "two_region_topology",
+]

@@ -1,0 +1,71 @@
+"""A central registry of scheduler factories.
+
+The CLI, the benchmark harness, and downstream experiment scripts all
+need "give me scheduler X for topology T and horizon H" by name; this
+module is the single place those names live.  Factories default to the
+drop policy so batch experiments survive infeasible corner cases and
+report rejections instead of dying.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from repro.errors import ReproError
+from repro.baselines import DirectScheduler, GreedyStoreAndForwardScheduler
+from repro.core import PostcardScheduler, ReplanningPostcardScheduler
+from repro.core.interfaces import Scheduler
+from repro.extensions import PercentileAwareScheduler
+from repro.flowbased import FlowBasedScheduler
+from repro.net.topology import Topology
+
+SchedulerFactory = Callable[[Topology, int], Scheduler]
+
+_REGISTRY: Dict[str, SchedulerFactory] = {
+    "postcard": lambda t, h: PostcardScheduler(t, h, on_infeasible="drop"),
+    "postcard-replan": lambda t, h: ReplanningPostcardScheduler(
+        t, h, on_infeasible="drop"
+    ),
+    "postcard-no-storage": lambda t, h: PostcardScheduler(
+        t, h, storage="destination_only", on_infeasible="drop"
+    ),
+    "flow-based": lambda t, h: FlowBasedScheduler(t, h, on_infeasible="drop"),
+    "flow-2phase": lambda t, h: FlowBasedScheduler(
+        t, h, variant="two_phase", on_infeasible="drop"
+    ),
+    "direct": lambda t, h: DirectScheduler(t, h, on_infeasible="drop"),
+    "greedy": lambda t, h: GreedyStoreAndForwardScheduler(
+        t, h, on_infeasible="drop"
+    ),
+    "q-aware": lambda t, h: PercentileAwareScheduler(
+        t, h, q=95.0, on_infeasible="drop"
+    ),
+}
+
+
+def scheduler_names() -> List[str]:
+    """All registered scheduler names, sorted."""
+    return sorted(_REGISTRY)
+
+
+def make_scheduler(name: str, topology: Topology, horizon: int) -> Scheduler:
+    """Instantiate a registered scheduler by name."""
+    try:
+        factory = _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(scheduler_names())
+        raise ReproError(f"unknown scheduler {name!r}; available: {known}") from None
+    return factory(topology, horizon)
+
+
+def scheduler_factory(name: str) -> SchedulerFactory:
+    """The raw factory for a registered name (for run_comparison)."""
+    if name not in _REGISTRY:
+        known = ", ".join(scheduler_names())
+        raise ReproError(f"unknown scheduler {name!r}; available: {known}")
+    return _REGISTRY[name]
+
+
+def register_scheduler(name: str, factory: SchedulerFactory) -> None:
+    """Add (or replace) a named factory — extension point for users."""
+    _REGISTRY[name] = factory

@@ -1,0 +1,17 @@
+"""The time-slotted simulator driving schedulers over workloads."""
+
+from repro.sim.engine import Simulation
+from repro.sim.faults import FaultModel, Outage
+from repro.sim.metrics import SimulationResult, SlotRecord
+from repro.sim.runner import ExperimentSetting, SchedulerComparison, run_comparison
+
+__all__ = [
+    "Simulation",
+    "SimulationResult",
+    "SlotRecord",
+    "ExperimentSetting",
+    "SchedulerComparison",
+    "run_comparison",
+    "FaultModel",
+    "Outage",
+]

@@ -1,0 +1,94 @@
+"""Link-failure injection.
+
+Overlay links ride real WAN circuits, and circuits fail.  A
+:class:`FaultModel` marks links down for slot ranges; the online state
+reports zero residual capacity on a downed link-slot, so every
+scheduler in the library transparently routes (and time-shifts) around
+outages it can see, and commits fail loudly if a scheduler tries to use
+a dead link.
+
+The model is *visible-at-schedule-time*: outages are known when the
+affected slots are scheduled (planned maintenance, or failures lasting
+longer than a 5-minute slot — the common WAN case).  Surprise
+mid-transfer failures would need re-scheduling machinery the paper's
+commit-once model deliberately excludes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.net.topology import LinkKey, Topology
+
+
+@dataclass(frozen=True)
+class Outage:
+    """One link down for slots [start, end)."""
+
+    src: int
+    dst: int
+    start_slot: int
+    end_slot: int
+
+    def __post_init__(self):
+        if self.start_slot < 0 or self.end_slot <= self.start_slot:
+            raise SimulationError(
+                f"outage on ({self.src},{self.dst}) has empty span "
+                f"[{self.start_slot}, {self.end_slot})"
+            )
+
+    def covers(self, slot: int) -> bool:
+        return self.start_slot <= slot < self.end_slot
+
+
+class FaultModel:
+    """A set of outages, queryable per link-slot."""
+
+    def __init__(self, outages: Iterable[Outage] = ()):
+        self.outages: List[Outage] = list(outages)
+        self._by_link: Dict[LinkKey, List[Outage]] = {}
+        for outage in self.outages:
+            self._by_link.setdefault((outage.src, outage.dst), []).append(outage)
+
+    def is_down(self, src: int, dst: int, slot: int) -> bool:
+        return any(o.covers(slot) for o in self._by_link.get((src, dst), ()))
+
+    def add(self, outage: Outage) -> None:
+        self.outages.append(outage)
+        self._by_link.setdefault((outage.src, outage.dst), []).append(outage)
+
+    def downtime_slots(self, src: int, dst: int) -> Set[int]:
+        slots: Set[int] = set()
+        for outage in self._by_link.get((src, dst), ()):
+            slots.update(range(outage.start_slot, outage.end_slot))
+        return slots
+
+    @staticmethod
+    def random(
+        topology: Topology,
+        num_slots: int,
+        outage_probability: float = 0.05,
+        mean_duration: float = 2.0,
+        seed: Optional[int] = None,
+    ) -> "FaultModel":
+        """Independent per-link outages: each link fails with the given
+        probability somewhere in the window, for a geometric duration."""
+        if not 0 <= outage_probability <= 1:
+            raise SimulationError("outage_probability must be in [0, 1]")
+        if mean_duration < 1:
+            raise SimulationError("mean_duration must be >= 1 slot")
+        rng = np.random.default_rng(seed)
+        outages = []
+        for link in topology.links:
+            if rng.random() < outage_probability:
+                start = int(rng.integers(0, max(1, num_slots)))
+                duration = 1 + int(rng.geometric(1.0 / mean_duration))
+                outages.append(Outage(link.src, link.dst, start, start + duration))
+        return FaultModel(outages)
+
+    def __repr__(self) -> str:
+        return f"FaultModel(outages={len(self.outages)})"

@@ -1,0 +1,152 @@
+"""The experiment driver regenerating the paper's figures.
+
+Each of Figs. 4-7 is one :class:`ExperimentSetting` — a (capacity,
+max-deadline) pair over the Sec. VII workload — run ``runs`` times with
+different seeds for every scheduler under comparison, all schedulers
+seeing identical topologies and traffic.  Results are aggregated as
+mean cost per slot with 95% confidence intervals, exactly as the paper
+reports them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List
+
+from repro.analysis.stats import ConfidenceInterval, mean_ci
+from repro.analysis.tables import format_table
+from repro.core.interfaces import Scheduler
+from repro.net.generators import paper_topology
+from repro.net.topology import Topology
+from repro.sim.engine import Simulation
+from repro.sim.metrics import SimulationResult
+from repro.traffic.workload import PaperWorkload
+
+SchedulerFactory = Callable[[Topology, int], Scheduler]
+
+
+@dataclass(frozen=True)
+class ExperimentSetting:
+    """One evaluation setting of Sec. VII.
+
+    Defaults are the paper's parameters; benches override
+    ``num_datacenters``/``num_slots``/``max_files`` to laptop scale (the
+    EXPERIMENTS.md notes record both scales).
+    """
+
+    name: str
+    capacity: float
+    max_deadline: int
+    num_datacenters: int = 20
+    num_slots: int = 100
+    min_files: int = 1
+    max_files: int = 20
+    min_size: float = 10.0
+    max_size: float = 100.0
+    deadline_distribution: str = "fixed"
+    min_deadline: int = 1
+
+    def describe(self) -> str:
+        return (
+            f"{self.name}: c={self.capacity:g} GB/slot, max T={self.max_deadline}, "
+            f"{self.num_datacenters} DCs, {self.num_slots} slots"
+        )
+
+
+#: The paper's four settings (Figs. 4-7).
+FIG4 = ExperimentSetting("fig4", capacity=100.0, max_deadline=3)
+FIG5 = ExperimentSetting("fig5", capacity=100.0, max_deadline=8)
+FIG6 = ExperimentSetting("fig6", capacity=30.0, max_deadline=3)
+FIG7 = ExperimentSetting("fig7", capacity=30.0, max_deadline=8)
+
+
+@dataclass
+class SchedulerComparison:
+    """Aggregated comparison of several schedulers on one setting."""
+
+    setting: ExperimentSetting
+    runs: int
+    #: scheduler name -> per-run final cost per slot.
+    costs: Dict[str, List[float]] = field(default_factory=dict)
+    #: scheduler name -> per-run results (for deeper inspection).
+    results: Dict[str, List[SimulationResult]] = field(default_factory=dict)
+
+    def interval(self, name: str, confidence: float = 0.95) -> ConfidenceInterval:
+        return mean_ci(self.costs[name], confidence)
+
+    def winner(self) -> str:
+        """Scheduler with the lowest mean cost per slot."""
+        return min(self.costs, key=lambda name: mean_ci(self.costs[name]).mean)
+
+    def ratio(self, name_a: str, name_b: str) -> float:
+        """mean(cost_a) / mean(cost_b)."""
+        return mean_ci(self.costs[name_a]).mean / mean_ci(self.costs[name_b]).mean
+
+    def to_table(self) -> str:
+        rows = []
+        for name in self.costs:
+            ci = self.interval(name)
+            rejected = sum(r.total_rejected for r in self.results[name])
+            rows.append(
+                [name, ci.mean, ci.half_width, rejected,
+                 sum(r.solve_seconds_total for r in self.results[name])]
+            )
+        return format_table(
+            ["scheduler", "cost/slot", "95% CI +/-", "rejected", "solve s"], rows
+        )
+
+
+def run_comparison(
+    setting: ExperimentSetting,
+    factories: Dict[str, SchedulerFactory],
+    runs: int = 10,
+    base_seed: int = 0,
+    audit: bool = True,
+    topology_factory=None,
+    workload_factory=None,
+) -> SchedulerComparison:
+    """Run every scheduler on ``runs`` seeded instances of a setting.
+
+    Within one run index, all schedulers face the *same* topology and
+    the *same* file arrivals; the charging horizon covers the simulated
+    slots plus the longest deadline so period-straddling transfers are
+    billed.
+
+    ``topology_factory(setting, seed)`` and
+    ``workload_factory(topology, setting, seed)`` override the default
+    Sec. VII topology/workload, letting the same harness sweep other
+    shapes (rings, geo presets, flash crowds, ...).
+    """
+    comparison = SchedulerComparison(setting=setting, runs=runs)
+    horizon = setting.num_slots + setting.max_deadline
+
+    for run in range(runs):
+        if topology_factory is not None:
+            topology = topology_factory(setting, base_seed + run)
+        else:
+            topology = paper_topology(
+                capacity=setting.capacity,
+                num_datacenters=setting.num_datacenters,
+                seed=base_seed + run,
+            )
+        for name, factory in factories.items():
+            if workload_factory is not None:
+                workload = workload_factory(topology, setting, base_seed + 1000 + run)
+            else:
+                workload = PaperWorkload(
+                    topology,
+                    max_deadline=setting.max_deadline,
+                    min_files=setting.min_files,
+                    max_files=setting.max_files,
+                    min_size=setting.min_size,
+                    max_size=setting.max_size,
+                    seed=base_seed + 1000 + run,
+                    deadline_distribution=setting.deadline_distribution,
+                    min_deadline=setting.min_deadline,
+                )
+            scheduler = factory(topology, horizon)
+            result = Simulation(scheduler, workload, setting.num_slots).run(audit=audit)
+            comparison.costs.setdefault(name, []).append(result.final_cost_per_slot)
+            comparison.results.setdefault(name, []).append(result)
+
+    return comparison

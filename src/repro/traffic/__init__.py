@@ -1,0 +1,26 @@
+"""Transfer requests and workload generators."""
+
+from repro.traffic.spec import TransferRequest, expand_multicast
+from repro.traffic.workload import (
+    DiurnalWorkload,
+    FlashCrowdWorkload,
+    MergedWorkload,
+    PaperWorkload,
+    PoissonWorkload,
+    TraceWorkload,
+    Workload,
+)
+from repro.traffic.predictor import NoisyPreview
+
+__all__ = [
+    "TransferRequest",
+    "expand_multicast",
+    "Workload",
+    "PaperWorkload",
+    "DiurnalWorkload",
+    "PoissonWorkload",
+    "FlashCrowdWorkload",
+    "MergedWorkload",
+    "TraceWorkload",
+    "NoisyPreview",
+]

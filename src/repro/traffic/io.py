@@ -1,0 +1,147 @@
+"""Serialize workload traces and schedules to/from JSON.
+
+Reproducibility glue: a simulation's exact file arrivals and the
+schedule a solver produced can be written to disk, shared, and replayed
+with :class:`~repro.traffic.workload.TraceWorkload`.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import List, Union
+
+from repro.errors import WorkloadError
+from repro.core.schedule import (
+    SEMANTICS_FLUID,
+    SEMANTICS_STORE_AND_FORWARD,
+    ScheduleEntry,
+    TransferSchedule,
+)
+from repro.timeexp.graph import ArcKind
+from repro.traffic.spec import TransferRequest
+
+PathLike = Union[str, Path]
+
+_TRACE_VERSION = 1
+
+
+def requests_to_json(requests: List[TransferRequest]) -> str:
+    """Encode requests as a versioned JSON document."""
+    payload = {
+        "version": _TRACE_VERSION,
+        "kind": "postcard-trace",
+        "requests": [
+            {
+                "id": r.request_id,
+                "source": r.source,
+                "destination": r.destination,
+                "size_gb": r.size_gb,
+                "deadline_slots": r.deadline_slots,
+                "release_slot": r.release_slot,
+            }
+            for r in requests
+        ],
+    }
+    return json.dumps(payload, indent=2)
+
+
+def requests_from_json(text: str) -> List[TransferRequest]:
+    """Decode requests; fresh request ids are assigned (ids in the file
+    are informational — uniqueness is owned by this process)."""
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise WorkloadError(f"trace is not valid JSON: {exc}") from exc
+    if payload.get("kind") != "postcard-trace":
+        raise WorkloadError("not a postcard trace document")
+    if payload.get("version") != _TRACE_VERSION:
+        raise WorkloadError(
+            f"unsupported trace version {payload.get('version')!r}"
+        )
+    out = []
+    for row in payload.get("requests", []):
+        try:
+            out.append(
+                TransferRequest(
+                    source=int(row["source"]),
+                    destination=int(row["destination"]),
+                    size_gb=float(row["size_gb"]),
+                    deadline_slots=int(row["deadline_slots"]),
+                    release_slot=int(row.get("release_slot", 0)),
+                )
+            )
+        except KeyError as exc:
+            raise WorkloadError(f"trace request missing field {exc}") from exc
+    return out
+
+
+def save_requests(requests: List[TransferRequest], path: PathLike) -> None:
+    """Write a request trace to ``path`` as JSON."""
+    Path(path).write_text(requests_to_json(requests))
+
+
+def load_requests(path: PathLike) -> List[TransferRequest]:
+    """Read a request trace from ``path`` (fresh ids are assigned)."""
+    return requests_from_json(Path(path).read_text())
+
+
+def schedule_to_json(schedule: TransferSchedule) -> str:
+    """Encode a schedule (entries + semantics) as JSON."""
+    payload = {
+        "version": _TRACE_VERSION,
+        "kind": "postcard-schedule",
+        "semantics": schedule.semantics,
+        "entries": [
+            {
+                "request_id": e.request_id,
+                "src": e.src,
+                "dst": e.dst,
+                "slot": e.slot,
+                "volume": e.volume,
+                "kind": e.kind.value,
+            }
+            for e in schedule.entries
+        ],
+    }
+    return json.dumps(payload, indent=2)
+
+
+def schedule_from_json(text: str) -> TransferSchedule:
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise WorkloadError(f"schedule is not valid JSON: {exc}") from exc
+    if payload.get("kind") != "postcard-schedule":
+        raise WorkloadError("not a postcard schedule document")
+    semantics = payload.get("semantics", SEMANTICS_STORE_AND_FORWARD)
+    if semantics not in (SEMANTICS_STORE_AND_FORWARD, SEMANTICS_FLUID):
+        raise WorkloadError(f"unknown schedule semantics {semantics!r}")
+    entries = []
+    for row in payload.get("entries", []):
+        try:
+            entries.append(
+                ScheduleEntry(
+                    request_id=int(row["request_id"]),
+                    src=int(row["src"]),
+                    dst=int(row["dst"]),
+                    slot=int(row["slot"]),
+                    volume=float(row["volume"]),
+                    kind=ArcKind(row.get("kind", "transit")),
+                )
+            )
+        except KeyError as exc:
+            raise WorkloadError(f"schedule entry missing field {exc}") from exc
+        except ValueError as exc:
+            raise WorkloadError(str(exc)) from exc
+    return TransferSchedule(entries, semantics=semantics)
+
+
+def save_schedule(schedule: TransferSchedule, path: PathLike) -> None:
+    """Write a schedule (entries + semantics) to ``path`` as JSON."""
+    Path(path).write_text(schedule_to_json(schedule))
+
+
+def load_schedule(path: PathLike) -> TransferSchedule:
+    """Read a schedule previously written by :func:`save_schedule`."""
+    return schedule_from_json(Path(path).read_text())

@@ -1,0 +1,102 @@
+"""Imperfect arrival predictors for lookahead scheduling.
+
+:class:`~repro.core.lookahead.LookaheadPostcardScheduler` takes a
+``preview(slot)`` oracle.  Feeding it the workload itself gives perfect
+foresight; real predictors miss arrivals, hallucinate phantom ones, and
+mis-estimate sizes.  :class:`NoisyPreview` wraps a workload with
+exactly those error modes so robustness can be measured (the A6
+ablation's perfect-oracle numbers are an upper bound on what prediction
+can buy).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.errors import WorkloadError
+from repro.net.topology import Topology
+from repro.traffic.spec import TransferRequest
+from repro.traffic.workload import Workload
+
+
+class NoisyPreview:
+    """A degraded view of a workload's future.
+
+    Parameters
+    ----------
+    workload:
+        The ground-truth arrival process.
+    miss_rate:
+        Probability that a real future file is absent from the preview.
+    phantom_rate:
+        Expected number of invented files per previewed slot (Poisson).
+        Phantoms are drawn like the paper workload's files.
+    size_noise:
+        Relative standard deviation of multiplicative size error
+        (e.g. 0.2 = sizes previewed within ~±20%).
+    """
+
+    def __init__(
+        self,
+        workload: Workload,
+        topology: Topology,
+        miss_rate: float = 0.0,
+        phantom_rate: float = 0.0,
+        size_noise: float = 0.0,
+        max_deadline: int = 4,
+        seed: Optional[int] = None,
+    ):
+        if not 0.0 <= miss_rate <= 1.0:
+            raise WorkloadError("miss_rate must be in [0, 1]")
+        if phantom_rate < 0:
+            raise WorkloadError("phantom_rate must be non-negative")
+        if size_noise < 0:
+            raise WorkloadError("size_noise must be non-negative")
+        self.workload = workload
+        self.topology = topology
+        self.miss_rate = miss_rate
+        self.phantom_rate = phantom_rate
+        self.size_noise = size_noise
+        self.max_deadline = max_deadline
+        self.seed = seed if seed is not None else 0
+        self._node_ids = topology.node_ids()
+
+    def __call__(self, slot: int) -> List[TransferRequest]:
+        """The degraded preview of ``slot``'s arrivals.
+
+        Deterministic per (seed, slot), like the workloads themselves.
+        Every returned request is a *fresh* object (fresh id): a
+        preview must never alias the real file that later arrives.
+        """
+        rng = np.random.default_rng((self.seed, slot, 99))
+        out: List[TransferRequest] = []
+        for request in self.workload.requests_at(slot):
+            if rng.random() < self.miss_rate:
+                continue
+            size = request.size_gb
+            if self.size_noise > 0:
+                size = max(0.1, size * float(rng.normal(1.0, self.size_noise)))
+            out.append(
+                TransferRequest(
+                    request.source,
+                    request.destination,
+                    size,
+                    request.deadline_slots,
+                    release_slot=slot,
+                )
+            )
+        if self.phantom_rate > 0:
+            for _ in range(int(rng.poisson(self.phantom_rate))):
+                src, dst = rng.choice(len(self._node_ids), size=2, replace=False)
+                out.append(
+                    TransferRequest(
+                        self._node_ids[int(src)],
+                        self._node_ids[int(dst)],
+                        float(rng.uniform(10.0, 100.0)),
+                        int(rng.integers(1, self.max_deadline + 1)),
+                        release_slot=slot,
+                    )
+                )
+        return out

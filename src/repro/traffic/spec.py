@@ -1,0 +1,132 @@
+"""The paper's four-tuple file specification.
+
+A *file* is any block of delay-tolerant inter-datacenter data — a
+backup, a batch of MapReduce intermediates, a customer-data migration —
+described by ``(s_k, d_k, F_k, T_k)``: source, destination, size in GB,
+and maximum tolerable transfer time in whole slots.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Iterable, List, Sequence
+
+from repro.errors import WorkloadError
+
+_request_ids = itertools.count()
+
+
+@dataclass(frozen=True)
+class TransferRequest:
+    """One inter-datacenter transfer: the paper's file ``k``.
+
+    ``release_slot`` is the slot at which the file becomes known to the
+    scheduler (the paper's time ``t``); the transfer must complete by
+    the end of slot ``release_slot + deadline_slots - 1``, i.e. data may
+    move during slots ``release_slot .. release_slot + deadline_slots - 1``.
+    """
+
+    source: int
+    destination: int
+    size_gb: float
+    deadline_slots: int
+    release_slot: int = 0
+    request_id: int = field(default_factory=lambda: next(_request_ids))
+
+    def __post_init__(self):
+        if self.source == self.destination:
+            raise WorkloadError(
+                f"request {self.request_id}: source equals destination ({self.source})"
+            )
+        if self.size_gb <= 0:
+            raise WorkloadError(
+                f"request {self.request_id}: size must be positive, got {self.size_gb}"
+            )
+        if self.deadline_slots < 1:
+            raise WorkloadError(
+                f"request {self.request_id}: deadline must be >= 1 slot, "
+                f"got {self.deadline_slots}"
+            )
+        if self.release_slot < 0:
+            raise WorkloadError(
+                f"request {self.request_id}: release slot must be non-negative"
+            )
+
+    @property
+    def last_slot(self) -> int:
+        """Last slot during which this file's data may move."""
+        return self.release_slot + self.deadline_slots - 1
+
+    @property
+    def desired_rate(self) -> float:
+        """The flow-based model's rate: size spread evenly over the
+        deadline (GB per slot)."""
+        return self.size_gb / self.deadline_slots
+
+    def with_release(self, release_slot: int) -> "TransferRequest":
+        """Copy of this request released at a different slot."""
+        return TransferRequest(
+            source=self.source,
+            destination=self.destination,
+            size_gb=self.size_gb,
+            deadline_slots=self.deadline_slots,
+            release_slot=release_slot,
+        )
+
+    def __str__(self) -> str:
+        return (
+            f"file#{self.request_id} {self.source}->{self.destination} "
+            f"{self.size_gb:g} GB within {self.deadline_slots} slots "
+            f"(released t={self.release_slot})"
+        )
+
+
+def expand_multicast(
+    source: int,
+    destinations: Sequence[int],
+    size_gb: float,
+    deadline_slots: int,
+    release_slot: int = 0,
+) -> List[TransferRequest]:
+    """One file to many destinations, as Sec. III prescribes: introduce a
+    separate request per destination with identical size and deadline."""
+    if not destinations:
+        raise WorkloadError("multicast needs at least one destination")
+    if len(set(destinations)) != len(destinations):
+        raise WorkloadError("duplicate multicast destinations")
+    return [
+        TransferRequest(source, dst, size_gb, deadline_slots, release_slot)
+        for dst in destinations
+    ]
+
+
+def split_oversized(
+    request: TransferRequest, max_piece_gb: float
+) -> List[TransferRequest]:
+    """Split a file too large for one slot into same-deadline pieces.
+
+    Implements the paper's note that files exceeding what a link can
+    carry in one slot "can be divided into smaller pieces, each of which
+    can be considered as a new file with the same four-tuple
+    specification".
+    """
+    if max_piece_gb <= 0:
+        raise WorkloadError("max piece size must be positive")
+    if request.size_gb <= max_piece_gb:
+        return [request]
+    pieces: List[TransferRequest] = []
+    remaining = request.size_gb
+    while remaining > 1e-12:
+        piece = min(max_piece_gb, remaining)
+        pieces.append(
+            TransferRequest(
+                request.source,
+                request.destination,
+                piece,
+                request.deadline_slots,
+                request.release_slot,
+            )
+        )
+        remaining -= piece
+    return pieces

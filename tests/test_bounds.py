@@ -1,0 +1,112 @@
+"""Unit + property tests for the subgradient dual lower bound."""
+
+import pytest
+from hypothesis import assume, given, settings, strategies as st
+
+from repro.errors import InfeasibleError, SchedulingError
+from repro.core import build_postcard_model
+from repro.core.bounds import dual_lower_bound, shortest_path_over_time
+from repro.core.state import NetworkState
+from repro.net.generators import complete_topology, fig1_topology, fig3_topology
+from repro.timeexp import TimeExpandedGraph
+from repro.traffic import TransferRequest
+
+
+class TestShortestPathOverTime:
+    def test_fig1_relay_path(self):
+        topo = fig1_topology()
+        graph = TimeExpandedGraph(topo, 0, 3)
+        request = TransferRequest(2, 3, 6.0, 3, release_slot=0)
+        cost, arcs = shortest_path_over_time(
+            graph, request, lambda a: a.price
+        )
+        # Cheapest per-GB route: 2 -> 1 -> 3 at 1 + 3 = 4.
+        assert cost == pytest.approx(4.0)
+        transit = [a for a in arcs if a.src != a.dst]
+        assert [(a.src, a.dst) for a in transit] == [(2, 1), (1, 3)]
+
+    def test_deadline_one_forces_direct(self):
+        topo = fig1_topology()
+        graph = TimeExpandedGraph(topo, 0, 3)
+        request = TransferRequest(2, 3, 6.0, 1, release_slot=0)
+        cost, _arcs = shortest_path_over_time(graph, request, lambda a: a.price)
+        assert cost == pytest.approx(10.0)  # no time for the relay
+
+    def test_unreachable_raises(self, line3):
+        graph = TimeExpandedGraph(line3, 0, 4)
+        request = TransferRequest(0, 2, 1.0, 1, release_slot=0)
+        with pytest.raises(InfeasibleError):
+            shortest_path_over_time(graph, request, lambda a: a.price)
+
+
+class TestDualLowerBound:
+    def test_validation(self, fig3):
+        state = NetworkState(fig3, horizon=10)
+        with pytest.raises(SchedulingError):
+            dual_lower_bound(state, [])
+        with pytest.raises(SchedulingError):
+            dual_lower_bound(
+                state, [TransferRequest(1, 4, 1.0, 2)], iterations=0
+            )
+
+    def test_bound_below_lp_optimum_fig3(self, fig3, fig3_files):
+        state = NetworkState(fig3, horizon=100)
+        result = dual_lower_bound(state, fig3_files, iterations=200)
+        # The LP optimum is 98/3; the bound must stay below it and
+        # climb meaningfully above the trivial 0.
+        assert result.lower_bound <= 98.0 / 3.0 + 1e-6
+        assert result.lower_bound > 0.3 * (98.0 / 3.0)
+
+    def test_bound_improves_over_trivial_iterate(self, fig3, fig3_files):
+        state = NetworkState(fig3, horizon=100)
+        result = dual_lower_bound(state, fig3_files, iterations=100)
+        assert result.lower_bound >= result.trajectory[0] - 1e-9
+
+    def test_standing_cost_included(self, fig3):
+        # With traffic already paid, even the first iterate includes it.
+        state = NetworkState(fig3, horizon=100)
+        from repro.core.schedule import ScheduleEntry, TransferSchedule
+
+        r0 = TransferRequest(1, 4, 5.0, 1, release_slot=0)
+        state.commit(
+            TransferSchedule([ScheduleEntry(r0.request_id, 1, 4, 0, 5.0)]), [r0]
+        )
+        standing = state.current_cost_per_slot()
+        request = TransferRequest(2, 4, 4.0, 3, release_slot=2)
+        result = dual_lower_bound(state, [request], iterations=50)
+        assert result.lower_bound >= standing - 1e-9
+
+
+@st.composite
+def instances(draw):
+    num_dcs = draw(st.integers(3, 5))
+    capacity = draw(st.sampled_from([20.0, 50.0]))
+    seed = draw(st.integers(0, 20))
+    count = draw(st.integers(1, 3))
+    requests = []
+    for _ in range(count):
+        src = draw(st.integers(0, num_dcs - 1))
+        dst = draw(st.integers(0, num_dcs - 1))
+        if dst == src:
+            dst = (src + 1) % num_dcs
+        size = draw(st.integers(2, 30))
+        deadline = draw(st.integers(2, 5))
+        requests.append(TransferRequest(src, dst, float(size), deadline, release_slot=0))
+    return num_dcs, capacity, seed, requests
+
+
+@settings(max_examples=15, deadline=None)
+@given(instances())
+def test_weak_duality_always_holds(instance):
+    """The certified bound never exceeds the LP optimum — on any
+    instance, any iteration count."""
+    num_dcs, capacity, seed, requests = instance
+    topo = complete_topology(num_dcs, capacity=capacity, seed=seed)
+    state = NetworkState(topo, horizon=30)
+    try:
+        _, solution = build_postcard_model(state, requests).solve()
+    except InfeasibleError:
+        assume(False)
+        return
+    result = dual_lower_bound(state, requests, iterations=60)
+    assert result.lower_bound <= solution.objective + 1e-6

@@ -1,0 +1,102 @@
+"""Unit tests for NetworkState checkpointing."""
+
+import pytest
+
+from repro.errors import SchedulingError
+from repro.core import PostcardScheduler
+from repro.core.checkpoint import (
+    load_state,
+    save_state,
+    state_from_json,
+    state_to_json,
+)
+from repro.core.state import NetworkState
+from repro.net.generators import complete_topology, line_topology
+from repro.sim import Simulation
+from repro.traffic import PaperWorkload, TransferRequest
+
+
+def warmed_state():
+    topo = complete_topology(5, capacity=30.0, seed=19)
+    scheduler = PostcardScheduler(topo, horizon=30, on_infeasible="drop")
+    workload = PaperWorkload(topo, max_deadline=4, max_files=3, seed=9)
+    Simulation(scheduler, workload, num_slots=5).run()
+    return topo, scheduler.state
+
+
+def test_round_trip_preserves_accounting():
+    topo, original = warmed_state()
+    restored = state_from_json(state_to_json(original), topo)
+
+    assert restored.horizon == original.horizon
+    assert restored.charged_snapshot() == original.charged_snapshot()
+    assert restored.completions == original.completions
+    assert restored.storage_used == pytest.approx(original.storage_used)
+    assert restored.current_cost_per_slot() == pytest.approx(
+        original.current_cost_per_slot()
+    )
+    for link in topo.links:
+        for slot in range(10):
+            assert restored.ledger.volume(
+                link.src, link.dst, slot
+            ) == pytest.approx(original.ledger.volume(link.src, link.dst, slot))
+
+
+def test_resume_scheduling_after_restore():
+    """A restored state accepts new rounds exactly like the original:
+    same residuals, same paid headroom, same resulting cost."""
+    topo, original = warmed_state()
+    restored = state_from_json(state_to_json(original), topo)
+
+    request = TransferRequest(0, 1, 12.0, 3, release_slot=10)
+    from repro.core import build_postcard_model
+
+    _, sol_orig = build_postcard_model(original, [request.with_release(10)]).solve()
+    _, sol_rest = build_postcard_model(restored, [request.with_release(10)]).solve()
+    assert sol_orig.objective == pytest.approx(sol_rest.objective)
+
+
+def test_file_round_trip(tmp_path):
+    topo, original = warmed_state()
+    path = tmp_path / "state.json"
+    save_state(original, path)
+    restored = load_state(path, topo)
+    assert restored.current_cost_per_slot() == pytest.approx(
+        original.current_cost_per_slot()
+    )
+
+
+def test_topology_mismatch_rejected(line3):
+    topo, original = warmed_state()
+    text = state_to_json(original)
+    with pytest.raises(SchedulingError, match="topology"):
+        state_from_json(text, line3)
+
+
+def test_garbage_rejected(line3):
+    with pytest.raises(SchedulingError, match="JSON"):
+        state_from_json("{oops", line3)
+    with pytest.raises(SchedulingError, match="not a postcard state"):
+        state_from_json('{"kind": "postcard-trace"}', line3)
+    with pytest.raises(SchedulingError, match="version"):
+        state_from_json(
+            '{"kind": "postcard-state", "version": 9}', line3
+        )
+
+
+def test_period_bookkeeping_survives():
+    topo, state = warmed_state()
+    state.start_new_period(8)
+    restored = state_from_json(state_to_json(state), topo)
+    assert restored.period_start == 8
+    assert restored.banked_period_bills == pytest.approx(state.banked_period_bills)
+
+
+def test_rejections_survive_with_fresh_ids():
+    topo = line_topology(3, capacity=10.0)
+    state = NetworkState(topo, horizon=10)
+    state.reject(TransferRequest(0, 2, 1.0, 1, release_slot=0))
+    restored = state_from_json(state_to_json(state), topo)
+    assert len(restored.rejected) == 1
+    assert restored.rejected[0].source == 0
+    assert restored.rejected[0].request_id != state.rejected[0].request_id

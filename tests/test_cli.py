@@ -1,0 +1,101 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_example_fig1(capsys):
+    assert main(["example", "fig1"]) == 0
+    out = capsys.readouterr().out
+    assert "12" in out
+
+
+def test_example_fig3(capsys):
+    assert main(["example", "fig3"]) == 0
+    out = capsys.readouterr().out
+    assert "32.67" in out
+
+
+def test_simulate_table(capsys):
+    code = main(
+        [
+            "simulate",
+            "--datacenters", "4",
+            "--slots", "3",
+            "--max-files", "2",
+            "--schedulers", "postcard", "direct",
+        ]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "postcard" in out and "direct" in out and "cost/slot" in out
+
+
+def test_figure_command(capsys):
+    code = main(
+        [
+            "figure", "fig6",
+            "--runs", "1",
+            "--datacenters", "4",
+            "--slots", "3",
+            "--max-files", "2",
+        ]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "fig6" in out and "postcard" in out
+
+
+def test_trace_generate_and_run(tmp_path, capsys):
+    trace = tmp_path / "t.json"
+    code = main(
+        [
+            "trace", "generate",
+            "--datacenters", "4",
+            "--slots", "2",
+            "--max-files", "2",
+            "-o", str(trace),
+        ]
+    )
+    assert code == 0
+    assert trace.exists()
+    capsys.readouterr()
+
+    code = main(["trace", "run", str(trace), "--scheduler", "postcard"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "cost/slot" in out
+
+
+def test_trace_stats(tmp_path, capsys):
+    trace = tmp_path / "t.json"
+    main(
+        [
+            "trace", "generate",
+            "--datacenters", "4",
+            "--slots", "2",
+            "--max-files", "2",
+            "-o", str(trace),
+        ]
+    )
+    capsys.readouterr()
+    assert main(["trace", "stats", str(trace)]) == 0
+    out = capsys.readouterr().out
+    assert "files" in out and "hottest pairs" in out
+
+
+def test_trace_run_empty(tmp_path, capsys):
+    trace = tmp_path / "empty.json"
+    trace.write_text('{"kind": "postcard-trace", "version": 1, "requests": []}')
+    assert main(["trace", "run", str(trace)]) == 1
+
+
+def test_invalid_scheduler_rejected():
+    with pytest.raises(SystemExit):
+        main(["simulate", "--schedulers", "quantum"])

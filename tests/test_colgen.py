@@ -1,0 +1,115 @@
+"""Unit + property tests for flow-based column generation."""
+
+import pytest
+from hypothesis import assume, given, settings, strategies as st
+
+from repro.errors import InfeasibleError, SchedulingError
+from repro.core.state import NetworkState
+from repro.flowbased.colgen import solve_flow_column_generation
+from repro.flowbased.model import build_flow_model
+from repro.net.generators import complete_topology, fig3_topology, line_topology
+from repro.net.topology import Datacenter, Link, Topology
+from repro.traffic import TransferRequest
+
+
+def test_needs_requests(line3):
+    state = NetworkState(line3, horizon=10)
+    with pytest.raises(SchedulingError):
+        solve_flow_column_generation(state, [])
+
+
+def test_fig3_matches_paper(fig3):
+    state = NetworkState(fig3, horizon=100)
+    requests = [
+        TransferRequest(2, 4, 8.0, 4, release_slot=3),
+        TransferRequest(1, 4, 10.0, 2, release_slot=3),
+    ]
+    result = solve_flow_column_generation(state, requests)
+    assert result.objective == pytest.approx(50.0)
+    result.schedule.validate(requests, capacity_fn=state.residual_capacity)
+
+
+def test_disconnected_pair_infeasible():
+    topo = Topology(
+        [Datacenter(0), Datacenter(1), Datacenter(2)],
+        [Link(0, 1, 1.0, 10.0)],
+    )
+    state = NetworkState(topo, horizon=10)
+    with pytest.raises(InfeasibleError):
+        solve_flow_column_generation(
+            state, [TransferRequest(0, 2, 1.0, 2, release_slot=0)]
+        )
+
+
+def test_pricing_discovers_relay_paths():
+    """Start columns only contain cheapest/direct; when those saturate,
+    pricing must invent the relay paths the optimum needs."""
+    topo = complete_topology(5, capacity=10.0, seed=31)
+    state = NetworkState(topo, horizon=20)
+    # 40 GB in 2 slots = rate 20 > any single 10-capacity link: at
+    # least two paths are mandatory.
+    request = TransferRequest(0, 1, 40.0, 2, release_slot=0)
+    result = solve_flow_column_generation(state, [request])
+    chosen = result.paths[request.request_id]
+    assert len(chosen) >= 2
+    assert sum(rate for _p, rate in chosen) == pytest.approx(20.0)
+
+
+def test_respects_prior_commitments(line3):
+    state = NetworkState(line3, horizon=20)
+    r0 = TransferRequest(0, 1, 6.0, 1, release_slot=0)
+    from repro.core.schedule import ScheduleEntry, TransferSchedule
+
+    state.commit(
+        TransferSchedule([ScheduleEntry(r0.request_id, 0, 1, 0, 6.0)]), [r0]
+    )
+    # A later file rides the paid peak for free.
+    r1 = TransferRequest(0, 1, 6.0, 2, release_slot=3)
+    result = solve_flow_column_generation(state, [r1])
+    assert result.objective == pytest.approx(6.0)
+
+
+@st.composite
+def instances(draw):
+    num_dcs = draw(st.integers(3, 6))
+    capacity = draw(st.sampled_from([15.0, 30.0]))
+    seed = draw(st.integers(0, 20))
+    count = draw(st.integers(1, 4))
+    requests = []
+    for _ in range(count):
+        src = draw(st.integers(0, num_dcs - 1))
+        dst = draw(st.integers(0, num_dcs - 1))
+        if dst == src:
+            dst = (src + 1) % num_dcs
+        size = draw(st.integers(2, 35))
+        deadline = draw(st.integers(1, 4))
+        requests.append(
+            TransferRequest(src, dst, float(size), deadline, release_slot=0)
+        )
+    return num_dcs, capacity, seed, requests
+
+
+@settings(max_examples=20, deadline=None)
+@given(instances())
+def test_colgen_matches_arc_lp(instance):
+    """Dantzig-Wolfe over all paths equals the arc formulation — the
+    decomposition's correctness certificate."""
+    num_dcs, capacity, seed, requests = instance
+    topo = complete_topology(num_dcs, capacity=capacity, seed=seed)
+
+    arc_state = NetworkState(topo, horizon=20)
+    try:
+        _, arc_solution = build_flow_model(
+            arc_state, [r.with_release(0) for r in requests]
+        ).solve()
+    except InfeasibleError:
+        assume(False)
+        return
+
+    cg_state = NetworkState(topo, horizon=20)
+    result = solve_flow_column_generation(
+        cg_state, [r.with_release(0) for r in requests]
+    )
+    assert result.objective == pytest.approx(
+        arc_solution.objective, rel=1e-5, abs=1e-5
+    )

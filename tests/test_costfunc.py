@@ -1,0 +1,73 @@
+"""Unit tests for cost functions."""
+
+import pytest
+
+from repro.errors import ChargingError
+from repro.charging import LinearCost, PiecewiseLinearCost
+
+
+def test_linear_cost():
+    fn = LinearCost(2.5)
+    assert fn(0.0) == 0.0
+    assert fn(4.0) == 10.0
+    assert fn.is_convex
+
+
+def test_linear_cost_validation():
+    with pytest.raises(ChargingError):
+        LinearCost(-1.0)
+    with pytest.raises(ChargingError):
+        LinearCost(1.0)(-5.0)
+
+
+def test_piecewise_interpolation():
+    fn = PiecewiseLinearCost([(0, 0), (10, 10), (20, 30)])
+    assert fn(0) == 0.0
+    assert fn(5) == pytest.approx(5.0)
+    assert fn(10) == pytest.approx(10.0)
+    assert fn(15) == pytest.approx(20.0)
+    assert fn(20) == pytest.approx(30.0)
+
+
+def test_piecewise_extrapolates_last_slope():
+    fn = PiecewiseLinearCost([(0, 0), (10, 10), (20, 30)])
+    # Last slope is 2.
+    assert fn(25) == pytest.approx(40.0)
+
+
+def test_piecewise_convexity_detection():
+    convex = PiecewiseLinearCost([(0, 0), (10, 10), (20, 30)])
+    concave = PiecewiseLinearCost([(0, 0), (10, 20), (20, 30)])  # volume discount
+    assert convex.is_convex
+    assert not concave.is_convex
+
+
+def test_piecewise_segments():
+    fn = PiecewiseLinearCost([(0, 0), (10, 10), (20, 30)])
+    segments = fn.segments()
+    assert segments[0] == pytest.approx((1.0, 0.0))
+    slope, intercept = segments[1]
+    assert slope == pytest.approx(2.0)
+    assert intercept == pytest.approx(-10.0)
+
+
+def test_piecewise_validation():
+    with pytest.raises(ChargingError):
+        PiecewiseLinearCost([(0, 0)])  # too few points
+    with pytest.raises(ChargingError):
+        PiecewiseLinearCost([(0, 0), (0, 1)])  # non-increasing volume
+    with pytest.raises(ChargingError):
+        PiecewiseLinearCost([(0, 5), (10, 1)])  # decreasing cost
+    with pytest.raises(ChargingError):
+        PiecewiseLinearCost([(-1, 0), (10, 1)])  # negative volume
+    fn = PiecewiseLinearCost([(0, 0), (1, 1)])
+    with pytest.raises(ChargingError):
+        fn(-1)
+
+
+def test_piecewise_nonzero_first_breakpoint():
+    # A function defined from volume 5 onward still evaluates below it.
+    fn = PiecewiseLinearCost([(5, 5), (10, 10)])
+    assert fn(5) == pytest.approx(5.0)
+    assert fn(2) == pytest.approx(2.0)  # first slope anchored backwards
+    assert fn(7) == pytest.approx(7.0)

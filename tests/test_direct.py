@@ -1,0 +1,96 @@
+"""Unit tests for the direct-link baseline."""
+
+import pytest
+
+from repro.errors import InfeasibleError, SchedulingError
+from repro.baselines import DirectScheduler
+from repro.net.generators import line_topology
+from repro.net.topology import Datacenter, Link, Topology
+from repro.traffic import TransferRequest
+
+
+def test_even_spreading(line3):
+    scheduler = DirectScheduler(line3, horizon=10)
+    request = TransferRequest(0, 1, 8.0, 4, release_slot=0)
+    schedule = scheduler.on_slot(0, [request])
+    volumes = schedule.link_slot_volumes()
+    for slot in range(4):
+        assert volumes[(0, 1, slot)] == pytest.approx(2.0)
+    assert scheduler.state.current_cost_per_slot() == pytest.approx(2.0)
+
+
+def test_no_relaying_ever(line3):
+    scheduler = DirectScheduler(line3, horizon=10)
+    # 0 -> 2 has no direct link in a line topology.
+    request = TransferRequest(0, 2, 1.0, 4, release_slot=0)
+    with pytest.raises(InfeasibleError):
+        scheduler.on_slot(0, [request])
+
+
+def test_drop_policy_on_missing_link(line3):
+    scheduler = DirectScheduler(line3, horizon=10, on_infeasible="drop")
+    unroutable = TransferRequest(0, 2, 1.0, 4, release_slot=0)
+    fine = TransferRequest(0, 1, 4.0, 4, release_slot=0)
+    schedule = scheduler.on_slot(0, [unroutable, fine])
+    assert scheduler.state.rejected == [unroutable]
+    assert schedule.delivered_volume(fine) == pytest.approx(4.0)
+
+
+def test_front_loading_when_contended(line3):
+    scheduler = DirectScheduler(line3, horizon=10)
+    # First file books 6 GB/slot for slots 0..1.
+    r1 = TransferRequest(0, 1, 12.0, 2, release_slot=0)
+    scheduler.on_slot(0, [r1])
+    # Second file wants 8 GB over 2 slots = 4/slot, but only 4/slot is
+    # free; even spreading fits exactly.
+    r2 = TransferRequest(0, 1, 8.0, 2, release_slot=0)
+    schedule = scheduler.on_slot(0, [r2])
+    assert schedule.delivered_volume(r2) == pytest.approx(8.0)
+    ledger = scheduler.state.ledger
+    assert ledger.volume(0, 1, 0) <= 10.0 + 1e-9
+    assert ledger.volume(0, 1, 1) <= 10.0 + 1e-9
+
+
+def test_front_loading_uneven(line3):
+    scheduler = DirectScheduler(line3, horizon=10)
+    r1 = TransferRequest(0, 1, 9.0, 1, release_slot=0)  # slot 0: 9 used
+    scheduler.on_slot(0, [r1])
+    # 10 GB in 2 slots = 5/slot even, but slot 0 has only 1 free:
+    # front-loading packs 1 + 9.
+    r2 = TransferRequest(0, 1, 10.0, 2, release_slot=0)
+    schedule = scheduler.on_slot(0, [r2])
+    volumes = schedule.link_slot_volumes()
+    assert volumes[(0, 1, 0)] == pytest.approx(1.0)
+    assert volumes[(0, 1, 1)] == pytest.approx(9.0)
+
+
+def test_infeasible_when_link_saturated(line3):
+    scheduler = DirectScheduler(line3, horizon=10)
+    r1 = TransferRequest(0, 1, 20.0, 2, release_slot=0)  # saturates both slots
+    scheduler.on_slot(0, [r1])
+    r2 = TransferRequest(0, 1, 1.0, 2, release_slot=0)
+    with pytest.raises(InfeasibleError):
+        scheduler.on_slot(0, [r2])
+
+
+def test_release_mismatch(line3):
+    scheduler = DirectScheduler(line3, horizon=10)
+    request = TransferRequest(0, 1, 1.0, 1, release_slot=3)
+    with pytest.raises(SchedulingError):
+        scheduler.on_slot(0, [request])
+
+
+def test_unknown_policy(line3):
+    with pytest.raises(SchedulingError):
+        DirectScheduler(line3, horizon=10, on_infeasible="retry")
+
+
+def test_big_files_scheduled_first(line3):
+    # Sorted by desired rate: the big file gets the even spread, the
+    # small one front-loads around it.
+    scheduler = DirectScheduler(line3, horizon=10)
+    small = TransferRequest(0, 1, 2.0, 2, release_slot=0)
+    big = TransferRequest(0, 1, 18.0, 2, release_slot=0)
+    schedule = scheduler.on_slot(0, [small, big])
+    assert schedule.delivered_volume(big) == pytest.approx(18.0)
+    assert schedule.delivered_volume(small) == pytest.approx(2.0)

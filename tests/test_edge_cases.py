@@ -1,0 +1,142 @@
+"""Edge-case coverage across modules: the inputs users actually mistype."""
+
+import pytest
+
+from repro.errors import (
+    InfeasibleError,
+    ModelError,
+    ReproError,
+    SchedulingError,
+    TopologyError,
+    WorkloadError,
+)
+
+
+class TestErrorHierarchy:
+    def test_everything_is_a_repro_error(self):
+        for exc in (
+            ModelError, SchedulingError, TopologyError, WorkloadError,
+            InfeasibleError,
+        ):
+            assert issubclass(exc, ReproError)
+
+    def test_infeasible_detail(self):
+        err = InfeasibleError("nope", detail="link down")
+        assert err.detail == "link down"
+
+
+class TestTinyTopologies:
+    def test_two_datacenter_network_works_end_to_end(self):
+        from repro.core import PostcardScheduler
+        from repro.net.topology import Datacenter, Link, Topology
+        from repro.traffic import TransferRequest
+
+        topo = Topology(
+            [Datacenter(0), Datacenter(1)],
+            [Link(0, 1, 2.0, 10.0), Link(1, 0, 2.0, 10.0)],
+        )
+        scheduler = PostcardScheduler(topo, horizon=10)
+        request = TransferRequest(0, 1, 15.0, 2, release_slot=0)
+        schedule = scheduler.on_slot(0, [request])
+        assert schedule.delivered_volume(request) == pytest.approx(15.0)
+
+    def test_single_node_topology_rejects_all_traffic(self):
+        from repro.net.topology import Datacenter, Topology
+        from repro.traffic import TransferRequest
+
+        topo = Topology([Datacenter(0)], [])
+        with pytest.raises(WorkloadError):
+            TransferRequest(0, 0, 1.0, 1)
+
+
+class TestExactFit:
+    def test_file_exactly_fills_capacity(self, line3):
+        from repro.core import PostcardScheduler
+        from repro.traffic import TransferRequest
+
+        scheduler = PostcardScheduler(line3, horizon=10)
+        request = TransferRequest(0, 1, 30.0, 3, release_slot=0)  # 10/slot x 3
+        schedule = scheduler.on_slot(0, [request])
+        volumes = schedule.link_slot_volumes()
+        for slot in range(3):
+            assert volumes[(0, 1, slot)] == pytest.approx(10.0)
+
+    def test_one_gb_more_is_infeasible(self, line3):
+        from repro.core import PostcardScheduler
+        from repro.traffic import TransferRequest
+
+        scheduler = PostcardScheduler(line3, horizon=10)
+        request = TransferRequest(0, 1, 31.0, 3, release_slot=0)
+        with pytest.raises(InfeasibleError):
+            scheduler.on_slot(0, [request])
+
+
+class TestTinyVolumes:
+    def test_sub_atol_requests_still_delivered(self, line3):
+        from repro.core import PostcardScheduler
+        from repro.traffic import TransferRequest
+
+        scheduler = PostcardScheduler(line3, horizon=10)
+        request = TransferRequest(0, 1, 1e-3, 1, release_slot=0)
+        scheduler.on_slot(0, [request])
+        assert request.request_id in scheduler.state.completions
+
+
+class TestDuplicateRequestsInOneSlot:
+    def test_identical_specs_distinct_files(self, line3):
+        from repro.core import PostcardScheduler
+        from repro.traffic import TransferRequest
+
+        scheduler = PostcardScheduler(line3, horizon=10)
+        twins = [
+            TransferRequest(0, 1, 4.0, 2, release_slot=0),
+            TransferRequest(0, 1, 4.0, 2, release_slot=0),
+        ]
+        schedule = scheduler.on_slot(0, twins)
+        for request in twins:
+            assert schedule.delivered_volume(request) == pytest.approx(4.0)
+
+
+class TestGreedyCandidateLimit:
+    def test_single_candidate_path_still_works(self):
+        from repro.baselines import GreedyStoreAndForwardScheduler
+        from repro.net.generators import fig1_topology
+        from repro.traffic import TransferRequest
+
+        scheduler = GreedyStoreAndForwardScheduler(
+            fig1_topology(), horizon=10, num_candidate_paths=1
+        )
+        request = TransferRequest(2, 3, 6.0, 3, release_slot=0)
+        schedule = scheduler.on_slot(0, [request])
+        # With one candidate, the single cheapest path (via DC 1) is it.
+        assert schedule.delivered_volume(request) == pytest.approx(6.0)
+
+
+class TestLookaheadBeyondHorizonPreviews:
+    def test_preview_returning_far_future_files(self, line3):
+        from repro.core import LookaheadPostcardScheduler
+        from repro.traffic import TransferRequest
+
+        far = TransferRequest(0, 1, 4.0, 2, release_slot=50)
+        scheduler = LookaheadPostcardScheduler(
+            line3, horizon=100,
+            preview=lambda s: [far] if s == 1 else [],
+            lookahead=1,
+        )
+        current = TransferRequest(0, 1, 4.0, 2, release_slot=0)
+        schedule = scheduler.on_slot(0, [current])
+        assert schedule.delivered_volume(current) == pytest.approx(4.0)
+
+
+class TestReportOnBenchResultsDir:
+    def test_smoke_results_render_when_present(self, tmp_path):
+        import pathlib
+
+        from repro.sim.report import load_records, render_markdown
+
+        results = pathlib.Path("benchmarks/results/smoke.jsonl")
+        if not results.exists():
+            pytest.skip("no smoke results on disk")
+        records = load_records(results)
+        text = render_markdown(records)
+        assert "Fig." in text

@@ -1,0 +1,85 @@
+"""Unit tests for budget-constrained transfer admission."""
+
+import pytest
+
+from repro.errors import SchedulingError
+from repro.core.state import NetworkState
+from repro.extensions import maximize_transfers_under_budget
+from repro.net.generators import line_topology
+from repro.traffic import TransferRequest
+
+
+@pytest.fixture
+def state(line3):
+    return NetworkState(line3, horizon=10)
+
+
+def test_needs_requests(state):
+    with pytest.raises(SchedulingError):
+        maximize_transfers_under_budget(state, [], budget_per_slot=10.0)
+
+
+def test_budget_below_committed_rejected(line3):
+    state = NetworkState(line3, horizon=10)
+    from repro.core.schedule import ScheduleEntry, TransferSchedule
+
+    request = TransferRequest(0, 1, 5.0, 1, release_slot=0)
+    state.commit(
+        TransferSchedule([ScheduleEntry(request.request_id, 0, 1, 0, 5.0)]),
+        [request],
+    )
+    with pytest.raises(SchedulingError):
+        maximize_transfers_under_budget(
+            state, [TransferRequest(0, 1, 1.0, 1)], budget_per_slot=1.0
+        )
+
+
+def test_generous_budget_admits_everything(state):
+    requests = [
+        TransferRequest(0, 1, 4.0, 2, release_slot=0),
+        TransferRequest(1, 2, 4.0, 2, release_slot=0),
+    ]
+    result = maximize_transfers_under_budget(state, requests, budget_per_slot=1000.0)
+    assert result.admitted_count == 2
+    assert result.fractional_optimum == pytest.approx(2.0, abs=1e-6)
+    assert result.schedule is not None
+    assert result.cost_per_slot <= 1000.0
+
+
+def test_zero_budget_admits_nothing(state):
+    requests = [TransferRequest(0, 1, 4.0, 2, release_slot=0)]
+    result = maximize_transfers_under_budget(state, requests, budget_per_slot=0.0)
+    assert result.admitted_count == 0
+    assert result.schedule is None
+    assert result.fractional_optimum == pytest.approx(0.0, abs=1e-6)
+
+
+def test_tight_budget_picks_cheaper_file(state):
+    # Both links have price 1; file sizes differ, so peaks differ.
+    cheap = TransferRequest(0, 1, 2.0, 2, release_slot=0)   # peak 1
+    pricey = TransferRequest(1, 2, 12.0, 2, release_slot=0)  # peak 6
+    result = maximize_transfers_under_budget(
+        state, [cheap, pricey], budget_per_slot=2.0
+    )
+    assert result.admitted_count == 1
+    assert result.admitted[0].request_id == cheap.request_id
+    assert result.cost_per_slot <= 2.0 + 1e-6
+
+
+def test_integral_count_bounded_by_fractional(state):
+    requests = [
+        TransferRequest(0, 1, 8.0, 2, release_slot=0),
+        TransferRequest(1, 2, 8.0, 2, release_slot=0),
+        TransferRequest(0, 2, 8.0, 2, release_slot=0),
+    ]
+    result = maximize_transfers_under_budget(state, requests, budget_per_slot=6.0)
+    assert result.admitted_count <= result.fractional_optimum + 1e-6
+    # Fractions are reported for every candidate.
+    assert set(result.fractions) == {r.request_id for r in requests}
+
+
+def test_state_not_mutated(state):
+    requests = [TransferRequest(0, 1, 4.0, 2, release_slot=0)]
+    maximize_transfers_under_budget(state, requests, budget_per_slot=100.0)
+    assert state.current_cost_per_slot() == 0.0
+    assert not state.completions

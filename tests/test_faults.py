@@ -1,0 +1,123 @@
+"""Unit tests for link-failure injection."""
+
+import pytest
+
+from repro.errors import InfeasibleError, SimulationError
+from repro.baselines import DirectScheduler, GreedyStoreAndForwardScheduler
+from repro.core import PostcardScheduler
+from repro.net.generators import complete_topology, fig1_topology, line_topology
+from repro.sim import FaultModel, Outage, Simulation
+from repro.traffic import PaperWorkload, TransferRequest
+
+
+class TestOutage:
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            Outage(0, 1, 5, 5)
+        with pytest.raises(SimulationError):
+            Outage(0, 1, -1, 2)
+
+    def test_covers(self):
+        outage = Outage(0, 1, 2, 4)
+        assert not outage.covers(1)
+        assert outage.covers(2)
+        assert outage.covers(3)
+        assert not outage.covers(4)
+
+
+class TestFaultModel:
+    def test_is_down(self):
+        fm = FaultModel([Outage(0, 1, 2, 4)])
+        assert fm.is_down(0, 1, 3)
+        assert not fm.is_down(0, 1, 4)
+        assert not fm.is_down(1, 0, 3)  # direction matters
+
+    def test_add_and_downtime(self):
+        fm = FaultModel()
+        fm.add(Outage(0, 1, 0, 2))
+        fm.add(Outage(0, 1, 5, 6))
+        assert fm.downtime_slots(0, 1) == {0, 1, 5}
+
+    def test_random_deterministic(self):
+        topo = complete_topology(5, capacity=10.0, seed=0)
+        a = FaultModel.random(topo, num_slots=10, outage_probability=0.5, seed=3)
+        b = FaultModel.random(topo, num_slots=10, outage_probability=0.5, seed=3)
+        assert [(o.src, o.dst, o.start_slot) for o in a.outages] == [
+            (o.src, o.dst, o.start_slot) for o in b.outages
+        ]
+        assert a.outages  # 0.5 over 20 links: virtually certain
+
+    def test_random_validation(self):
+        topo = complete_topology(3, capacity=10.0, seed=0)
+        with pytest.raises(SimulationError):
+            FaultModel.random(topo, 10, outage_probability=1.5)
+        with pytest.raises(SimulationError):
+            FaultModel.random(topo, 10, mean_duration=0.5)
+
+
+class TestSchedulingAroundFaults:
+    def test_state_reports_zero_capacity(self, line3):
+        scheduler = PostcardScheduler(line3, horizon=10)
+        scheduler.state.fault_model = FaultModel([Outage(0, 1, 0, 2)])
+        assert scheduler.state.residual_capacity(0, 1, 0) == 0.0
+        assert scheduler.state.residual_capacity(0, 1, 2) == 10.0
+        assert scheduler.state.paid_headroom(0, 1, 1) == 0.0
+
+    def test_postcard_waits_out_an_outage(self, line3):
+        scheduler = PostcardScheduler(line3, horizon=10)
+        scheduler.state.fault_model = FaultModel([Outage(0, 1, 0, 2)])
+        # Link (0,1) is down for slots 0-1; a 4-slot deadline lets the
+        # optimizer hold the file at the source and send afterwards.
+        request = TransferRequest(0, 1, 6.0, 4, release_slot=0)
+        schedule = scheduler.on_slot(0, [request])
+        volumes = schedule.link_slot_volumes()
+        assert all(slot >= 2 for (_s, _d, slot) in volumes)
+        assert schedule.delivered_volume(request) == pytest.approx(6.0)
+
+    def test_postcard_routes_around_an_outage(self):
+        topo = fig1_topology(capacity=100.0)
+        scheduler = PostcardScheduler(topo, horizon=10)
+        # The cheap relay 2->1 is dead for the whole window: pay direct.
+        scheduler.state.fault_model = FaultModel([Outage(2, 1, 0, 10)])
+        request = TransferRequest(2, 3, 6.0, 3, release_slot=0)
+        schedule = scheduler.on_slot(0, [request])
+        links = {(e.src, e.dst) for e in schedule.transit_entries()}
+        assert (2, 1) not in links
+        assert scheduler.state.current_cost_per_slot() == pytest.approx(20.0)
+
+    def test_total_outage_infeasible(self, line3):
+        scheduler = PostcardScheduler(line3, horizon=10)
+        scheduler.state.fault_model = FaultModel([Outage(0, 1, 0, 10)])
+        request = TransferRequest(0, 1, 6.0, 3, release_slot=0)
+        with pytest.raises(InfeasibleError):
+            scheduler.on_slot(0, [request])
+
+    def test_direct_rejects_during_outage(self, line3):
+        scheduler = DirectScheduler(line3, horizon=10, on_infeasible="drop")
+        scheduler.state.fault_model = FaultModel([Outage(0, 1, 0, 10)])
+        request = TransferRequest(0, 1, 6.0, 3, release_slot=0)
+        scheduler.on_slot(0, [request])
+        assert scheduler.state.rejected == [request]
+
+    def test_greedy_routes_around(self):
+        topo = fig1_topology(capacity=100.0)
+        scheduler = GreedyStoreAndForwardScheduler(topo, horizon=10)
+        scheduler.state.fault_model = FaultModel([Outage(2, 1, 0, 10)])
+        request = TransferRequest(2, 3, 6.0, 3, release_slot=0)
+        schedule = scheduler.on_slot(0, [request])
+        links = {(e.src, e.dst) for e in schedule.transit_entries()}
+        assert (2, 1) not in links
+
+    def test_full_simulation_with_random_faults(self):
+        topo = complete_topology(5, capacity=40.0, seed=9)
+        faults = FaultModel.random(topo, num_slots=6, outage_probability=0.3, seed=1)
+        scheduler = PostcardScheduler(topo, horizon=20, on_infeasible="drop")
+        scheduler.state.fault_model = faults
+        workload = PaperWorkload(topo, max_deadline=4, max_files=3, seed=2)
+        result = Simulation(scheduler, workload, num_slots=6).run()
+        assert result.max_lateness() == 0
+        # Nothing was scheduled onto a downed link-slot.
+        for (src, dst), usage in scheduler.state.ledger._usage.items():
+            down = faults.downtime_slots(src, dst)
+            for slot, volume in usage.volumes.items():
+                assert slot not in down or volume <= 1e-9

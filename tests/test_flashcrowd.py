@@ -1,0 +1,71 @@
+"""Unit tests for the flash-crowd workload."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.core import PostcardScheduler
+from repro.net.generators import complete_topology
+from repro.sim import Simulation
+from repro.traffic import FlashCrowdWorkload
+
+
+@pytest.fixture
+def topo():
+    return complete_topology(6, capacity=60.0, seed=2)
+
+
+def test_validation(topo):
+    with pytest.raises(WorkloadError):
+        FlashCrowdWorkload(topo, max_deadline=3, base_rate=-1)
+    with pytest.raises(WorkloadError):
+        FlashCrowdWorkload(topo, max_deadline=3, burst_probability=2.0)
+    with pytest.raises(WorkloadError):
+        FlashCrowdWorkload(topo, max_deadline=3, burst_files=0)
+    with pytest.raises(WorkloadError):
+        FlashCrowdWorkload(topo, max_deadline=0)
+
+
+def test_burst_slots_converge_on_one_destination(topo):
+    wl = FlashCrowdWorkload(
+        topo, max_deadline=4, base_rate=0.0, burst_probability=1.0,
+        burst_files=8, seed=3,
+    )
+    requests = wl.requests_at(0)
+    assert len(requests) == 8
+    destinations = {r.destination for r in requests}
+    assert len(destinations) == 1
+    assert all(r.source != r.destination for r in requests)
+
+
+def test_quiet_slots_are_background_only(topo):
+    wl = FlashCrowdWorkload(
+        topo, max_deadline=4, base_rate=2.0, burst_probability=0.0, seed=3,
+    )
+    counts = [len(wl.requests_at(s)) for s in range(100)]
+    assert 1.0 < sum(counts) / len(counts) < 3.5
+
+
+def test_burst_frequency_matches_probability(topo):
+    wl = FlashCrowdWorkload(
+        topo, max_deadline=4, burst_probability=0.3, seed=5,
+    )
+    bursts = sum(wl.is_burst_slot(s) for s in range(300))
+    assert 60 < bursts < 120  # ~90 expected
+
+
+def test_deterministic(topo):
+    a = FlashCrowdWorkload(topo, max_deadline=4, seed=7)
+    b = FlashCrowdWorkload(topo, max_deadline=4, seed=7)
+    assert [
+        (r.source, r.destination, r.size_gb) for r in a.requests_at(4)
+    ] == [(r.source, r.destination, r.size_gb) for r in b.requests_at(4)]
+
+
+def test_schedulable_end_to_end(topo):
+    wl = FlashCrowdWorkload(
+        topo, max_deadline=4, base_rate=1.0, burst_probability=0.5,
+        burst_files=4, min_size=5.0, max_size=20.0, seed=9,
+    )
+    scheduler = PostcardScheduler(topo, horizon=20, on_infeasible="drop")
+    result = Simulation(scheduler, wl, num_slots=6).run()
+    assert result.max_lateness() == 0

@@ -1,0 +1,76 @@
+"""Unit tests for the free-ride accounting (time-shifting's dividend)."""
+
+import pytest
+
+from repro.charging import TrafficLedger
+from repro.core import PostcardScheduler
+from repro.flowbased import FlowBasedScheduler
+from repro.net.generators import complete_topology
+from repro.sim import Simulation
+from repro.traffic import PaperWorkload
+
+
+@pytest.fixture
+def ledger(line3):
+    return TrafficLedger(line3, horizon=20)
+
+
+def test_idle_link_is_zero(ledger):
+    assert ledger.free_ride_volume(0, 1) == 0.0
+    assert ledger.free_ride_fraction() == 0.0
+
+
+def test_first_peak_is_never_free(ledger):
+    ledger.record(0, 1, 0, 8.0)
+    assert ledger.free_ride_volume(0, 1) == 0.0
+
+
+def test_later_smaller_traffic_is_free(ledger):
+    ledger.record(0, 1, 0, 8.0)   # establishes the peak
+    ledger.record(0, 1, 3, 5.0)   # fully under it: free
+    ledger.record(0, 1, 7, 8.0)   # exactly at it: free
+    assert ledger.free_ride_volume(0, 1) == pytest.approx(13.0)
+
+
+def test_excess_over_peak_is_paid(ledger):
+    ledger.record(0, 1, 0, 5.0)
+    ledger.record(0, 1, 2, 9.0)   # 5 free, 4 raises the bill
+    assert ledger.free_ride_volume(0, 1) == pytest.approx(5.0)
+
+
+def test_order_matters_not_magnitude(ledger):
+    # Big first, small later: almost everything later is free.
+    ledger.record(0, 1, 0, 10.0)
+    for slot in range(1, 6):
+        ledger.record(0, 1, slot, 2.0)
+    assert ledger.free_ride_volume(0, 1) == pytest.approx(10.0)
+    # Reverse order on the opposite link: nothing free until the end.
+    for slot in range(5):
+        ledger.record(1, 0, slot, 2.0)
+    ledger.record(1, 0, 5, 10.0)
+    assert ledger.free_ride_volume(1, 0) == pytest.approx(2.0 * 4 + 2.0)
+
+
+def test_fraction_aggregates(ledger):
+    ledger.record(0, 1, 0, 10.0)
+    ledger.record(0, 1, 1, 10.0)
+    # 10 of 20 GB was free.
+    assert ledger.free_ride_fraction() == pytest.approx(0.5)
+
+
+def test_postcard_free_rides_at_least_as_much_as_flow():
+    """The mechanism behind Figs. 6-7: under limited capacity the
+    store-and-forward optimizer shifts more traffic under existing
+    peaks than the constant-rate flow model can."""
+    topo = complete_topology(6, capacity=30.0, seed=18)
+
+    def run(factory):
+        scheduler = factory()
+        workload = PaperWorkload(topo, max_deadline=6, max_files=5, seed=12)
+        Simulation(scheduler, workload, num_slots=8).run()
+        return scheduler.state.ledger.free_ride_fraction()
+
+    postcard = run(lambda: PostcardScheduler(topo, 30, on_infeasible="drop"))
+    flow = run(lambda: FlowBasedScheduler(topo, 30, on_infeasible="drop"))
+    assert postcard >= flow - 0.05
+    assert postcard > 0.2  # time-shifting is actually happening

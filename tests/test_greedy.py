@@ -1,0 +1,116 @@
+"""Unit tests for the greedy store-and-forward heuristic."""
+
+import pytest
+
+from repro.errors import InfeasibleError, SchedulingError
+from repro.baselines import GreedyStoreAndForwardScheduler
+from repro.core import PostcardScheduler
+from repro.net.generators import complete_topology, fig1_topology, line_topology
+from repro.sim import Simulation
+from repro.traffic import PaperWorkload, TransferRequest
+
+
+def test_parameters_validated(line3):
+    with pytest.raises(SchedulingError):
+        GreedyStoreAndForwardScheduler(line3, 10, num_candidate_paths=0)
+    with pytest.raises(SchedulingError):
+        GreedyStoreAndForwardScheduler(line3, 10, on_infeasible="shrug")
+
+
+def test_single_hop_even_spread(line3):
+    scheduler = GreedyStoreAndForwardScheduler(line3, horizon=20)
+    request = TransferRequest(0, 1, 8.0, 4, release_slot=0)
+    schedule = scheduler.on_slot(0, [request])
+    schedule.validate([request])
+    # With no paid headroom, pass 2 spreads evenly: peak 2 GB/slot.
+    volumes = schedule.link_slot_volumes()
+    assert max(volumes.values()) == pytest.approx(2.0)
+    assert scheduler.state.current_cost_per_slot() == pytest.approx(2.0)
+
+
+def test_relay_path_chosen_when_cheaper():
+    scheduler = GreedyStoreAndForwardScheduler(fig1_topology(), horizon=20)
+    request = TransferRequest(2, 3, 6.0, 3, release_slot=0)
+    schedule = scheduler.on_slot(0, [request])
+    schedule.validate([request])
+    links = {(e.src, e.dst) for e in schedule.transit_entries()}
+    assert links == {(2, 1), (1, 3)}
+    # Matches the paper's hand-optimized 12 (the LP finds 12 too).
+    assert scheduler.state.current_cost_per_slot() == pytest.approx(12.0)
+
+
+def test_headroom_reused_for_free(line3):
+    scheduler = GreedyStoreAndForwardScheduler(line3, horizon=30)
+    r0 = TransferRequest(0, 1, 8.0, 2, release_slot=0)  # pays peak 4
+    scheduler.on_slot(0, [r0])
+    cost_before = scheduler.state.current_cost_per_slot()
+    # 8 GB over 4 slots fits entirely in the paid 4/slot headroom.
+    r1 = TransferRequest(0, 1, 8.0, 4, release_slot=3)
+    scheduler.on_slot(3, [r1])
+    assert scheduler.state.current_cost_per_slot() == pytest.approx(cost_before)
+
+
+def test_never_better_than_lp():
+    topo = complete_topology(5, capacity=30.0, seed=8)
+    requests = [
+        TransferRequest(0, 1, 20.0, 3, release_slot=0),
+        TransferRequest(1, 2, 25.0, 4, release_slot=0),
+        TransferRequest(3, 4, 15.0, 3, release_slot=0),
+    ]
+    greedy = GreedyStoreAndForwardScheduler(topo, horizon=20)
+    greedy.on_slot(0, [r.with_release(0) for r in requests])
+    lp = PostcardScheduler(topo, horizon=20)
+    lp.on_slot(0, [r.with_release(0) for r in requests])
+    assert (
+        lp.state.current_cost_per_slot()
+        <= greedy.state.current_cost_per_slot() + 1e-6
+    )
+
+
+def test_deadline_too_short_for_any_path(line3):
+    scheduler = GreedyStoreAndForwardScheduler(line3, horizon=10)
+    # 0 -> 2 needs two hops; deadline 1 slot leaves no usable path.
+    request = TransferRequest(0, 2, 1.0, 1, release_slot=0)
+    with pytest.raises(InfeasibleError):
+        scheduler.on_slot(0, [request])
+
+
+def test_drop_policy(line3):
+    scheduler = GreedyStoreAndForwardScheduler(line3, horizon=10, on_infeasible="drop")
+    impossible = TransferRequest(0, 2, 1.0, 1, release_slot=0)
+    fine = TransferRequest(0, 1, 4.0, 2, release_slot=0)
+    schedule = scheduler.on_slot(0, [impossible, fine])
+    assert scheduler.state.rejected == [impossible]
+    assert schedule.delivered_volume(fine) == pytest.approx(4.0)
+
+
+def test_release_mismatch(line3):
+    scheduler = GreedyStoreAndForwardScheduler(line3, horizon=10)
+    with pytest.raises(SchedulingError):
+        scheduler.on_slot(0, [TransferRequest(0, 1, 1.0, 1, release_slot=2)])
+
+
+def test_full_simulation_audits_clean():
+    topo = complete_topology(6, capacity=30.0, seed=10)
+    scheduler = GreedyStoreAndForwardScheduler(topo, horizon=30, on_infeasible="drop")
+    workload = PaperWorkload(topo, max_deadline=5, max_files=5, seed=4)
+    result = Simulation(scheduler, workload, num_slots=8).run()
+    assert result.max_lateness() == 0
+    assert result.acceptance_rate > 0.5
+
+
+def test_much_faster_than_lp_at_scale():
+    topo = complete_topology(10, capacity=30.0, seed=11)
+    workload = PaperWorkload(topo, max_deadline=6, max_files=10, seed=5)
+    import time
+
+    greedy = GreedyStoreAndForwardScheduler(topo, horizon=30, on_infeasible="drop")
+    t0 = time.perf_counter()
+    Simulation(greedy, workload, num_slots=4).run()
+    greedy_time = time.perf_counter() - t0
+
+    lp = PostcardScheduler(topo, horizon=30, on_infeasible="drop")
+    t0 = time.perf_counter()
+    Simulation(lp, PaperWorkload(topo, max_deadline=6, max_files=10, seed=5), num_slots=4).run()
+    lp_time = time.perf_counter() - t0
+    assert greedy_time < lp_time

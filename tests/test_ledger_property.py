@@ -1,0 +1,74 @@
+"""Property-based invariants of the traffic ledger."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.charging import MaxCharging, PercentileCharging, TrafficLedger
+from repro.net.generators import line_topology
+
+records = st.lists(
+    st.tuples(
+        st.sampled_from([(0, 1), (1, 0), (1, 2), (2, 1)]),
+        st.integers(0, 19),
+        st.floats(0.0, 100.0, allow_nan=False),
+    ),
+    max_size=40,
+)
+
+
+def _ledger(entries):
+    topo = line_topology(3, capacity=1000.0)
+    ledger = TrafficLedger(topo, horizon=20)
+    for (src, dst), slot, volume in entries:
+        ledger.record(src, dst, slot, volume)
+    return ledger
+
+
+@settings(max_examples=50, deadline=None)
+@given(records)
+def test_free_ride_bounded_by_total(entries):
+    ledger = _ledger(entries)
+    for key in [(0, 1), (1, 0), (1, 2), (2, 1)]:
+        free = ledger.free_ride_volume(*key)
+        total = sum(ledger.samples(*key))
+        peak = ledger.peak_volume(*key)
+        assert 0.0 <= free <= total + 1e-9
+        # Everything beyond one peak's worth per busy slot is free at most.
+        assert free <= max(0.0, total - peak) + 1e-9
+    assert 0.0 <= ledger.free_ride_fraction() <= 1.0
+
+
+@settings(max_examples=50, deadline=None)
+@given(records)
+def test_period_peaks_partition_global_peak(entries):
+    ledger = _ledger(entries)
+    for key in [(0, 1), (1, 2)]:
+        global_peak = ledger.peak_in_range(*key, 0, 20)
+        halves = [
+            ledger.peak_in_range(*key, 0, 10),
+            ledger.peak_in_range(*key, 10, 20),
+        ]
+        assert max(halves) == pytest.approx(global_peak)
+
+
+@settings(max_examples=50, deadline=None)
+@given(records)
+def test_percentile_bill_never_exceeds_max_bill(entries):
+    ledger = _ledger(entries)
+    for q in (50, 90, 95):
+        assert (
+            ledger.total_cost(PercentileCharging(q))
+            <= ledger.total_cost(MaxCharging()) + 1e-9
+        )
+
+
+@settings(max_examples=50, deadline=None)
+@given(records)
+def test_period_costs_sum_to_horizon_consistency(entries):
+    """Billing [0,10) and [10,20) separately uses each period's own
+    peaks; their per-slot average is bounded by the global peak rate."""
+    ledger = _ledger(entries)
+    split = ledger.period_cost(0, 10) + ledger.period_cost(10, 20)
+    single = ledger.period_cost(0, 20)
+    # Per-period peaks <= global peak, and each applies for 10 slots:
+    assert split <= single + 1e-9

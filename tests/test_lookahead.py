@@ -1,0 +1,109 @@
+"""Unit tests for the lookahead Postcard scheduler."""
+
+import pytest
+
+from repro.errors import SchedulingError
+from repro.core import LookaheadPostcardScheduler, PostcardScheduler
+from repro.net.generators import complete_topology, line_topology
+from repro.sim import Simulation
+from repro.traffic import PaperWorkload, TraceWorkload, TransferRequest
+
+
+def test_parameters_validated(line3):
+    with pytest.raises(SchedulingError):
+        LookaheadPostcardScheduler(line3, 10, preview=lambda s: [], lookahead=-1)
+    with pytest.raises(SchedulingError):
+        LookaheadPostcardScheduler(
+            line3, 10, preview=lambda s: [], on_infeasible="hope"
+        )
+
+
+def test_zero_lookahead_matches_myopic():
+    topo = complete_topology(5, capacity=30.0, seed=2)
+    workload = PaperWorkload(topo, max_deadline=4, max_files=3, seed=4)
+    myopic = PostcardScheduler(topo, horizon=30)
+    ahead = LookaheadPostcardScheduler(
+        topo, horizon=30, preview=workload.requests_at, lookahead=0
+    )
+    for scheduler in (myopic, ahead):
+        wl = PaperWorkload(topo, max_deadline=4, max_files=3, seed=4)
+        Simulation(scheduler, wl, num_slots=4).run()
+    assert myopic.state.current_cost_per_slot() == pytest.approx(
+        ahead.state.current_cost_per_slot(), rel=1e-6
+    )
+
+
+def test_only_current_files_are_committed(line3):
+    current = TransferRequest(0, 1, 4.0, 2, release_slot=0)
+    future = TransferRequest(1, 2, 4.0, 2, release_slot=1)
+    scheduler = LookaheadPostcardScheduler(
+        line3, horizon=20,
+        preview=lambda s: [future] if s == 1 else [],
+        lookahead=2,
+    )
+    schedule = scheduler.on_slot(0, [current])
+    assert {e.request_id for e in schedule.entries} == {current.request_id}
+    assert future.request_id not in scheduler.state.completions
+
+
+def test_lookahead_avoids_a_foreseeable_trap():
+    """A slot-0 file can take a cheap link or an expensive one; a huge
+    slot-1 file will need the cheap link's full capacity.  The myopic
+    scheduler grabs the cheap link; the lookahead one steps aside."""
+    from repro.net.topology import Datacenter, Link, Topology
+
+    # 0 -> 1 twice: a cheap path via 2 and a pricey direct link.
+    topology = Topology(
+        [Datacenter(0), Datacenter(1), Datacenter(2), Datacenter(3)],
+        [
+            Link(0, 1, price=5.0, capacity=10.0),   # pricey direct
+            Link(0, 2, price=1.0, capacity=10.0),   # cheap relay, hop 1
+            Link(2, 1, price=1.0, capacity=10.0),   # cheap relay, hop 2
+            Link(3, 2, price=9.0, capacity=10.0),   # slot-1 file's only entry
+        ],
+    )
+    small = TransferRequest(0, 1, 10.0, 2, release_slot=0)
+    # The future file monopolizes link (2,1) at slot 1.
+    big = TransferRequest(3, 1, 10.0, 2, release_slot=1)
+
+    def run(lookahead):
+        scheduler = LookaheadPostcardScheduler(
+            topology, horizon=20,
+            preview=lambda s: [big.with_release(1)] if s == 1 else [],
+            lookahead=lookahead,
+        )
+        scheduler.on_slot(0, [small.with_release(0)])
+        later = big.with_release(1)
+        scheduler.on_slot(1, [later])
+        return scheduler.state.current_cost_per_slot()
+
+    assert run(2) <= run(0) + 1e-6
+
+
+def test_infeasible_future_falls_back_to_myopic(line3):
+    current = TransferRequest(0, 1, 4.0, 2, release_slot=0)
+    impossible_future = TransferRequest(0, 2, 1.0, 1, release_slot=1)
+    scheduler = LookaheadPostcardScheduler(
+        line3, horizon=20,
+        preview=lambda s: [impossible_future] if s == 1 else [],
+        lookahead=1,
+    )
+    schedule = scheduler.on_slot(0, [current])
+    assert schedule.delivered_volume(current) == pytest.approx(4.0)
+
+
+def test_release_mismatch(line3):
+    scheduler = LookaheadPostcardScheduler(line3, 10, preview=lambda s: [])
+    with pytest.raises(SchedulingError):
+        scheduler.on_slot(0, [TransferRequest(0, 1, 1.0, 1, release_slot=4)])
+
+
+def test_full_run_with_simulator():
+    topo = complete_topology(4, capacity=30.0, seed=5)
+    workload = PaperWorkload(topo, max_deadline=3, max_files=3, seed=6)
+    scheduler = LookaheadPostcardScheduler(
+        topo, horizon=20, preview=workload.requests_at, lookahead=2,
+        on_infeasible="drop",
+    )
+    result = Simulation(scheduler, workload, num_slots=5).run()
+    assert result.max_lateness() == 0

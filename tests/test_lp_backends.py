@@ -1,0 +1,136 @@
+"""Backend-specific behavior and cross-backend agreement on fixed LPs."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SolverError
+from repro.lp import Model, SolveStatus
+from repro.lp.backends import get_backend, register_backend
+from repro.lp.backends.base import Backend
+
+
+def test_get_backend_names():
+    assert get_backend("highs").name == "highs"
+    assert get_backend("simplex").name == "simplex"
+
+
+def test_get_backend_unknown():
+    with pytest.raises(SolverError, match="available"):
+        get_backend("cplex")
+
+
+def test_register_backend():
+    class Fake(Backend):
+        name = "fake"
+
+        def solve(self, model, **options):
+            raise NotImplementedError
+
+    register_backend("fake", Fake)
+    assert isinstance(get_backend("fake"), Fake)
+
+
+def _transport_model():
+    """A 2x3 transportation problem with known optimum 46."""
+    m = Model("transport")
+    supply = [20, 30]
+    demand = [10, 25, 15]
+    cost = [[2, 4, 5], [3, 1, 7]]
+    x = {}
+    for i in range(2):
+        for j in range(3):
+            x[i, j] = m.add_variable(f"x[{i},{j}]")
+    for i in range(2):
+        m.add_constraint(sum((x[i, j] for j in range(1, 3)), x[i, 0].as_expr()) <= supply[i])
+    for j in range(3):
+        m.add_constraint(x[0, j] + x[1, j] == demand[j])
+    m.minimize(
+        sum(
+            (cost[i][j] * x[i, j] for i in range(2) for j in range(3) if (i, j) != (0, 0)),
+            cost[0][0] * x[0, 0],
+        )
+    )
+    return m
+
+
+@pytest.mark.parametrize("backend", ["highs", "simplex"])
+def test_transportation_problem(backend):
+    m = _transport_model()
+    solution = m.solve(backend)
+    # Optimum 125: x[1,1]=25 (cost 25), x[0,2]=15 (75), x[0,0]=5 (10),
+    # x[1,0]=5 (15).
+    assert solution.status is SolveStatus.OPTIMAL
+    assert solution.objective == pytest.approx(125.0, abs=1e-6)
+
+
+def test_backends_agree_on_transport():
+    a = _transport_model().solve("highs")
+    b = _transport_model().solve("simplex")
+    assert a.objective == pytest.approx(b.objective, abs=1e-6)
+
+
+@pytest.mark.parametrize("backend", ["highs", "simplex"])
+def test_degenerate_problem(backend):
+    # Multiple optima: any split of x+y=1 has the same cost.
+    m = Model()
+    x, y = m.add_variable("x"), m.add_variable("y")
+    m.add_constraint(x + y == 1)
+    m.minimize(x + y)
+    solution = m.solve(backend)
+    assert solution.objective == pytest.approx(1.0)
+    assert solution.value(x) + solution.value(y) == pytest.approx(1.0)
+
+
+@pytest.mark.parametrize("backend", ["highs", "simplex"])
+def test_redundant_constraints(backend):
+    m = Model()
+    x = m.add_variable("x", lb=1.0)
+    m.add_constraint(x >= 1)
+    m.add_constraint(x >= 1)
+    m.add_constraint(2 * x >= 2)
+    m.minimize(x)
+    assert m.solve(backend).objective == pytest.approx(1.0)
+
+
+@pytest.mark.parametrize("backend", ["highs", "simplex"])
+def test_variable_with_equal_bounds(backend):
+    m = Model()
+    x = m.add_variable("x", lb=3.0, ub=3.0)
+    y = m.add_variable("y")
+    m.add_constraint(y >= x)
+    m.minimize(y)
+    assert m.solve(backend).objective == pytest.approx(3.0)
+
+
+@pytest.mark.parametrize("backend", ["highs", "simplex"])
+def test_negative_lower_bounds(backend):
+    m = Model()
+    x = m.add_variable("x", lb=-5.0, ub=-1.0)
+    m.minimize(x)
+    assert m.solve(backend).objective == pytest.approx(-5.0)
+
+
+@pytest.mark.parametrize("backend", ["highs", "simplex"])
+def test_upper_bound_only_variable(backend):
+    m = Model()
+    x = m.add_variable("x", lb=None, ub=10.0)
+    m.maximize(x)
+    assert m.solve(backend).objective == pytest.approx(10.0)
+
+
+def test_simplex_iteration_limit():
+    m = Model()
+    xs = m.add_variables(5)
+    for i in range(4):
+        m.add_constraint(xs[i] + xs[i + 1] >= 1)
+    m.minimize(sum(xs[1:], xs[0].as_expr()))
+    with pytest.raises(SolverError):
+        m.solve("simplex", max_iter=1)
+
+
+def test_solution_repr():
+    m = Model()
+    x = m.add_variable("x", lb=2.0)
+    m.minimize(x)
+    text = repr(m.solve())
+    assert "optimal" in text and "2" in text

@@ -1,0 +1,133 @@
+"""Unit + property tests for the interior-point backend."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import SolverError, UnboundedError
+from repro.lp import Model
+from repro.lp.backends import get_backend
+
+
+def test_backend_registered():
+    assert get_backend("interior_point").name == "interior_point"
+
+
+def test_diet_problem():
+    m = Model()
+    x, y = m.add_variable("x"), m.add_variable("y")
+    m.add_constraint(x + 2 * y >= 4)
+    m.add_constraint(3 * x + y >= 6)
+    m.minimize(2 * x + 3 * y)
+    solution = m.solve("interior_point")
+    assert solution.objective == pytest.approx(6.8, abs=1e-5)
+    assert solution.iterations < 50
+
+
+def test_maximize_with_bounds():
+    m = Model()
+    a = m.add_variable("a", lb=0, ub=5)
+    b = m.add_variable("b", lb=None)
+    m.add_constraint(a + b <= 10)
+    m.add_constraint(b <= 3)
+    m.maximize(2 * a + b + 7)
+    assert m.solve("interior_point").objective == pytest.approx(20.0, abs=1e-5)
+
+
+def test_equality_constraints():
+    m = Model()
+    x, y = m.add_variable("x"), m.add_variable("y")
+    m.add_constraint(x + y == 10)
+    m.add_constraint(x - y == 2)
+    m.minimize(x)
+    solution = m.solve("interior_point")
+    assert solution.value(x) == pytest.approx(6.0, abs=1e-5)
+
+
+def test_unbounded_detected():
+    m = Model()
+    v = m.add_variable("v")
+    u = m.add_variable("u")
+    m.add_constraint(v - u == 1)
+    m.minimize(-v)
+    with pytest.raises(UnboundedError):
+        m.solve("interior_point")
+
+
+def test_infeasible_reported_as_failure():
+    # IPM has no clean phase-1; infeasibility surfaces as a solver
+    # failure (SolverError) rather than silently wrong numbers.
+    m = Model()
+    w = m.add_variable("w", ub=1)
+    m.add_constraint(w >= 2)
+    m.minimize(w)
+    with pytest.raises(SolverError):
+        m.solve("interior_point")
+
+
+def test_unconstrained_box():
+    m = Model()
+    x = m.add_variable("x", lb=2.0)
+    m.minimize(x)
+    assert m.solve("interior_point").objective == pytest.approx(2.0, abs=1e-5)
+
+
+def test_postcard_fig3_instance():
+    """The paper's worked example solved with the paper's solver family."""
+    from repro.core import build_postcard_model
+    from repro.core.state import NetworkState
+    from repro.net.generators import fig3_topology
+    from repro.traffic import TransferRequest
+
+    state = NetworkState(fig3_topology(), horizon=100)
+    built = build_postcard_model(
+        state,
+        [
+            TransferRequest(2, 4, 8.0, 4, release_slot=0),
+            TransferRequest(1, 4, 10.0, 2, release_slot=0),
+        ],
+    )
+    _, solution = built.solve(backend="interior_point")
+    assert solution.objective == pytest.approx(98.0 / 3.0, abs=1e-4)
+
+
+_coef = st.integers(-4, 4)
+
+
+@st.composite
+def feasible_lps(draw):
+    """Random LPs with a known interior feasible point (the anchor is
+    strictly inside every inequality), so IPM convergence is fair."""
+    n = draw(st.integers(1, 4))
+    anchor = [draw(st.integers(1, 8)) for _ in range(n)]
+    m_count = draw(st.integers(1, 5))
+    cons = []
+    for _ in range(m_count):
+        coeffs = [draw(_coef) for _ in range(n)]
+        slack = draw(st.integers(1, 10))
+        kind = draw(st.sampled_from(["le", "ge"]))
+        at = sum(c * a for c, a in zip(coeffs, anchor))
+        rhs = at + slack if kind == "le" else at - slack
+        cons.append((coeffs, kind, rhs))
+    obj = [draw(_coef) for _ in range(n)]
+    return n, cons, obj
+
+
+def _build(spec):
+    n, cons, obj = spec
+    m = Model()
+    xs = [m.add_variable(f"x{i}", lb=0.0, ub=10.0) for i in range(n)]
+    for coeffs, kind, rhs in cons:
+        expr = sum((c * x for c, x in zip(coeffs[1:], xs[1:])), coeffs[0] * xs[0])
+        m.add_constraint(expr <= rhs if kind == "le" else expr >= rhs)
+    m.minimize(sum((c * x for c, x in zip(obj[1:], xs[1:])), obj[0] * xs[0]))
+    return m
+
+
+@settings(max_examples=40, deadline=None)
+@given(feasible_lps())
+def test_ipm_matches_highs_on_feasible_lps(spec):
+    reference = _build(spec).solve("highs")
+    solution = _build(spec).solve("interior_point")
+    assert solution.objective == pytest.approx(
+        reference.objective, abs=1e-4, rel=1e-4
+    )

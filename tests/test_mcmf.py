@@ -1,0 +1,172 @@
+"""Unit tests for the combinatorial flow algorithms (vs networkx)."""
+
+import networkx as nx
+import pytest
+
+from repro.errors import SolverError, TopologyError
+from repro.mcmf import FlowNetwork, dinic_max_flow, max_concurrent_flow, min_cost_flow
+
+
+def diamond():
+    """The classic 4-node diamond: 0 -> {1,2} -> 3."""
+    net = FlowNetwork(4)
+    net.add_edge(0, 1, capacity=10, cost=1)
+    net.add_edge(0, 2, capacity=5, cost=2)
+    net.add_edge(1, 3, capacity=7, cost=1)
+    net.add_edge(2, 3, capacity=8, cost=1)
+    net.add_edge(1, 2, capacity=3, cost=0)
+    return net
+
+
+class TestFlowNetwork:
+    def test_validation(self):
+        with pytest.raises(TopologyError):
+            FlowNetwork(0)
+        net = FlowNetwork(2)
+        with pytest.raises(TopologyError):
+            net.add_edge(0, 5, capacity=1)
+        with pytest.raises(TopologyError):
+            net.add_edge(0, 1, capacity=-1)
+
+    def test_edge_bookkeeping(self):
+        net = FlowNetwork(2)
+        idx = net.add_edge(0, 1, capacity=4, cost=3)
+        assert net.edge_flow(idx) == 0.0
+        assert net.edge_flows() == []
+        net.adj[0][0].push(2.0)
+        assert net.edge_flow(idx) == 2.0
+        assert net.total_cost() == pytest.approx(6.0)
+        net.reset_flows()
+        assert net.edge_flow(idx) == 0.0
+
+    def test_from_edges(self):
+        net = FlowNetwork.from_edges(3, [(0, 1, 2.0, 1.0), (1, 2, 2.0, 1.0)])
+        assert dinic_max_flow(net, 0, 2) == pytest.approx(2.0)
+
+
+class TestMaxFlow:
+    def test_diamond(self):
+        # Max flow 0->3 = 15: 0->1 carries 10 (7 on to 3, 3 via the
+        # shortcut to 2), 0->2 carries 5, and 2->3 carries 8.
+        assert dinic_max_flow(diamond(), 0, 3) == pytest.approx(15.0)
+
+    def test_matches_networkx_on_diamond(self):
+        g = nx.DiGraph()
+        for e in [(0, 1, 10), (0, 2, 5), (1, 3, 7), (2, 3, 8), (1, 2, 3)]:
+            g.add_edge(e[0], e[1], capacity=e[2])
+        expected, _ = nx.maximum_flow(g, 0, 3)
+        assert dinic_max_flow(diamond(), 0, 3) == pytest.approx(expected)
+
+    def test_disconnected(self):
+        net = FlowNetwork(3)
+        net.add_edge(0, 1, capacity=5)
+        assert dinic_max_flow(net, 0, 2) == 0.0
+
+    def test_validation(self):
+        net = FlowNetwork(3)
+        with pytest.raises(TopologyError):
+            dinic_max_flow(net, 1, 1)
+        with pytest.raises(TopologyError):
+            dinic_max_flow(net, 0, 9)
+
+    def test_flow_conservation(self):
+        net = diamond()
+        value = dinic_max_flow(net, 0, 3)
+        balance = [0.0] * 4
+        for src, dst, flow in net.edge_flows():
+            balance[src] -= flow
+            balance[dst] += flow
+        assert balance[0] == pytest.approx(-value)
+        assert balance[3] == pytest.approx(value)
+        assert balance[1] == pytest.approx(0.0)
+        assert balance[2] == pytest.approx(0.0)
+
+
+class TestMinCostFlow:
+    def test_prefers_cheap_path(self):
+        net = FlowNetwork(3)
+        net.add_edge(0, 1, capacity=10, cost=1)
+        net.add_edge(1, 2, capacity=10, cost=1)
+        net.add_edge(0, 2, capacity=10, cost=5)
+        cost = min_cost_flow(net, 0, 2, amount=5)
+        assert cost == pytest.approx(10.0)  # via the 2-hop cost-2 path
+
+    def test_spills_to_expensive_path(self):
+        net = FlowNetwork(3)
+        net.add_edge(0, 1, capacity=4, cost=1)
+        net.add_edge(1, 2, capacity=4, cost=1)
+        net.add_edge(0, 2, capacity=10, cost=5)
+        cost = min_cost_flow(net, 0, 2, amount=6)
+        assert cost == pytest.approx(4 * 2 + 2 * 5)
+
+    def test_matches_networkx(self):
+        net = diamond()
+        cost = min_cost_flow(net, 0, 3, amount=12)
+        g = nx.DiGraph()
+        for e, (cap, c) in {
+            (0, 1): (10, 1), (0, 2): (5, 2), (1, 3): (7, 1),
+            (2, 3): (8, 1), (1, 2): (3, 0),
+        }.items():
+            g.add_edge(*e, capacity=cap, weight=c)
+        g.nodes[0]["demand"] = -12
+        g.nodes[3]["demand"] = 12
+        expected = nx.min_cost_flow_cost(g)
+        assert cost == pytest.approx(expected)
+
+    def test_insufficient_capacity(self):
+        net = FlowNetwork(2)
+        net.add_edge(0, 1, capacity=3, cost=1)
+        with pytest.raises(SolverError):
+            min_cost_flow(net, 0, 1, amount=5)
+
+    def test_zero_amount(self):
+        assert min_cost_flow(diamond(), 0, 3, 0.0) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(TopologyError):
+            min_cost_flow(diamond(), 1, 1, 1.0)
+        with pytest.raises(TopologyError):
+            min_cost_flow(diamond(), 0, 3, -1.0)
+
+    def test_negative_cycle_detected(self):
+        net = FlowNetwork(2)
+        net.add_edge(0, 1, capacity=5, cost=-2)
+        net.add_edge(1, 0, capacity=5, cost=-2)
+        with pytest.raises(SolverError):
+            min_cost_flow(net, 0, 1, amount=1)
+
+
+class TestMaxConcurrentFlow:
+    def test_single_commodity_equals_maxflow_fraction(self):
+        # Demand 30 through a 15-capacity network: lambda = 0.5.
+        edges = [(0, 1, 10.0), (0, 2, 5.0), (1, 3, 7.0), (2, 3, 8.0), (1, 2, 3.0)]
+        lam, flows = max_concurrent_flow(4, edges, [(0, 3, 30.0)])
+        assert lam == pytest.approx(0.5)
+
+    def test_lambda_capped(self):
+        edges = [(0, 1, 100.0)]
+        lam, _ = max_concurrent_flow(2, edges, [(0, 1, 1.0)], cap_lambda=1.0)
+        assert lam == pytest.approx(1.0)
+
+    def test_two_commodities_share_bottleneck(self):
+        # Both commodities cross the same 10-capacity edge with demand
+        # 10 each: lambda = 0.5.
+        edges = [(0, 1, 10.0), (2, 0, 100.0), (1, 3, 100.0)]
+        commodities = [(0, 1, 10.0), (2, 3, 10.0)]
+        lam, flows = max_concurrent_flow(4, edges, commodities, cap_lambda=10.0)
+        assert lam == pytest.approx(0.5)
+        # Flows reported per commodity respect the shared edge.
+        total_on_bottleneck = sum(f.get((0, 1), 0.0) for f in flows)
+        assert total_on_bottleneck <= 10.0 + 1e-6
+
+    def test_validation(self):
+        with pytest.raises(TopologyError):
+            max_concurrent_flow(2, [], [])
+        with pytest.raises(TopologyError):
+            max_concurrent_flow(2, [], [(0, 0, 1.0)])
+        with pytest.raises(TopologyError):
+            max_concurrent_flow(2, [], [(0, 1, 0.0)])
+        with pytest.raises(TopologyError):
+            max_concurrent_flow(2, [], [(0, 5, 1.0)])
+        with pytest.raises(TopologyError):
+            max_concurrent_flow(2, [(0, 1, -1.0)], [(0, 1, 1.0)])

@@ -1,0 +1,101 @@
+"""Property-based tests: our flow algorithms agree with networkx."""
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import SolverError
+from repro.mcmf import FlowNetwork, dinic_max_flow, min_cost_flow
+
+
+@st.composite
+def random_graphs(draw):
+    """A random directed graph with integer capacities and costs."""
+    n = draw(st.integers(2, 7))
+    max_edges = n * (n - 1)
+    pair_pool = [(i, j) for i in range(n) for j in range(n) if i != j]
+    count = draw(st.integers(1, min(12, max_edges)))
+    indices = draw(
+        st.lists(
+            st.integers(0, len(pair_pool) - 1),
+            min_size=count,
+            max_size=count,
+            unique=True,
+        )
+    )
+    edges = []
+    for idx in indices:
+        src, dst = pair_pool[idx]
+        capacity = draw(st.integers(1, 20))
+        cost = draw(st.integers(0, 9))
+        edges.append((src, dst, float(capacity), float(cost)))
+    return n, edges
+
+
+@settings(max_examples=40, deadline=None)
+@given(random_graphs())
+def test_dinic_matches_networkx(graph):
+    n, edges = graph
+    net = FlowNetwork.from_edges(n, edges)
+    g = nx.DiGraph()
+    g.add_nodes_from(range(n))
+    for src, dst, capacity, _cost in edges:
+        g.add_edge(src, dst, capacity=capacity)
+    ours = dinic_max_flow(net, 0, n - 1)
+    theirs, _ = nx.maximum_flow(g, 0, n - 1)
+    assert ours == pytest.approx(theirs, abs=1e-6)
+
+
+@settings(max_examples=40, deadline=None)
+@given(random_graphs(), st.integers(1, 10))
+def test_min_cost_flow_matches_networkx(graph, amount):
+    n, edges = graph
+    net = FlowNetwork.from_edges(n, edges)
+    # Only compare when the amount is routable at all.
+    capacity_net = FlowNetwork.from_edges(n, edges)
+    if dinic_max_flow(capacity_net, 0, n - 1) < amount - 1e-9:
+        with pytest.raises(SolverError):
+            min_cost_flow(net, 0, n - 1, float(amount))
+        return
+
+    ours = min_cost_flow(net, 0, n - 1, float(amount))
+
+    g = nx.DiGraph()
+    g.add_nodes_from(range(n))
+    for src, dst, capacity, cost in edges:
+        if g.has_edge(src, dst):
+            continue
+        g.add_edge(src, dst, capacity=capacity, weight=cost)
+    g.nodes[0]["demand"] = -amount
+    g.nodes[n - 1]["demand"] = amount
+    theirs = nx.min_cost_flow_cost(g)
+    assert ours == pytest.approx(theirs, abs=1e-6)
+
+
+@settings(max_examples=30, deadline=None)
+@given(random_graphs())
+def test_min_cost_flow_conserves_and_respects_capacity(graph):
+    n, edges = graph
+    probe = FlowNetwork.from_edges(n, edges)
+    routable = dinic_max_flow(probe, 0, n - 1)
+    if routable < 1e-9:
+        return
+    amount = routable / 2.0
+    net = FlowNetwork.from_edges(n, edges)
+    min_cost_flow(net, 0, n - 1, amount)
+    balance = [0.0] * n
+    caps = {}
+    for src, dst, capacity, _cost in edges:
+        caps[(src, dst)] = caps.get((src, dst), 0.0) + capacity
+    used = {}
+    for src, dst, flow in net.edge_flows():
+        assert flow >= -1e-9
+        used[(src, dst)] = used.get((src, dst), 0.0) + flow
+        balance[src] -= flow
+        balance[dst] += flow
+    for key, flow in used.items():
+        assert flow <= caps[key] + 1e-6
+    assert balance[0] == pytest.approx(-amount, abs=1e-6)
+    assert balance[n - 1] == pytest.approx(amount, abs=1e-6)
+    for node in range(1, n - 1):
+        assert balance[node] == pytest.approx(0.0, abs=1e-6)

@@ -1,0 +1,70 @@
+"""Unit tests for the offline (hindsight-optimal) solver."""
+
+import pytest
+
+from repro.errors import SchedulingError
+from repro.core import (
+    PostcardScheduler,
+    empirical_competitive_ratio,
+    solve_offline,
+)
+from repro.net.generators import complete_topology, fig3_topology
+from repro.traffic import PaperWorkload, TransferRequest
+
+
+def test_needs_requests(fig3):
+    with pytest.raises(SchedulingError):
+        solve_offline(fig3, [], horizon=10)
+
+
+def test_single_batch_equals_online(fig3):
+    # With one release slot, online and offline see the same problem.
+    files = [
+        TransferRequest(2, 4, 8.0, 4, release_slot=3),
+        TransferRequest(1, 4, 10.0, 2, release_slot=3),
+    ]
+    offline = solve_offline(fig3, files, horizon=100)
+    assert offline.cost_per_slot == pytest.approx(98.0 / 3.0)
+    offline.schedule.validate(files)
+
+
+def test_offline_bounds_online():
+    topo = complete_topology(5, capacity=30.0, seed=19)
+    workload = PaperWorkload(topo, max_deadline=4, max_files=3, seed=8)
+    horizon = 30
+
+    online = PostcardScheduler(topo, horizon=horizon)
+    all_requests = []
+    for slot in range(5):
+        requests = workload.requests_at(slot)
+        online.on_slot(slot, requests)
+        all_requests.extend(requests)
+
+    # The offline solver must see fresh copies (ids are reused).
+    offline = solve_offline(topo, all_requests, horizon=horizon)
+    ratio = empirical_competitive_ratio(
+        online.state.current_cost_per_slot(), offline
+    )
+    assert ratio >= 1.0 - 1e-9
+
+
+def test_offline_result_state_billed(fig3):
+    files = [TransferRequest(1, 4, 10.0, 2, release_slot=0)]
+    offline = solve_offline(fig3, files, horizon=50)
+    assert offline.state.current_cost_per_slot() == pytest.approx(
+        offline.cost_per_slot
+    )
+    assert files[0].request_id in offline.state.completions
+
+
+def test_competitive_ratio_zero_cases(fig3):
+    files = [TransferRequest(1, 4, 10.0, 2, release_slot=0)]
+    offline = solve_offline(fig3, files, horizon=50)
+    assert empirical_competitive_ratio(offline.cost_per_slot, offline) == pytest.approx(1.0)
+
+    class FakeZero:
+        cost_per_slot = 0.0
+
+    assert empirical_competitive_ratio(0.0, FakeZero()) == 1.0
+    with pytest.raises(SchedulingError):
+        empirical_competitive_ratio(5.0, FakeZero())

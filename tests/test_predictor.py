@@ -1,0 +1,108 @@
+"""Unit tests for noisy arrival previews."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.core import LookaheadPostcardScheduler
+from repro.net.generators import complete_topology
+from repro.sim import Simulation
+from repro.traffic import PaperWorkload
+from repro.traffic.predictor import NoisyPreview
+
+
+@pytest.fixture
+def setup():
+    topo = complete_topology(5, capacity=40.0, seed=6)
+    workload = PaperWorkload(topo, max_deadline=4, max_files=4, seed=7)
+    return topo, workload
+
+
+def test_validation(setup):
+    topo, workload = setup
+    with pytest.raises(WorkloadError):
+        NoisyPreview(workload, topo, miss_rate=1.5)
+    with pytest.raises(WorkloadError):
+        NoisyPreview(workload, topo, phantom_rate=-1)
+    with pytest.raises(WorkloadError):
+        NoisyPreview(workload, topo, size_noise=-0.1)
+
+
+def test_perfect_preview_matches_workload(setup):
+    topo, workload = setup
+    preview = NoisyPreview(workload, topo)
+    real = workload.requests_at(3)
+    seen = preview(3)
+    assert len(seen) == len(real)
+    for a, b in zip(real, seen):
+        assert (a.source, a.destination, a.size_gb) == (b.source, b.destination, b.size_gb)
+        assert a.request_id != b.request_id  # previews never alias reality
+
+
+def test_misses_drop_files(setup):
+    topo, workload = setup
+    preview = NoisyPreview(workload, topo, miss_rate=1.0)
+    assert preview(3) == []
+
+
+def test_phantoms_add_files(setup):
+    topo, workload = setup
+    preview = NoisyPreview(workload, topo, miss_rate=1.0, phantom_rate=3.0, seed=1)
+    counts = [len(preview(s)) for s in range(20)]
+    assert sum(counts) > 0
+    assert 1.0 < sum(counts) / len(counts) < 6.0
+
+
+def test_size_noise_perturbs(setup):
+    topo, workload = setup
+    preview = NoisyPreview(workload, topo, size_noise=0.3, seed=2)
+    real = workload.requests_at(0)
+    seen = preview(0)
+    assert any(
+        abs(a.size_gb - b.size_gb) > 1e-9 for a, b in zip(real, seen)
+    )
+    assert all(b.size_gb > 0 for b in seen)
+
+
+def test_deterministic_per_slot(setup):
+    topo, workload = setup
+    preview = NoisyPreview(workload, topo, miss_rate=0.5, seed=4)
+    a = [(r.source, r.size_gb) for r in preview(5)]
+    b = [(r.source, r.size_gb) for r in preview(5)]
+    assert a == b
+
+
+def test_lookahead_with_noisy_preview_stays_feasible(setup):
+    """A wrong preview must never break the committed schedules: the
+    controller re-solves each slot with the real files."""
+    topo, workload = setup
+    preview = NoisyPreview(
+        workload, topo, miss_rate=0.4, phantom_rate=2.0, size_noise=0.3, seed=5
+    )
+    scheduler = LookaheadPostcardScheduler(
+        topo, horizon=20, preview=preview, lookahead=2, on_infeasible="drop"
+    )
+    result = Simulation(scheduler, workload, num_slots=5).run()
+    assert result.max_lateness() == 0
+
+
+def test_noisy_lookahead_between_myopic_and_oracle(setup):
+    """On average a noisy preview should not do much worse than no
+    preview at all (phantoms only make the co-optimization cautious),
+    though this is a statistical tendency — here we just check the
+    noisy variant stays within a loose band of the oracle's cost."""
+    topo, workload_template = setup
+
+    def run(preview_factory):
+        workload = PaperWorkload(topo, max_deadline=4, max_files=4, seed=7)
+        scheduler = LookaheadPostcardScheduler(
+            topo, horizon=20, preview=preview_factory(workload),
+            lookahead=2, on_infeasible="drop",
+        )
+        Simulation(scheduler, workload, num_slots=5).run()
+        return scheduler.state.current_cost_per_slot()
+
+    oracle_cost = run(lambda w: w.requests_at)
+    noisy_cost = run(
+        lambda w: NoisyPreview(w, topo, miss_rate=0.3, phantom_rate=1.0, seed=9)
+    )
+    assert noisy_cost <= oracle_cost * 2.0

@@ -1,0 +1,52 @@
+"""Unit tests for the scheduler registry."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.core.interfaces import Scheduler
+from repro.net.generators import line_topology
+from repro.registry import (
+    make_scheduler,
+    register_scheduler,
+    scheduler_factory,
+    scheduler_names,
+)
+
+
+def test_names_cover_all_families():
+    names = scheduler_names()
+    assert "postcard" in names
+    assert "flow-based" in names
+    assert "flow-2phase" in names
+    assert "direct" in names
+    assert "greedy" in names
+    assert "q-aware" in names
+    assert "postcard-replan" in names
+    assert "postcard-no-storage" in names
+    assert names == sorted(names)
+
+
+@pytest.mark.parametrize("name", [
+    "postcard", "flow-based", "flow-2phase", "direct", "greedy",
+    "q-aware", "postcard-replan", "postcard-no-storage",
+])
+def test_every_factory_builds_a_scheduler(name, line3):
+    scheduler = make_scheduler(name, line3, horizon=10)
+    assert isinstance(scheduler, Scheduler)
+    assert scheduler.state.topology is line3
+
+
+def test_unknown_name_rejected(line3):
+    with pytest.raises(ReproError, match="available"):
+        make_scheduler("quantum", line3, 10)
+    with pytest.raises(ReproError):
+        scheduler_factory("quantum")
+
+
+def test_register_custom(line3):
+    from repro.baselines import DirectScheduler
+
+    register_scheduler("custom-direct", lambda t, h: DirectScheduler(t, h))
+    scheduler = make_scheduler("custom-direct", line3, 10)
+    assert isinstance(scheduler, DirectScheduler)
+    assert "custom-direct" in scheduler_names()

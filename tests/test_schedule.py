@@ -1,0 +1,180 @@
+"""Unit tests for TransferSchedule and its feasibility audits."""
+
+import pytest
+
+from repro.errors import SchedulingError
+from repro.core.schedule import (
+    SEMANTICS_FLUID,
+    SEMANTICS_STORE_AND_FORWARD,
+    ScheduleEntry,
+    TransferSchedule,
+)
+from repro.timeexp.graph import ArcKind
+from repro.traffic import TransferRequest
+
+
+def hold(rid, node, slot, vol):
+    return ScheduleEntry(rid, node, node, slot, vol, ArcKind.HOLDOVER)
+
+
+def move(rid, src, dst, slot, vol):
+    return ScheduleEntry(rid, src, dst, slot, vol)
+
+
+def test_entry_validation():
+    with pytest.raises(SchedulingError):
+        ScheduleEntry(1, 0, 1, 0, -1.0)
+    with pytest.raises(SchedulingError):
+        ScheduleEntry(1, 0, 0, 0, 1.0)  # self loop must be holdover
+    with pytest.raises(SchedulingError):
+        ScheduleEntry(1, 0, 1, 0, 1.0, ArcKind.HOLDOVER)  # holdover must self-loop
+
+
+def test_semantics_validation():
+    with pytest.raises(SchedulingError):
+        TransferSchedule([], semantics="quantum")
+
+
+def test_zero_volume_entries_dropped():
+    schedule = TransferSchedule([move(1, 0, 1, 0, 0.0)])
+    assert len(schedule) == 0
+    assert not schedule
+
+
+def test_aggregations():
+    schedule = TransferSchedule(
+        [
+            move(1, 0, 1, 0, 3.0),
+            move(2, 0, 1, 0, 2.0),
+            move(1, 1, 2, 1, 3.0),
+            hold(1, 1, 0, 3.0),
+        ]
+    )
+    assert schedule.link_slot_volumes() == {(0, 1, 0): 5.0, (1, 2, 1): 3.0}
+    assert schedule.storage_slot_volumes() == {(1, 0): 3.0}
+    assert schedule.total_transit_volume() == 8.0
+    assert schedule.total_storage_volume() == 3.0
+    assert schedule.slots_used() == [0, 1]
+    assert len(schedule.entries_for_request(1)) == 3
+
+
+def test_merge_same_semantics():
+    a = TransferSchedule([move(1, 0, 1, 0, 1.0)])
+    b = TransferSchedule([move(2, 0, 1, 0, 1.0)])
+    merged = a.merge(b)
+    assert len(merged) == 2
+
+
+def test_merge_mixed_semantics_rejected():
+    a = TransferSchedule([], semantics=SEMANTICS_STORE_AND_FORWARD)
+    b = TransferSchedule([], semantics=SEMANTICS_FLUID)
+    with pytest.raises(SchedulingError):
+        a.merge(b)
+
+
+def test_delivered_volume_and_completion():
+    request = TransferRequest(0, 2, 6.0, 3, release_slot=0)
+    rid = request.request_id
+    schedule = TransferSchedule(
+        [
+            move(rid, 0, 1, 0, 6.0),
+            move(rid, 1, 2, 1, 3.0),
+            hold(rid, 1, 1, 3.0),
+            move(rid, 1, 2, 2, 3.0),
+        ]
+    )
+    assert schedule.delivered_volume(request) == pytest.approx(6.0)
+    assert schedule.completion_slot(request) == 2
+
+
+def test_completion_none_when_undelivered():
+    request = TransferRequest(0, 2, 6.0, 3)
+    schedule = TransferSchedule([move(request.request_id, 0, 1, 0, 6.0)])
+    assert schedule.completion_slot(request) is None
+
+
+def test_validate_full_delivery_required():
+    request = TransferRequest(0, 1, 6.0, 3)
+    schedule = TransferSchedule([move(request.request_id, 0, 1, 0, 5.0)])
+    with pytest.raises(SchedulingError, match="delivers"):
+        schedule.validate([request])
+
+
+def test_validate_unknown_request():
+    request = TransferRequest(0, 1, 6.0, 3)
+    schedule = TransferSchedule([move(999999, 0, 1, 0, 6.0)])
+    with pytest.raises(SchedulingError, match="unknown"):
+        schedule.validate([request])
+
+
+def test_validate_window():
+    request = TransferRequest(0, 1, 6.0, 2, release_slot=1)
+    schedule = TransferSchedule(
+        [move(request.request_id, 0, 1, 3, 6.0)]  # slot 3 > last slot 2
+    )
+    with pytest.raises(SchedulingError, match="outside"):
+        schedule.validate([request])
+
+
+def test_validate_conservation_store_and_forward():
+    request = TransferRequest(0, 2, 6.0, 3, release_slot=0)
+    rid = request.request_id
+    # Data "teleports": leaves 0 and arrives at 2 from node 1 without
+    # ever reaching node 1.
+    bad = TransferSchedule([move(rid, 0, 1, 0, 6.0), move(rid, 1, 2, 0, 6.0)])
+    with pytest.raises(SchedulingError, match="conservation"):
+        bad.validate([request])
+
+
+def test_validate_good_store_and_forward():
+    request = TransferRequest(0, 2, 6.0, 3, release_slot=0)
+    rid = request.request_id
+    good = TransferSchedule([move(rid, 0, 1, 0, 6.0), move(rid, 1, 2, 1, 6.0)])
+    good.validate([request])  # no exception
+
+
+def test_validate_fluid_allows_same_slot_relay():
+    request = TransferRequest(0, 2, 6.0, 3, release_slot=0)
+    rid = request.request_id
+    fluid = TransferSchedule(
+        [
+            move(rid, 0, 1, 0, 2.0), move(rid, 1, 2, 0, 2.0),
+            move(rid, 0, 1, 1, 2.0), move(rid, 1, 2, 1, 2.0),
+            move(rid, 0, 1, 2, 2.0), move(rid, 1, 2, 2, 2.0),
+        ],
+        semantics=SEMANTICS_FLUID,
+    )
+    fluid.validate([request])  # no exception
+
+
+def test_validate_fluid_rejects_imbalance():
+    request = TransferRequest(0, 2, 4.0, 2, release_slot=0)
+    rid = request.request_id
+    bad = TransferSchedule(
+        [
+            move(rid, 0, 1, 0, 2.0), move(rid, 1, 2, 0, 1.0),
+            move(rid, 0, 1, 1, 2.0), move(rid, 1, 2, 1, 3.0),
+        ],
+        semantics=SEMANTICS_FLUID,
+    )
+    with pytest.raises(SchedulingError, match="fluid conservation"):
+        bad.validate([request])
+
+
+def test_validate_fluid_rejects_holdover():
+    request = TransferRequest(0, 1, 4.0, 2, release_slot=0)
+    rid = request.request_id
+    bad = TransferSchedule(
+        [move(rid, 0, 1, 0, 4.0), hold(rid, 0, 0, 1.0)],
+        semantics=SEMANTICS_FLUID,
+    )
+    with pytest.raises(SchedulingError, match="holdover"):
+        bad.validate([request])
+
+
+def test_validate_capacity():
+    request = TransferRequest(0, 1, 6.0, 1, release_slot=0)
+    schedule = TransferSchedule([move(request.request_id, 0, 1, 0, 6.0)])
+    with pytest.raises(SchedulingError, match="capacity"):
+        schedule.validate([request], capacity_fn=lambda s, d, n: 5.0)
+    schedule.validate([request], capacity_fn=lambda s, d, n: 6.0)

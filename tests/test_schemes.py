@@ -1,0 +1,68 @@
+"""Unit tests for percentile charging schemes."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ChargingError
+from repro.charging import MaxCharging, PercentileCharging
+
+
+def test_max_charging_picks_peak():
+    scheme = MaxCharging()
+    assert scheme.charged_volume([1.0, 9.0, 3.0]) == 9.0
+    assert scheme.charged_volume([]) == 0.0
+
+
+def test_percentile_95_ignores_top_5_percent():
+    scheme = PercentileCharging(95)
+    samples = [0.0] * 95 + [100.0] * 5
+    # Sorted ascending, the 95th of 100 samples (index 94) is 0.
+    assert scheme.charged_volume(samples) == 0.0
+    samples = [0.0] * 94 + [100.0] * 6
+    assert scheme.charged_volume(samples) == 100.0
+
+
+def test_percentile_50_is_lower_median():
+    scheme = PercentileCharging(50)
+    assert scheme.charged_volume([1, 2, 3, 4]) == 2.0
+
+
+def test_percentile_validation():
+    with pytest.raises(ChargingError):
+        PercentileCharging(0)
+    with pytest.raises(ChargingError):
+        PercentileCharging(101)
+    with pytest.raises(ChargingError):
+        PercentileCharging(95).charged_volume([-1.0])
+    with pytest.raises(ChargingError):
+        MaxCharging().charged_volume([-1.0])
+
+
+def test_max_charging_is_percentile_100():
+    assert MaxCharging().q == 100.0
+
+
+volumes = st.lists(st.floats(0, 1e6, allow_nan=False), min_size=1, max_size=50)
+
+
+@given(volumes)
+def test_charged_volume_is_an_observed_sample(samples):
+    value = PercentileCharging(95).charged_volume(samples)
+    assert value in np.asarray(samples, dtype=float)
+
+
+@given(volumes, st.floats(1, 100), st.floats(1, 100))
+def test_percentile_monotone_in_q(samples, q1, q2):
+    lo, hi = sorted([q1, q2])
+    assert (
+        PercentileCharging(lo).charged_volume(samples)
+        <= PercentileCharging(hi).charged_volume(samples)
+    )
+
+
+@given(volumes)
+def test_max_dominates_all_percentiles(samples):
+    peak = MaxCharging().charged_volume(samples)
+    for q in (50, 90, 95, 99):
+        assert PercentileCharging(q).charged_volume(samples) <= peak

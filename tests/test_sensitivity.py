@@ -1,0 +1,69 @@
+"""Unit tests for the parameter-sweep helper."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.analysis import SweepResult, sweep
+
+
+def test_validation():
+    with pytest.raises(ReproError):
+        sweep("x", [], lambda v, s: 0.0)
+    with pytest.raises(ReproError):
+        sweep("x", [1], lambda v, s: 0.0, runs=0)
+
+
+def test_paired_seeds():
+    seen = []
+
+    def measure(value, seed):
+        seen.append((value, seed))
+        return float(value) * 10 + seed
+
+    result = sweep("knob", [1, 2], measure, runs=3, base_seed=100)
+    # Same seeds for every value: paired comparison.
+    assert [(1, 100), (1, 101), (1, 102), (2, 100), (2, 101), (2, 102)] == seen
+    assert result.intervals[1].mean == pytest.approx(10 + 101)
+    assert result.intervals[2].mean == pytest.approx(20 + 101)
+
+
+def test_monotone_and_spread():
+    result = sweep("k", [1, 2, 4], lambda v, s: float(v), runs=2)
+    assert result.is_monotone(increasing=True)
+    assert not result.is_monotone(increasing=False)
+    assert result.spread() == pytest.approx(4.0)
+
+
+def test_monotone_slack():
+    values = {1: 10.0, 2: 9.9, 3: 12.0}
+    result = sweep("k", [1, 2, 3], lambda v, s: values[v], runs=1)
+    assert not result.is_monotone(increasing=True)
+    assert result.is_monotone(increasing=True, slack=0.2)
+
+
+def test_table_rendering():
+    result = sweep("price", [0.5, 1.0], lambda v, s: v * 2, runs=2,
+                   metric="bill")
+    table = result.to_table()
+    assert "price" in table and "bill" in table and "1.00" in table
+
+
+def test_end_to_end_storage_price_sweep():
+    """The A7 ablation, rebuilt on the library helper in a few lines."""
+    from repro.core import PostcardScheduler
+    from repro.net.generators import complete_topology
+    from repro.sim import Simulation
+    from repro.traffic import PaperWorkload
+
+    def measure(price, seed):
+        topo = complete_topology(5, capacity=30.0, seed=seed)
+        scheduler = PostcardScheduler(
+            topo, horizon=20, storage_price=price, on_infeasible="drop"
+        )
+        workload = PaperWorkload(topo, max_deadline=4, max_files=3, seed=seed)
+        Simulation(scheduler, workload, num_slots=4).run()
+        return scheduler.state.current_cost_per_slot()
+
+    result = sweep("storage $/GB-slot", [0.0, 5.0], measure, runs=2, base_seed=31)
+    # Taxing storage cannot lower the WAN bill.
+    assert result.is_monotone(increasing=True, slack=1e-6)

@@ -1,0 +1,112 @@
+"""Unit tests for the simulation engine."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.baselines import DirectScheduler
+from repro.core import PostcardScheduler
+from repro.flowbased import FlowBasedScheduler
+from repro.net.generators import complete_topology
+from repro.sim import Simulation
+from repro.traffic import PaperWorkload, TraceWorkload, TransferRequest
+
+
+@pytest.fixture
+def topo():
+    return complete_topology(4, capacity=40.0, seed=3)
+
+
+def test_num_slots_validated(topo):
+    scheduler = PostcardScheduler(topo, horizon=10)
+    workload = TraceWorkload([])
+    with pytest.raises(SimulationError):
+        Simulation(scheduler, workload, num_slots=0)
+
+
+def test_trace_run_collects_metrics(topo):
+    requests = [
+        TransferRequest(0, 1, 10.0, 2, release_slot=0),
+        TransferRequest(1, 2, 20.0, 2, release_slot=1),
+    ]
+    scheduler = PostcardScheduler(topo, horizon=10)
+    result = Simulation(scheduler, TraceWorkload(requests), num_slots=4).run()
+    assert result.total_requests == 2
+    assert result.total_rejected == 0
+    assert result.total_requested_gb == pytest.approx(30.0)
+    assert result.final_cost_per_slot > 0
+    assert len(result.slots) == 4
+    assert result.slots[2].num_requests == 0
+    assert result.acceptance_rate == 1.0
+    assert result.max_lateness() == 0
+    assert result.solve_seconds_total > 0
+
+
+def test_cost_trajectory_non_decreasing(topo):
+    workload = PaperWorkload(topo, max_deadline=3, max_files=4, seed=0)
+    scheduler = PostcardScheduler(topo, horizon=20, on_infeasible="drop")
+    result = Simulation(scheduler, workload, num_slots=6).run()
+    trajectory = result.cost_trajectory()
+    assert all(b >= a - 1e-9 for a, b in zip(trajectory, trajectory[1:]))
+
+
+def test_relay_overhead_at_least_one_for_flow(topo):
+    workload = PaperWorkload(topo, max_deadline=3, max_files=4, seed=0)
+    scheduler = FlowBasedScheduler(topo, horizon=20, on_infeasible="drop")
+    result = Simulation(scheduler, workload, num_slots=5).run()
+    if result.total_rejected == 0:
+        assert result.relay_overhead >= 1.0 - 1e-9
+
+
+def test_direct_overhead_exactly_one(topo):
+    workload = PaperWorkload(topo, max_deadline=3, max_files=4, seed=0)
+    scheduler = DirectScheduler(topo, horizon=20, on_infeasible="drop")
+    result = Simulation(scheduler, workload, num_slots=5).run()
+    accepted_gb = result.total_requested_gb - sum(
+        r.size_gb for r in scheduler.state.rejected
+    )
+    assert result.total_transit_gb == pytest.approx(accepted_gb, rel=1e-6)
+
+
+def test_audit_catches_overcapacity(topo):
+    """A malicious scheduler writing over-capacity traffic into its
+    ledger is caught by the engine's audit."""
+
+    class Cheater(DirectScheduler):
+        name = "cheater"
+
+        def on_slot(self, slot, requests):
+            schedule = super().on_slot(slot, requests)
+            # Sneak extra traffic into the ledger behind commit's back.
+            self.state.ledger.record(0, 1, slot, 10 * self.state.topology.link(0, 1).capacity)
+            return schedule
+
+    scheduler = Cheater(topo, horizon=10, on_infeasible="drop")
+    workload = TraceWorkload([TransferRequest(0, 1, 1.0, 1, release_slot=0)])
+    with pytest.raises(SimulationError, match="over capacity"):
+        Simulation(scheduler, workload, num_slots=1).run()
+
+
+def test_audit_catches_unaccounted_files(topo):
+    class Forgetful(DirectScheduler):
+        name = "forgetful"
+
+        def on_slot(self, slot, requests):
+            return super().on_slot(slot, requests[:-1]) if requests else super().on_slot(slot, requests)
+
+    scheduler = Forgetful(topo, horizon=10)
+    workload = TraceWorkload(
+        [
+            TransferRequest(0, 1, 1.0, 1, release_slot=0),
+            TransferRequest(1, 2, 1.0, 1, release_slot=0),
+        ]
+    )
+    with pytest.raises(SimulationError, match="neither completed nor rejected"):
+        Simulation(scheduler, workload, num_slots=1).run()
+
+
+def test_summary_text(topo):
+    workload = TraceWorkload([TransferRequest(0, 1, 4.0, 2, release_slot=0)])
+    scheduler = PostcardScheduler(topo, horizon=10)
+    result = Simulation(scheduler, workload, num_slots=2).run()
+    text = result.summary()
+    assert "postcard" in text and "cost/slot" in text

@@ -1,0 +1,31 @@
+"""Unit tests for table rendering."""
+
+import pytest
+
+from repro.analysis import format_table
+
+
+def test_alignment():
+    table = format_table(["name", "value"], [["a", 1], ["bbbb", 22]])
+    lines = table.splitlines()
+    assert lines[0].startswith("name")
+    assert lines[1].startswith("----")
+    assert len(lines) == 4
+    # Columns align: "value" starts at the same offset everywhere.
+    offset = lines[0].index("value")
+    assert lines[2][offset - 2 : offset] == "  "
+
+
+def test_float_formatting():
+    table = format_table(["x"], [[3.14159]])
+    assert "3.14" in table and "3.14159" not in table
+
+
+def test_row_width_validated():
+    with pytest.raises(ValueError):
+        format_table(["a", "b"], [[1]])
+
+
+def test_doctest_example():
+    table = format_table(["a", "b"], [[1, "x"], [22, "yy"]])
+    assert table == "a   b\n--  --\n1   x\n22  yy"

@@ -1,0 +1,91 @@
+"""Unit tests for the two-phase flow decomposition."""
+
+import pytest
+
+from repro.errors import InfeasibleError, SchedulingError
+from repro.core.state import NetworkState
+from repro.flowbased import solve_two_phase
+from repro.flowbased.model import build_flow_model
+from repro.net.generators import complete_topology, line_topology
+from repro.traffic import TransferRequest
+
+
+def test_needs_requests(line3):
+    state = NetworkState(line3, horizon=10)
+    with pytest.raises(SchedulingError):
+        solve_two_phase(state, [])
+
+
+def test_cold_network_lambda_zero(line3):
+    # Nothing has been paid yet, so phase 1 routes nothing.
+    state = NetworkState(line3, horizon=10)
+    request = TransferRequest(0, 1, 8.0, 4, release_slot=0)
+    schedule, lam, phase2_cost = solve_two_phase(state, [request])
+    assert lam == pytest.approx(0.0, abs=1e-9)
+    assert phase2_cost > 0
+    schedule.validate([request], capacity_fn=state.residual_capacity)
+
+
+def test_paid_headroom_gives_lambda_one(line3):
+    state = NetworkState(line3, horizon=20)
+    r0 = TransferRequest(0, 1, 8.0, 2, release_slot=0)
+    s0, _, _ = solve_two_phase(state, [r0])
+    state.commit(s0, [r0])
+    # The link now has a paid peak of 4/slot; a later file needing
+    # 2/slot fits entirely in headroom.
+    r1 = TransferRequest(0, 1, 8.0, 4, release_slot=5)
+    _, lam, phase2_cost = solve_two_phase(state, [r1])
+    assert lam == pytest.approx(1.0)
+    assert phase2_cost == pytest.approx(0.0)
+
+
+def test_partial_headroom_splits_phases(line3):
+    state = NetworkState(line3, horizon=20)
+    r0 = TransferRequest(0, 1, 4.0, 2, release_slot=0)  # paid peak 2
+    s0, _, _ = solve_two_phase(state, [r0])
+    state.commit(s0, [r0])
+    # Needs 4/slot; 2 rides free, 2 is new.
+    r1 = TransferRequest(0, 1, 8.0, 2, release_slot=5)
+    schedule, lam, phase2_cost = solve_two_phase(state, [r1])
+    assert lam == pytest.approx(0.5)
+    assert phase2_cost == pytest.approx(2.0)  # price 1 * 2 GB/slot new
+    schedule.validate([r1], capacity_fn=state.residual_capacity)
+
+
+def test_infeasible_remainder_raises(line3):
+    state = NetworkState(line3, horizon=10)
+    request = TransferRequest(0, 2, 30.0, 2, release_slot=0)  # 15/slot > cut 10
+    with pytest.raises(InfeasibleError):
+        solve_two_phase(state, [request])
+
+
+def test_two_phase_never_beats_exact_lp():
+    """The decomposition is a heuristic: on the same state it can tie
+    but never undercut the exact flow LP's percentile bill."""
+    topo = complete_topology(5, capacity=25.0, seed=9)
+    requests = [
+        TransferRequest(0, 1, 20.0, 2, release_slot=0),
+        TransferRequest(1, 2, 30.0, 3, release_slot=0),
+        TransferRequest(3, 4, 10.0, 2, release_slot=0),
+    ]
+
+    state_lp = NetworkState(topo, horizon=20)
+    schedule_lp, _ = build_flow_model(state_lp, [r.with_release(0) for r in requests]).solve()
+    reqs_lp = [r.with_release(0) for r in requests]
+
+    state_tp = NetworkState(topo, horizon=20)
+    reqs_tp = [r.with_release(0) for r in requests]
+    schedule_tp, _, _ = solve_two_phase(state_tp, reqs_tp)
+
+    # Bill both schedules identically: commit and compare charged cost.
+    # Request ids differ per copy, so rebuild matching request lists.
+    state_a = NetworkState(topo, horizon=20)
+    sched_a, _ = build_flow_model(state_a, reqs_lp).solve()
+    state_a.commit(sched_a, reqs_lp)
+    state_b = NetworkState(topo, horizon=20)
+    schedule_b, _, _ = solve_two_phase(state_b, reqs_tp)
+    state_b.commit(schedule_b, reqs_tp)
+    assert (
+        state_a.current_cost_per_slot()
+        <= state_b.current_cost_per_slot() + 1e-6
+    )
