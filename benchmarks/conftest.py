@@ -19,15 +19,47 @@ from __future__ import annotations
 import json
 import os
 import pathlib
+from typing import Optional
 
 import pytest
 
+from repro import obs
 from repro.baselines import DirectScheduler
 from repro.core import PostcardScheduler
 from repro.flowbased import FlowBasedScheduler
 from repro.sim.runner import ExperimentSetting, SchedulerComparison, run_comparison
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+#: Collector of the most recent run_figure call; report() folds its
+#: key counters and span totals into the JSONL record so BENCH_*.json
+#: tracks a perf trajectory (pivots/iterations, LP size, build vs.
+#: solve split), not just wall time.
+_last_collector: Optional[obs.Collector] = None
+
+#: The counters worth tracking across PRs (sums over the whole figure).
+_TRACKED_COUNTERS = (
+    "lp.highs.iterations",
+    "lp.simplex.pivots",
+    "lp.ipm.iterations",
+    "lp.rows",
+    "lp.cols",
+    "lp.nonzeros",
+    "timeexp.nodes",
+    "timeexp.arcs",
+    "scheduler.rejected",
+    "scheduler.replans",
+)
+
+#: The spans that answer "where did the time go".
+_TRACKED_SPANS = (
+    "timeexp.build",
+    "lp.compile",
+    "lp.solve",
+    "scheduler.build_model",
+    "sim.scheduler",
+    "sim.audit",
+)
 
 
 def bench_scale() -> str:
@@ -88,12 +120,33 @@ def standard_factories():
 
 
 def run_figure(setting: ExperimentSetting, factories=None) -> SchedulerComparison:
-    return run_comparison(
-        setting,
-        factories or standard_factories(),
-        runs=bench_runs(),
-        base_seed=2012,
-    )
+    global _last_collector
+    with obs.collecting() as collector:
+        comparison = run_comparison(
+            setting,
+            factories or standard_factories(),
+            runs=bench_runs(),
+            base_seed=2012,
+        )
+    _last_collector = collector
+    return comparison
+
+
+def obs_record(collector: Optional[obs.Collector]) -> dict:
+    """The observability block appended to each figure's JSONL record."""
+    if collector is None:
+        return {}
+    counters = {
+        name: collector.counters[name].total
+        for name in _TRACKED_COUNTERS
+        if name in collector.counters
+    }
+    span_seconds = {
+        name: round(collector.spans[name].total, 6)
+        for name in _TRACKED_SPANS
+        if name in collector.spans
+    }
+    return {"counters": counters, "span_seconds": span_seconds}
 
 
 def report(figure: str, comparison: SchedulerComparison, paper_claim: str) -> None:
@@ -120,6 +173,9 @@ def report(figure: str, comparison: SchedulerComparison, paper_claim: str) -> No
             for name, results in comparison.results.items()
         },
     }
+    obs_block = obs_record(_last_collector)
+    if obs_block:
+        record["obs"] = obs_block
     with open(RESULTS_DIR / f"{bench_scale()}.jsonl", "a") as fh:
         fh.write(json.dumps(record) + "\n")
 

@@ -3,10 +3,19 @@
 Usage (after ``pip install -e .``)::
 
     python -m repro simulate --datacenters 8 --capacity 30 --slots 10
+    python -m repro simulate --datacenters 6 --slots 5 --profile
+    python -m repro simulate --slots 5 --obs-jsonl events.jsonl
     python -m repro figure fig6 --runs 3
     python -m repro example fig3
     python -m repro trace generate --datacenters 6 --slots 5 -o trace.json
     python -m repro trace run trace.json --scheduler postcard
+    python -m repro report events.jsonl
+
+``--profile`` prints a per-stage timing/counter breakdown (graph build,
+LP compile/solve, audit) after the run; ``--obs-jsonl`` streams the raw
+instrumentation events to a file that ``report`` renders back.  The
+``report`` subcommand also accepts a ``benchmarks/results/*.jsonl``
+file and renders it as Markdown (the two formats are auto-detected).
 
 Every subcommand prints plain-text tables; nothing writes outside the
 paths the user names.
@@ -36,38 +45,62 @@ FIGURE_SETTINGS = {
 
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
+    from repro import obs
+
     topology = complete_topology(
         args.datacenters, capacity=args.capacity, seed=args.seed
     )
     horizon = args.slots + args.max_deadline
     rows = []
     last_scheduler = None
-    for name in args.schedulers:
-        scheduler = make_scheduler(name, topology, horizon)
-        workload = PaperWorkload(
-            topology,
-            max_deadline=args.max_deadline,
-            max_files=args.max_files,
-            seed=args.seed + 1000,
-        )
-        result = Simulation(scheduler, workload, args.slots).run()
-        last_scheduler = scheduler
-        rows.append(
-            [
-                name,
-                result.final_cost_per_slot,
-                result.total_requests,
-                result.total_rejected,
-                f"{result.relay_overhead:.2f}",
-                f"{result.solve_seconds_total:.2f}",
-            ]
-        )
+
+    registry = obs.get_registry()
+    collector = obs.Collector() if args.profile else None
+    try:
+        jsonl = obs.JsonlSink(args.obs_jsonl) if args.obs_jsonl else None
+    except OSError as exc:
+        print(f"error: cannot open {args.obs_jsonl}: {exc}", file=sys.stderr)
+        return 1
+    sinks = [s for s in (collector, jsonl) if s is not None]
+    for sink in sinks:
+        registry.add_sink(sink)
+    try:
+        for name in args.schedulers:
+            scheduler = make_scheduler(name, topology, horizon)
+            workload = PaperWorkload(
+                topology,
+                max_deadline=args.max_deadline,
+                max_files=args.max_files,
+                seed=args.seed + 1000,
+            )
+            result = Simulation(scheduler, workload, args.slots).run()
+            last_scheduler = scheduler
+            rows.append(
+                [
+                    name,
+                    result.final_cost_per_slot,
+                    result.total_requests,
+                    result.total_rejected,
+                    f"{result.relay_overhead:.2f}",
+                    f"{result.solve_seconds_total:.2f}",
+                ]
+            )
+    finally:
+        for sink in sinks:
+            registry.remove_sink(sink)
+        if jsonl is not None:
+            jsonl.close()
     print(
         format_table(
             ["scheduler", "cost/slot", "files", "rejected", "relay", "solve s"],
             rows,
         )
     )
+    if collector is not None:
+        print()
+        print(obs.render_report(collector, title="run report"))
+    if jsonl is not None:
+        print(f"\nwrote {jsonl.num_events} events to {args.obs_jsonl}")
 
     if args.show_links and last_scheduler is not None:
         from repro.analysis.plots import utilization_rows
@@ -168,18 +201,67 @@ def _cmd_trace_stats(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_report(args: argparse.Namespace) -> int:
-    from repro.sim.report import load_records, render_markdown
+def _looks_like_obs_events(path: str) -> bool:
+    """True when the first JSON line is an observability event.
 
-    records = load_records(args.results)
-    text = render_markdown(records)
+    Both ``report`` inputs are JSONL; obs events carry a ``type`` of
+    span/counter/gauge, benchmark records carry ``figure``/``means``.
+    Unreadable or malformed files fall through to the benchmark loader,
+    whose errors name the offending line.
+    """
+    import json
+
+    try:
+        with open(path) as fh:
+            for line in fh:
+                if not line.strip():
+                    continue
+                record = json.loads(line)
+                return (
+                    isinstance(record, dict)
+                    and record.get("type") in ("span", "counter", "gauge")
+                )
+    except (OSError, json.JSONDecodeError):
+        pass
+    return False
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.errors import ReproError
+
+    try:
+        if _looks_like_obs_events(args.results):
+            from repro.obs import load_events, render_events_report
+
+            events = load_events(args.results)
+            if not events:
+                print(f"{args.results}: no events", file=sys.stderr)
+                return 1
+            text = render_events_report(
+                events, title=f"run report — {args.results}"
+            )
+            count = len(events)
+            unit = "events"
+        else:
+            from repro.sim.report import load_records, render_markdown
+
+            records = load_records(args.results)
+            if not records:
+                print(f"{args.results}: no records", file=sys.stderr)
+                return 1
+            text = render_markdown(records)
+            count = len(records)
+            unit = "records"
+    except (ReproError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
     if args.output == "-":
         print(text)
     else:
         from pathlib import Path
 
         Path(args.output).write_text(text)
-        print(f"wrote report for {len(records)} records to {args.output}")
+        print(f"wrote report for {count} {unit} to {args.output}")
     return 0
 
 
@@ -210,6 +292,17 @@ def build_parser() -> argparse.ArgumentParser:
         "--show-links",
         action="store_true",
         help="print per-link utilization sparklines for the last scheduler",
+    )
+    p_sim.add_argument(
+        "--profile",
+        action="store_true",
+        help="print a per-stage timing/counter breakdown after the run",
+    )
+    p_sim.add_argument(
+        "--obs-jsonl",
+        metavar="PATH",
+        help="stream instrumentation events to PATH (render with "
+        "`python -m repro report PATH`)",
     )
     p_sim.set_defaults(func=_cmd_simulate)
 
@@ -254,9 +347,14 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.set_defaults(func=_cmd_trace_run)
 
     p_report = sub.add_parser(
-        "report", help="render a benchmark results .jsonl as Markdown"
+        "report",
+        help="render a benchmark results or observability events .jsonl",
     )
-    p_report.add_argument("results", help="path to benchmarks/results/<scale>.jsonl")
+    p_report.add_argument(
+        "results",
+        help="path to benchmarks/results/<scale>.jsonl or an --obs-jsonl "
+        "event file (auto-detected)",
+    )
     p_report.add_argument("-o", "--output", default="-", help="output file or - for stdout")
     p_report.set_defaults(func=_cmd_report)
 

@@ -33,6 +33,7 @@ from repro.core.schedule import ScheduleEntry, TransferSchedule
 from repro.core.state import NetworkState
 from repro.lp import LinExpr, Model, Variable
 from repro.net.topology import Topology
+from repro.obs import registry as obs
 from repro.timeexp.graph import Arc, ArcKind, TimeExpandedGraph
 from repro.traffic.spec import TransferRequest
 from repro.units import VOLUME_ATOL
@@ -143,6 +144,13 @@ class ReplanningPostcardScheduler(Scheduler):
         """Plan all remaining volume; returns arc volumes per file."""
         if not files:
             return {}
+        obs.counter("scheduler.replans")
+        with obs.span("scheduler.replan", slot=slot, files=len(files)):
+            return self._solve_instrumented(slot, files)
+
+    def _solve_instrumented(
+        self, slot: int, files: List[ActiveFile]
+    ) -> Dict[Tuple[int, Arc], float]:
         end = max(f.deadline_slot for f in files) + 1
         graph = TimeExpandedGraph(
             self._state.topology,

@@ -10,6 +10,7 @@ from repro.core.interfaces import Scheduler
 from repro.core.schedule import TransferSchedule
 from repro.core.state import NetworkState
 from repro.net.topology import Topology
+from repro.obs import registry as obs
 from repro.traffic.spec import TransferRequest
 
 #: What to do when a slot's files cannot all meet their deadlines.
@@ -131,14 +132,17 @@ class PostcardScheduler(Scheduler):
         return schedule
 
     def _solve(self, requests: List[TransferRequest]) -> TransferSchedule:
-        built = build_postcard_model(
-            self._state,
-            requests,
-            storage=self.storage,
-            storage_capacity=self.storage_capacity,
-            storage_price=self.storage_price,
-            cost_fn_factory=self.cost_fn_factory,
-        )
-        schedule, solution = built.solve(backend=self.backend)
+        with obs.span("scheduler.solve", scheduler=self.name,
+                      requests=len(requests)):
+            with obs.span("scheduler.build_model"):
+                built = build_postcard_model(
+                    self._state,
+                    requests,
+                    storage=self.storage,
+                    storage_capacity=self.storage_capacity,
+                    storage_price=self.storage_price,
+                    cost_fn_factory=self.cost_fn_factory,
+                )
+            schedule, solution = built.solve(backend=self.backend)
         self.last_objective = solution.objective
         return schedule

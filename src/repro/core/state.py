@@ -17,6 +17,7 @@ from repro.charging.ledger import TrafficLedger
 from repro.charging.schemes import ChargingScheme
 from repro.core.schedule import TransferSchedule
 from repro.net.topology import LinkKey, Topology
+from repro.obs import registry as obs
 from repro.traffic.spec import TransferRequest
 
 
@@ -117,6 +118,7 @@ class NetworkState:
     def reject(self, request: TransferRequest) -> None:
         """Record a file the scheduling policy chose to drop."""
         self.rejected.append(request)
+        obs.counter("scheduler.rejected")
 
     def preview_cost(self, schedule: TransferSchedule) -> float:
         """Cost per slot if ``schedule`` were committed — without

@@ -59,3 +59,7 @@ class SchedulingError(ReproError):
 
 class SimulationError(ReproError):
     """The simulation engine detected an internal inconsistency."""
+
+
+class ObservabilityError(ReproError):
+    """An instrumentation artifact (event file, sink) was invalid."""

@@ -11,6 +11,7 @@ from repro.core.state import NetworkState
 from repro.flowbased.model import build_flow_model
 from repro.flowbased.two_phase import solve_two_phase
 from repro.net.topology import Topology
+from repro.obs import registry as obs
 from repro.traffic.spec import TransferRequest
 
 VARIANT_LP = "lp"
@@ -79,15 +80,18 @@ class FlowBasedScheduler(Scheduler):
         return schedule
 
     def _solve(self, requests: List[TransferRequest]) -> TransferSchedule:
-        if self.variant == VARIANT_LP:
-            built = build_flow_model(self._state, requests)
-            schedule, solution = built.solve(backend=self.backend)
-            self.last_objective = solution.objective
-            self.last_lambda = None
-        else:
-            schedule, lam, phase2_cost = solve_two_phase(
-                self._state, requests, backend=self.backend
-            )
-            self.last_objective = phase2_cost
-            self.last_lambda = lam
+        with obs.span("scheduler.solve", scheduler=self.name,
+                      variant=self.variant, requests=len(requests)):
+            if self.variant == VARIANT_LP:
+                with obs.span("scheduler.build_model"):
+                    built = build_flow_model(self._state, requests)
+                schedule, solution = built.solve(backend=self.backend)
+                self.last_objective = solution.objective
+                self.last_lambda = None
+            else:
+                schedule, lam, phase2_cost = solve_two_phase(
+                    self._state, requests, backend=self.backend
+                )
+                self.last_objective = phase2_cost
+                self.last_lambda = lam
         return schedule

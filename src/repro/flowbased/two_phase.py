@@ -31,6 +31,7 @@ from repro.core.schedule import SEMANTICS_FLUID, ScheduleEntry, TransferSchedule
 from repro.core.state import NetworkState
 from repro.lp import LinExpr, Model
 from repro.mcmf.concurrent import max_concurrent_flow
+from repro.obs import registry as obs
 from repro.traffic.spec import TransferRequest
 from repro.units import VOLUME_ATOL
 
@@ -75,9 +76,11 @@ def solve_two_phase(
         (index_of[r.source], index_of[r.destination], r.desired_rate)
         for r in requests
     ]
-    lam, phase1_flows = max_concurrent_flow(
-        len(node_ids), edges, commodities, cap_lambda=1.0, backend=backend
-    )
+    with obs.span("flowbased.phase1", files=len(requests)):
+        lam, phase1_flows = max_concurrent_flow(
+            len(node_ids), edges, commodities, cap_lambda=1.0, backend=backend
+        )
+    obs.gauge("flowbased.lambda", lam)
 
     # Rates routed per file per link in phase 1.
     rates: Dict[Tuple[int, LinkKey], float] = defaultdict(float)
@@ -91,54 +94,55 @@ def solve_two_phase(
     # ---- Phase 2: min-cost multicommodity flow for the remainder. ----
     phase2_cost = 0.0
     if lam < 1.0 - 1e-9:
-        residual_caps = {
-            l.key: max(
-                0.0,
-                _min_over_window(
-                    [state.residual_capacity(l.src, l.dst, n) for n in window]
-                )
-                - used_on_link[l.key],
-            )
-            for l in links
-        }
-        model = Model("two_phase_mcmf")
-        f2: Dict[Tuple[int, LinkKey], object] = {}
-        cost_terms = []
-        for request in requests:
-            rid = request.request_id
-            balance = defaultdict(list)
-            for link in links:
-                var = model.add_variable(f"f2[{rid},{link.src},{link.dst}]")
-                f2[(rid, link.key)] = var
-                balance[link.src].append((1.0, var))
-                balance[link.dst].append((-1.0, var))
-                cost_terms.append((link.price, var))
-            remainder = (1.0 - lam) * request.desired_rate
-            for node in node_ids:
-                net = LinExpr.from_terms(balance.get(node, []))
-                if node == request.source:
-                    model.add_constraint(net == remainder, name=f"src[{rid}]")
-                elif node == request.destination:
-                    model.add_constraint(net == -remainder, name=f"snk[{rid}]")
-                else:
-                    model.add_constraint(net == 0.0, name=f"cons[{rid},{node}]")
-        for link in links:
-            cap = residual_caps[link.key]
-            if cap != float("inf"):
-                model.add_constraint(
-                    LinExpr.sum(
-                        f2[(r.request_id, link.key)] for r in requests
+        with obs.span("flowbased.phase2", files=len(requests)):
+            residual_caps = {
+                l.key: max(
+                    0.0,
+                    _min_over_window(
+                        [state.residual_capacity(l.src, l.dst, n) for n in window]
                     )
-                    <= cap,
-                    name=f"cap[{link.src},{link.dst}]",
+                    - used_on_link[l.key],
                 )
-        model.minimize(LinExpr.from_terms(cost_terms))
-        solution = model.solve(backend=backend)
-        phase2_cost = solution.objective
-        for (rid, key), var in f2.items():
-            rate = solution.value(var)
-            if rate > VOLUME_ATOL:
-                rates[(rid, key)] += rate
+                for l in links
+            }
+            model = Model("two_phase_mcmf")
+            f2: Dict[Tuple[int, LinkKey], object] = {}
+            cost_terms = []
+            for request in requests:
+                rid = request.request_id
+                balance = defaultdict(list)
+                for link in links:
+                    var = model.add_variable(f"f2[{rid},{link.src},{link.dst}]")
+                    f2[(rid, link.key)] = var
+                    balance[link.src].append((1.0, var))
+                    balance[link.dst].append((-1.0, var))
+                    cost_terms.append((link.price, var))
+                remainder = (1.0 - lam) * request.desired_rate
+                for node in node_ids:
+                    net = LinExpr.from_terms(balance.get(node, []))
+                    if node == request.source:
+                        model.add_constraint(net == remainder, name=f"src[{rid}]")
+                    elif node == request.destination:
+                        model.add_constraint(net == -remainder, name=f"snk[{rid}]")
+                    else:
+                        model.add_constraint(net == 0.0, name=f"cons[{rid},{node}]")
+            for link in links:
+                cap = residual_caps[link.key]
+                if cap != float("inf"):
+                    model.add_constraint(
+                        LinExpr.sum(
+                            f2[(r.request_id, link.key)] for r in requests
+                        )
+                        <= cap,
+                        name=f"cap[{link.src},{link.dst}]",
+                    )
+            model.minimize(LinExpr.from_terms(cost_terms))
+            solution = model.solve(backend=backend)
+            phase2_cost = solution.objective
+            for (rid, key), var in f2.items():
+                rate = solution.value(var)
+                if rate > VOLUME_ATOL:
+                    rates[(rid, key)] += rate
 
     # ---- Expand constant rates into per-slot fluid entries. ----
     by_request = {r.request_id: r for r in requests}

@@ -9,6 +9,7 @@ from repro.lp.backends.base import Backend
 from repro.lp.compile import compile_model
 from repro.lp.model import Model
 from repro.lp.result import Solution, SolveStatus
+from repro.obs import registry as obs
 
 # scipy's linprog status codes.
 _STATUS_MAP = {
@@ -51,16 +52,17 @@ class HighsBackend(Backend):
         if method is None:
             method = "highs-ipm" if n > 20000 else "highs"
 
-        result = linprog(
-            problem.c,
-            A_ub=problem.a_ub if problem.num_inequalities else None,
-            b_ub=problem.b_ub if problem.num_inequalities else None,
-            A_eq=problem.a_eq if problem.num_equalities else None,
-            b_eq=problem.b_eq if problem.num_equalities else None,
-            bounds=problem.bounds,
-            method=method,
-            options=options or None,
-        )
+        with obs.span("lp.solve", backend=self.name, method=method):
+            result = linprog(
+                problem.c,
+                A_ub=problem.a_ub if problem.num_inequalities else None,
+                b_ub=problem.b_ub if problem.num_inequalities else None,
+                A_eq=problem.a_eq if problem.num_equalities else None,
+                b_eq=problem.b_eq if problem.num_equalities else None,
+                bounds=problem.bounds,
+                method=method,
+                options=options or None,
+            )
 
         status = _STATUS_MAP.get(result.status, SolveStatus.ERROR)
         x = np.asarray(result.x, dtype=float) if result.x is not None else np.zeros(n)
@@ -68,6 +70,7 @@ class HighsBackend(Backend):
         if problem.maximize and status is SolveStatus.OPTIMAL:
             objective = -float(result.fun) + problem.c0
         iterations = int(getattr(result, "nit", 0) or 0)
+        obs.counter("lp.highs.iterations", iterations)
 
         duals = None
         if status is SolveStatus.OPTIMAL:

@@ -32,9 +32,10 @@ import numpy as np
 
 from repro.lp.backends.base import Backend
 from repro.lp.backends.simplex import _canonicalize
-from repro.lp.compile import compile_model
+from repro.lp.compile import CompiledProblem, compile_model
 from repro.lp.model import Model
 from repro.lp.result import Solution, SolveStatus
+from repro.obs import registry as obs
 
 _TOL = 1e-8
 
@@ -54,6 +55,14 @@ class InteriorPointBackend(Backend):
                 solver=self.name,
             )
 
+        with obs.span("lp.solve", backend=self.name):
+            solution = self._solve_compiled(problem, model._id, max_iter)
+        obs.counter("lp.ipm.iterations", solution.iterations)
+        return solution
+
+    def _solve_compiled(
+        self, problem: CompiledProblem, model_id: int, max_iter: int
+    ) -> Solution:
         canon = _canonicalize(problem)
         a, b, c = canon.a, canon.b, canon.c
         m, n = a.shape
@@ -64,19 +73,19 @@ class InteriorPointBackend(Backend):
             if np.any(c < -_TOL):
                 return Solution(
                     SolveStatus.UNBOUNDED, np.zeros(problem.num_variables),
-                    float("nan"), model._id, solver=self.name,
+                    float("nan"), model_id, solver=self.name,
                 )
             x = canon.recover(np.zeros(n))
             shift = canon.c0 - problem.c0
             obj = (-shift if problem.maximize else shift) + problem.c0
-            return Solution(SolveStatus.OPTIMAL, x, obj, model._id, solver=self.name)
+            return Solution(SolveStatus.OPTIMAL, x, obj, model_id, solver=self.name)
 
         with np.errstate(all="ignore"):
             status, y, iterations = self._path_follow(a, b, c, max_iter)
         if status is not SolveStatus.OPTIMAL:
             return Solution(
                 status, np.zeros(problem.num_variables), float("nan"),
-                model._id, solver=self.name, iterations=iterations,
+                model_id, solver=self.name, iterations=iterations,
             )
 
         x = canon.recover(y)
@@ -87,7 +96,7 @@ class InteriorPointBackend(Backend):
         else:
             objective = canonical_value + shift + problem.c0
         return Solution(
-            SolveStatus.OPTIMAL, x, objective, model._id,
+            SolveStatus.OPTIMAL, x, objective, model_id,
             solver=self.name, iterations=iterations,
         )
 

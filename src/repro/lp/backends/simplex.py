@@ -29,6 +29,7 @@ from repro.lp.backends.base import Backend
 from repro.lp.compile import CompiledProblem, compile_model
 from repro.lp.model import Model
 from repro.lp.result import Solution, SolveStatus
+from repro.obs import registry as obs
 
 _TOL = 1e-9
 
@@ -232,6 +233,14 @@ class SimplexBackend(Backend):
                 SolveStatus.OPTIMAL, np.zeros(0), problem.c0, model._id, solver=self.name
             )
 
+        with obs.span("lp.solve", backend=self.name):
+            solution = self._solve_compiled(problem, model._id, max_iter)
+        obs.counter("lp.simplex.pivots", solution.iterations)
+        return solution
+
+    def _solve_compiled(
+        self, problem: CompiledProblem, model_id: int, max_iter: int
+    ) -> Solution:
         canon = _canonicalize(problem)
         a, b, c = canon.a.copy(), canon.b.copy(), canon.c.copy()
         m, n = a.shape
@@ -242,12 +251,12 @@ class SimplexBackend(Backend):
             if np.any(c < -_TOL):
                 return Solution(
                     SolveStatus.UNBOUNDED, np.zeros(problem.num_variables),
-                    float("-inf"), model._id, solver=self.name,
+                    float("-inf"), model_id, solver=self.name,
                 )
             x = canon.recover(np.zeros(n))
             shift_terms = canon.c0 - problem.c0
             obj = (-shift_terms if problem.maximize else shift_terms) + problem.c0
-            return Solution(SolveStatus.OPTIMAL, x, obj, model._id, solver=self.name)
+            return Solution(SolveStatus.OPTIMAL, x, obj, model_id, solver=self.name)
 
         # Make b nonnegative.
         for r in range(m):
@@ -270,13 +279,13 @@ class SimplexBackend(Backend):
         if status == "iteration_limit":
             return Solution(
                 SolveStatus.ERROR, np.zeros(problem.num_variables), float("nan"),
-                model._id, solver=self.name, iterations=it1,
+                model_id, solver=self.name, iterations=it1,
             )
         phase1_obj = -tableau[-1, -1]
         if phase1_obj > 1e-7:
             return Solution(
                 SolveStatus.INFEASIBLE, np.zeros(problem.num_variables), float("nan"),
-                model._id, solver=self.name, iterations=it1,
+                model_id, solver=self.name, iterations=it1,
             )
 
         # Drive any lingering artificial variables out of the basis.
@@ -306,12 +315,12 @@ class SimplexBackend(Backend):
         if status == "iteration_limit":
             return Solution(
                 SolveStatus.ERROR, np.zeros(problem.num_variables), float("nan"),
-                model._id, solver=self.name, iterations=it1 + it2,
+                model_id, solver=self.name, iterations=it1 + it2,
             )
         if status == "unbounded":
             return Solution(
                 SolveStatus.UNBOUNDED, np.zeros(problem.num_variables), float("nan"),
-                model._id, solver=self.name, iterations=it1 + it2,
+                model_id, solver=self.name, iterations=it1 + it2,
             )
 
         y = np.zeros(n + m)
@@ -331,6 +340,6 @@ class SimplexBackend(Backend):
             objective = canonical_value + shift_terms + problem.c0
 
         return Solution(
-            SolveStatus.OPTIMAL, x, objective, model._id,
+            SolveStatus.OPTIMAL, x, objective, model_id,
             solver=self.name, iterations=it1 + it2,
         )

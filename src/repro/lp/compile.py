@@ -21,6 +21,7 @@ from scipy import sparse
 
 from repro.lp.constraint import Sense
 from repro.lp.model import Model
+from repro.obs import registry as obs
 
 
 @dataclass
@@ -59,6 +60,15 @@ def compile_model(model: Model) -> CompiledProblem:
     ``GE`` constraints are negated into ``LE`` rows; constraint constants
     move to the right-hand side.
     """
+    with obs.span("lp.compile", model=model.name):
+        problem = _compile(model)
+    obs.counter("lp.cols", problem.num_variables)
+    obs.counter("lp.rows", problem.num_inequalities + problem.num_equalities)
+    obs.counter("lp.nonzeros", int(problem.a_ub.nnz + problem.a_eq.nnz))
+    return problem
+
+
+def _compile(model: Model) -> CompiledProblem:
     n = model.num_variables
 
     c = np.zeros(n)

@@ -1,0 +1,87 @@
+"""Observability: tracing spans, counters/gauges, and run reports.
+
+This package is the measurement substrate for the whole stack.  The
+scheduler, LP layer, time-expanded graph builder and simulation engine
+are permanently instrumented with hierarchical timing *spans* and
+*counters*; with no sink attached the instrumentation is near-free, so
+it costs nothing in production paths and lights up on demand:
+
+>>> from repro import obs
+>>> with obs.collecting() as collector:
+...     _ = run_some_workload()          # doctest: +SKIP
+>>> print(obs.render_report(collector))  # doctest: +SKIP
+
+Three sinks ship with the library: :class:`Collector` (in-memory
+aggregation), :class:`JsonlSink` (one JSON event per line, the
+machine-readable artifact), and the plain-text renderer
+:func:`render_report`.  The CLI exposes the same machinery as
+``python -m repro simulate --profile`` / ``--obs-jsonl PATH`` and
+``python -m repro report events.jsonl``.  See docs/OBSERVABILITY.md.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator, Optional
+
+from repro.obs.registry import (
+    Registry,
+    Span,
+    counter,
+    gauge,
+    get_registry,
+    set_registry,
+    span,
+    timed_span,
+)
+from repro.obs.report import render_events_report, render_report
+from repro.obs.sinks import (
+    Collector,
+    CounterStat,
+    GaugeStat,
+    JsonlSink,
+    SpanStat,
+    load_events,
+)
+
+__all__ = [
+    "Registry",
+    "Span",
+    "get_registry",
+    "set_registry",
+    "span",
+    "timed_span",
+    "counter",
+    "gauge",
+    "Collector",
+    "SpanStat",
+    "CounterStat",
+    "GaugeStat",
+    "JsonlSink",
+    "load_events",
+    "render_report",
+    "render_events_report",
+    "collecting",
+]
+
+
+@contextmanager
+def collecting(
+    registry: Optional[Registry] = None, keep_events: bool = False
+) -> Iterator[Collector]:
+    """Attach a fresh :class:`Collector` for the duration of a block.
+
+    >>> from repro import obs
+    >>> with obs.collecting() as c:
+    ...     with obs.span("stage"):
+    ...         pass
+    >>> c.spans["stage"].count
+    1
+    """
+    registry = registry or get_registry()
+    collector = Collector(keep_events=keep_events)
+    registry.add_sink(collector)
+    try:
+        yield collector
+    finally:
+        registry.remove_sink(collector)

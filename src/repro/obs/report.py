@@ -1,0 +1,84 @@
+"""Render collected instrumentation into plain-text run reports.
+
+The report is three :func:`~repro.analysis.tables.format_table`
+sections — spans (sorted by total time, with self-time so nested
+stages don't double-read), counters, and gauges — the same aligned
+monospace style every other CLI surface in this repository uses.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+from repro.analysis.tables import format_table
+from repro.obs.sinks import Collector
+
+
+def render_report(collector: Collector, title: str = "run report") -> str:
+    """The ``--profile`` / ``repro report`` text for one collector."""
+    sections: List[str] = [f"== {title} =="]
+
+    if collector.spans:
+        rows = []
+        ordered = sorted(
+            collector.spans.items(), key=lambda kv: kv[1].total, reverse=True
+        )
+        grand_total = sum(s.self_seconds for _, s in ordered)
+        for name, stat in ordered:
+            share = stat.self_seconds / grand_total if grand_total > 0 else 0.0
+            rows.append(
+                [
+                    name,
+                    stat.count,
+                    f"{stat.total:.4f}",
+                    f"{stat.self_seconds:.4f}",
+                    f"{stat.mean * 1e3:.2f}",
+                    f"{share:.1%}",
+                    stat.errors,
+                ]
+            )
+        sections.append(
+            "spans:\n"
+            + format_table(
+                ["span", "count", "total s", "self s", "mean ms", "self %", "err"],
+                rows,
+            )
+        )
+
+    if collector.counters:
+        rows = [
+            [name, stat.count, _fmt_value(stat.total), _fmt_value(stat.max)]
+            for name, stat in sorted(collector.counters.items())
+        ]
+        sections.append(
+            "counters:\n"
+            + format_table(["counter", "samples", "total", "max"], rows)
+        )
+
+    if collector.gauges:
+        rows = [
+            [name, stat.count, _fmt_value(stat.last),
+             _fmt_value(stat.min), _fmt_value(stat.max)]
+            for name, stat in sorted(collector.gauges.items())
+        ]
+        sections.append(
+            "gauges:\n"
+            + format_table(["gauge", "samples", "last", "min", "max"], rows)
+        )
+
+    if len(sections) == 1:
+        sections.append("(no events recorded)")
+    return "\n\n".join(sections)
+
+
+def render_events_report(events: Iterable[dict], title: str = "run report") -> str:
+    """Aggregate raw events (e.g. from :func:`load_events`) and render."""
+    return render_report(Collector().replay(events), title=title)
+
+
+def _fmt_value(value: float) -> str:
+    if value in (float("inf"), float("-inf")):
+        return "-"
+    if float(value).is_integer():
+        return str(int(value))
+    return f"{value:.3f}"

@@ -1,12 +1,21 @@
-"""The simulation engine: slot loop, auditing, metric collection."""
+"""The simulation engine: slot loop, auditing, metric collection.
+
+Timing is attributed per stage through :mod:`repro.obs` spans:
+``sim.scheduler`` (the scheduler's own decision time, what
+``SlotRecord.solve_seconds`` reports), ``sim.record`` (the engine's
+metric bookkeeping, previously invisible), and ``sim.audit`` (the
+post-run ledger cross-check).  The spans always measure — the numbers
+land in the result even without a sink — and additionally stream to
+any attached sink for ``--profile`` / ``--obs-jsonl`` runs.
+"""
 
 from __future__ import annotations
 
-import time
 from typing import Optional
 
 from repro.errors import SimulationError
 from repro.core.interfaces import Scheduler
+from repro.obs import registry as obs
 from repro.sim.metrics import SimulationResult, SlotRecord
 from repro.traffic.workload import Workload
 from repro.units import VOLUME_ATOL
@@ -46,6 +55,12 @@ class Simulation:
         self.slots_per_period = slots_per_period
 
     def run(self, audit: bool = True) -> SimulationResult:
+        with obs.span(
+            "sim.run", scheduler=self.scheduler.name, slots=self.num_slots
+        ):
+            return self._run(audit)
+
+    def _run(self, audit: bool) -> SimulationResult:
         result = SimulationResult(
             scheduler_name=self.scheduler.name, num_slots=self.num_slots
         )
@@ -63,30 +78,40 @@ class Simulation:
             for request in requests:
                 deadlines[request.request_id] = request.last_slot
 
+            obs.counter("sim.requests", len(requests))
             rejected_before = len(self.scheduler.state.rejected)
-            started = time.perf_counter()
-            schedule = self.scheduler.on_slot(slot, requests)
-            elapsed = time.perf_counter() - started
+            with obs.timed_span(
+                "sim.scheduler", slot=slot, scheduler=self.scheduler.name
+            ) as sched_span:
+                schedule = self.scheduler.on_slot(slot, requests)
+            elapsed = sched_span.seconds
             rejected_now = len(self.scheduler.state.rejected) - rejected_before
 
+            with obs.timed_span("sim.record", slot=slot) as record_span:
+                requested_gb = sum(r.size_gb for r in requests)
+                transit_gb = schedule.total_transit_volume()
+                storage_gb = schedule.total_storage_volume()
+                cost_after = self.scheduler.state.current_cost_per_slot()
             result.slots.append(
                 SlotRecord(
                     slot=slot,
                     num_requests=len(requests),
                     num_rejected=rejected_now,
-                    requested_gb=sum(r.size_gb for r in requests),
-                    scheduled_transit_gb=schedule.total_transit_volume(),
-                    scheduled_storage_gb=schedule.total_storage_volume(),
-                    cost_per_slot_after=self.scheduler.state.current_cost_per_slot(),
+                    requested_gb=requested_gb,
+                    scheduled_transit_gb=transit_gb,
+                    scheduled_storage_gb=storage_gb,
+                    cost_per_slot_after=cost_after,
                     solve_seconds=elapsed,
+                    overhead_seconds=record_span.seconds,
                 )
             )
             result.total_requests += len(requests)
             result.total_rejected += rejected_now
-            result.total_requested_gb += sum(r.size_gb for r in requests)
-            result.total_transit_gb += schedule.total_transit_volume()
-            result.total_storage_gb_slots += schedule.total_storage_volume()
+            result.total_requested_gb += requested_gb
+            result.total_transit_gb += transit_gb
+            result.total_storage_gb_slots += storage_gb
             result.solve_seconds_total += elapsed
+            result.overhead_seconds_total += record_span.seconds
 
         state = self.scheduler.state
         result.final_cost_per_slot = state.current_cost_per_slot()
@@ -111,7 +136,11 @@ class Simulation:
             result.lateness[request_id] = max(0, completed_at - deadline)
 
         if audit:
-            self._audit(result)
+            with obs.timed_span(
+                "sim.audit", scheduler=self.scheduler.name
+            ) as audit_span:
+                self._audit(result)
+            result.audit_seconds = audit_span.seconds
         return result
 
     def _audit(self, result: SimulationResult) -> None:

@@ -27,6 +27,10 @@ class SlotRecord:
     cost_per_slot_after: float
     #: Wall-clock seconds spent inside the scheduler.
     solve_seconds: float
+    #: Engine overhead for this slot (metric recording, schedule
+    #: volume aggregation) — everything the old single perf_counter
+    #: pair silently excluded.
+    overhead_seconds: float = 0.0
 
 
 @dataclass
@@ -48,6 +52,11 @@ class SimulationResult:
     #: scheduler is buggy, since deadlines are hard constraints.
     lateness: Dict[int, int] = field(default_factory=dict)
     solve_seconds_total: float = 0.0
+    #: Engine overhead (per-slot recording) summed over the run.
+    overhead_seconds_total: float = 0.0
+    #: Wall-clock seconds the post-run ledger audit took (0.0 when the
+    #: run was not audited).
+    audit_seconds: float = 0.0
     #: Per-charging-period bills when the run spans several periods
     #: (empty for the default single-period run).
     period_bills: List[float] = field(default_factory=list)

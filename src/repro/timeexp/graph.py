@@ -8,6 +8,7 @@ from typing import Callable, Dict, Iterator, List, Optional, Tuple
 
 from repro.errors import TopologyError
 from repro.net.topology import Topology
+from repro.obs import registry as obs
 from repro.traffic.spec import TransferRequest
 
 #: A time-expanded node: (datacenter id, layer index).  Layer ``n`` is
@@ -92,26 +93,29 @@ class TimeExpandedGraph:
         self._out: Dict[TimeNode, List[Arc]] = {}
         self._in: Dict[TimeNode, List[Arc]] = {}
 
-        for slot in range(start_slot, start_slot + horizon):
-            for link in topology.links:
-                cap = (
-                    capacity_fn(link.src, link.dst, slot)
-                    if capacity_fn is not None
-                    else link.capacity
-                )
-                if cap < 0:
-                    raise TopologyError(
-                        f"negative residual capacity on ({link.src},{link.dst}) "
-                        f"at slot {slot}"
+        with obs.span("timeexp.build", horizon=horizon):
+            for slot in range(start_slot, start_slot + horizon):
+                for link in topology.links:
+                    cap = (
+                        capacity_fn(link.src, link.dst, slot)
+                        if capacity_fn is not None
+                        else link.capacity
                     )
-                self._add_arc(
-                    Arc(link.src, link.dst, slot, ArcKind.TRANSIT, cap, link.price)
-                )
-            if include_holdover:
-                for node_id in topology.node_ids():
+                    if cap < 0:
+                        raise TopologyError(
+                            f"negative residual capacity on ({link.src},{link.dst}) "
+                            f"at slot {slot}"
+                        )
                     self._add_arc(
-                        Arc(node_id, node_id, slot, ArcKind.HOLDOVER, storage_capacity, 0.0)
+                        Arc(link.src, link.dst, slot, ArcKind.TRANSIT, cap, link.price)
                     )
+                if include_holdover:
+                    for node_id in topology.node_ids():
+                        self._add_arc(
+                            Arc(node_id, node_id, slot, ArcKind.HOLDOVER, storage_capacity, 0.0)
+                        )
+            obs.counter("timeexp.nodes", self.num_nodes)
+            obs.counter("timeexp.arcs", len(self.arcs))
 
     def _add_arc(self, arc: Arc) -> None:
         self.arcs.append(arc)

@@ -35,6 +35,7 @@ SUBPACKAGES = [
     "repro.extensions",
     "repro.sim",
     "repro.analysis",
+    "repro.obs",
 ]
 
 

@@ -99,3 +99,92 @@ def test_trace_run_empty(tmp_path, capsys):
 def test_invalid_scheduler_rejected():
     with pytest.raises(SystemExit):
         main(["simulate", "--schedulers", "quantum"])
+
+
+_SMALL_SIM = [
+    "simulate",
+    "--datacenters", "4",
+    "--slots", "3",
+    "--max-files", "2",
+    "--schedulers", "postcard",
+]
+
+
+def test_simulate_profile_prints_run_report(capsys):
+    assert main(_SMALL_SIM + ["--profile"]) == 0
+    out = capsys.readouterr().out
+    assert "== run report ==" in out
+    for stage in ("timeexp.build", "lp.compile", "lp.solve", "sim.audit"):
+        assert stage in out, f"profile report missing stage {stage}"
+    assert "lp.cols" in out  # counters section
+
+
+def test_simulate_obs_jsonl_round_trips_through_report(tmp_path, capsys):
+    events = tmp_path / "events.jsonl"
+    assert main(_SMALL_SIM + ["--obs-jsonl", str(events)]) == 0
+    out = capsys.readouterr().out
+    assert f"events to {events}" in out
+    assert events.exists() and events.stat().st_size > 0
+
+    assert main(["report", str(events)]) == 0
+    out = capsys.readouterr().out
+    assert "== run report" in out
+    assert "lp.solve" in out and "sim.scheduler" in out
+
+
+def test_simulate_profile_detaches_sink(capsys):
+    from repro import obs
+
+    assert main(_SMALL_SIM + ["--profile"]) == 0
+    capsys.readouterr()
+    assert not obs.get_registry().enabled
+
+
+def test_report_benchmark_records_still_render(tmp_path, capsys):
+    results = tmp_path / "smoke.jsonl"
+    results.write_text(
+        '{"figure": "fig6", "scale": "smoke", "setting": "s", "runs": 1, '
+        '"means": {"postcard": 10.0}, "half_widths": {"postcard": 0.5}, '
+        '"rejected": {"postcard": 0}}\n'
+    )
+    assert main(["report", str(results)]) == 0
+    out = capsys.readouterr().out
+    assert "fig6" in out
+
+
+def test_report_malformed_events_file(tmp_path, capsys):
+    bad = tmp_path / "events.jsonl"
+    bad.write_text('{"type": "span", "name": "ok", "dur": 0.1}\n{oops\n')
+    assert main(["report", str(bad)]) == 1
+    err = capsys.readouterr().err
+    assert "error:" in err and "events.jsonl:2" in err
+
+
+def test_simulate_obs_jsonl_unwritable_path(tmp_path, capsys):
+    bad = tmp_path / "no-such-dir" / "events.jsonl"
+    assert main(_SMALL_SIM + ["--obs-jsonl", str(bad)]) == 1
+    assert "error: cannot open" in capsys.readouterr().err
+
+
+def test_report_missing_file(tmp_path, capsys):
+    assert main(["report", str(tmp_path / "nope.jsonl")]) == 1
+    assert "error:" in capsys.readouterr().err
+
+
+def test_report_empty_events_file(tmp_path, capsys):
+    empty = tmp_path / "events.jsonl"
+    # A blank-only file is not detected as obs events and is not a valid
+    # benchmark log either; it must fail, not render an empty report.
+    empty.write_text("\n")
+    assert main(["report", str(empty)]) == 1
+    assert "no records" in capsys.readouterr().err
+
+
+def test_report_writes_output_file(tmp_path, capsys):
+    events = tmp_path / "events.jsonl"
+    assert main(_SMALL_SIM + ["--obs-jsonl", str(events)]) == 0
+    capsys.readouterr()
+    rendered = tmp_path / "report.txt"
+    assert main(["report", str(events), "-o", str(rendered)]) == 0
+    assert "wrote report" in capsys.readouterr().out
+    assert "lp.solve" in rendered.read_text()
