@@ -95,10 +95,44 @@ class TrafficLedger:
         for src, dst, slot, volume in entries:
             self.record(src, dst, slot, volume)
 
+    def void(self, src: int, dst: int, slot: int, volume: float) -> None:
+        """Refund ``volume`` GB previously recorded on (src, dst, slot).
+
+        The refund path exists for *surprise* link failures: traffic
+        committed onto a link-slot that turns out to be dead never
+        happened, so it must not be billed and must not count against
+        capacity in the post-run audit.  Voiding more than was recorded
+        is an accounting bug and raises :class:`ChargingError`.
+        """
+        if volume < 0:
+            raise ChargingError(f"void volume must be non-negative, got {volume}")
+        if volume == 0.0:
+            return
+        usage = self._usage[(src, dst)]
+        recorded = usage.volume_at(slot)
+        if volume > recorded + 1e-9 * max(1.0, recorded):
+            raise ChargingError(
+                f"void of {volume:.6f} GB on ({src},{dst}) at slot {slot} "
+                f"exceeds the {recorded:.6f} GB recorded"
+            )
+        remaining = recorded - volume
+        if remaining <= 1e-12:
+            usage.volumes.pop(slot, None)
+        else:
+            usage.volumes[slot] = remaining
+
     # -- queries ------------------------------------------------------------
 
     def volume(self, src: int, dst: int, slot: int) -> float:
         return self._usage[(src, dst)].volume_at(slot)
+
+    def usage(self, src: int, dst: int) -> LinkUsage:
+        """The :class:`LinkUsage` record of one directed link.
+
+        Public accessor for consumers (audits, checkpoints) that need
+        the per-slot volume map itself rather than one aggregate.
+        """
+        return self._usage[(src, dst)]
 
     def peak_volume(self, src: int, dst: int) -> float:
         """Max slot volume seen on the link (the 100-percentile charge)."""

@@ -5,6 +5,8 @@ Usage (after ``pip install -e .``)::
     python -m repro simulate --datacenters 8 --capacity 30 --slots 10
     python -m repro simulate --datacenters 6 --slots 5 --profile
     python -m repro simulate --slots 5 --obs-jsonl events.jsonl
+    python -m repro simulate --slots 8 --surprise --solver-chain
+    python -m repro simulate --outages outages.json --surprise
     python -m repro figure fig6 --runs 3
     python -m repro example fig3
     python -m repro trace generate --datacenters 6 --slots 5 -o trace.json
@@ -44,6 +46,34 @@ FIGURE_SETTINGS = {
 }
 
 
+def _build_fault_model(args: argparse.Namespace, topology):
+    """The outage set a simulate run injects, or None.
+
+    ``--outages FILE`` loads an explicit JSON outage list;
+    ``--surprise`` without a file generates random *unannounced*
+    outages (and with a file, demotes every loaded outage to a
+    surprise).  Each scheduler gets its own copy so one run's
+    execution-time discoveries don't leak into another's planning.
+    """
+    from repro.sim import FaultModel
+
+    if args.outages:
+        faults = FaultModel.from_file(args.outages)
+        if args.surprise:
+            faults = faults.as_surprise()
+        return faults
+    if args.surprise:
+        return FaultModel.random(
+            topology,
+            args.slots,
+            outage_probability=args.outage_prob,
+            mean_duration=args.mean_outage,
+            seed=args.seed,
+            announced=False,
+        )
+    return None
+
+
 def _cmd_simulate(args: argparse.Namespace) -> int:
     from repro import obs
 
@@ -51,7 +81,10 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         args.datacenters, capacity=args.capacity, seed=args.seed
     )
     horizon = args.slots + args.max_deadline
+    faults = _build_fault_model(args, topology)
+    backend = "resilient" if args.solver_chain else None
     rows = []
+    chaos = []
     last_scheduler = None
 
     registry = obs.get_registry()
@@ -66,7 +99,9 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         registry.add_sink(sink)
     try:
         for name in args.schedulers:
-            scheduler = make_scheduler(name, topology, horizon)
+            scheduler = make_scheduler(name, topology, horizon, backend=backend)
+            if faults is not None:
+                scheduler.state.fault_model = faults.copy()
             workload = PaperWorkload(
                 topology,
                 max_deadline=args.max_deadline,
@@ -75,27 +110,42 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
             )
             result = Simulation(scheduler, workload, args.slots).run()
             last_scheduler = scheduler
-            rows.append(
-                [
-                    name,
-                    result.final_cost_per_slot,
-                    result.total_requests,
-                    result.total_rejected,
-                    f"{result.relay_overhead:.2f}",
-                    f"{result.solve_seconds_total:.2f}",
-                ]
-            )
+            row = [
+                name,
+                result.final_cost_per_slot,
+                result.total_requests,
+                result.total_rejected,
+                f"{result.relay_overhead:.2f}",
+                f"{result.solve_seconds_total:.2f}",
+            ]
+            if faults is not None:
+                row.extend(
+                    [
+                        f"{result.salvaged_gb:.1f}",
+                        f"{result.lost_gb:.1f}",
+                        result.deadline_misses,
+                    ]
+                )
+                chaos.append((name, result))
+            rows.append(row)
     finally:
         for sink in sinks:
             registry.remove_sink(sink)
         if jsonl is not None:
             jsonl.close()
-    print(
-        format_table(
-            ["scheduler", "cost/slot", "files", "rejected", "relay", "solve s"],
-            rows,
+    headers = ["scheduler", "cost/slot", "files", "rejected", "relay", "solve s"]
+    if faults is not None:
+        headers.extend(["salvaged", "lost", "misses"])
+    print(format_table(headers, rows))
+    for name, result in chaos:
+        print(
+            f"chaos [{name}]: outages={len(faults.outages)} "
+            f"disrupted={result.disrupted_gb:.2f} GB "
+            f"salvaged={result.salvaged_gb:.2f} GB "
+            f"lost={result.lost_gb:.2f} GB "
+            f"misses={result.deadline_misses} "
+            f"replans={result.recovery_replans}"
         )
-    )
     if collector is not None:
         print()
         print(obs.render_report(collector, title="run report"))
@@ -303,6 +353,36 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="stream instrumentation events to PATH (render with "
         "`python -m repro report PATH`)",
+    )
+    p_sim.add_argument(
+        "--outages",
+        metavar="FILE",
+        help="inject outages from a JSON file (list of {src, dst, "
+        "start_slot, end_slot, announced})",
+    )
+    p_sim.add_argument(
+        "--surprise",
+        action="store_true",
+        help="make outages unannounced (invisible at schedule time); "
+        "without --outages, generates random surprise outages",
+    )
+    p_sim.add_argument(
+        "--outage-prob",
+        type=float,
+        default=0.15,
+        help="per-link failure probability for generated outages",
+    )
+    p_sim.add_argument(
+        "--mean-outage",
+        type=float,
+        default=2.0,
+        help="mean outage duration in slots for generated outages",
+    )
+    p_sim.add_argument(
+        "--solver-chain",
+        action="store_true",
+        help="solve LPs through the resilient retry/fallback backend "
+        "chain (highs -> simplex -> interior_point)",
     )
     p_sim.set_defaults(func=_cmd_simulate)
 

@@ -30,9 +30,11 @@ _VERSION = 1
 def state_to_json(state: NetworkState) -> str:
     """Serialize the accounting of a NetworkState (not its topology)."""
     usage = {
-        f"{src},{dst}": {str(slot): volume for slot, volume in u.volumes.items()}
-        for (src, dst), u in state.ledger._usage.items()
-        if u.volumes
+        f"{src},{dst}": {
+            str(slot): volume
+            for slot, volume in state.ledger.usage(src, dst).volumes.items()
+        }
+        for src, dst in state.ledger.used_links()
     }
     payload = {
         "version": _VERSION,

@@ -58,6 +58,138 @@ class ActiveFile:
         return self.request.last_slot
 
 
+def solve_multisource_plan(
+    state: NetworkState,
+    slot: int,
+    files: List[ActiveFile],
+    backend: str = "highs",
+    capacity_fn=None,
+    history_peak_fn=None,
+    committed_fn=None,
+    model_name: str = "replan",
+) -> Tuple[Dict[Tuple[int, Arc], float], float]:
+    """The Sec. V formulation with multi-source supply nodes.
+
+    Plans all remaining volume of ``files`` from slot ``slot`` onwards:
+    each file's data may start from several datacenters at once (its
+    ``supplies`` distribution), and everything must reach the file's
+    destination by its own deadline.  Returns ``(plan, objective)``
+    where ``plan`` maps ``(request_id, arc)`` to planned GB.
+
+    The three hooks select between the two users of this formulation:
+
+    * The replanning scheduler re-derives *everything* each slot, so
+      future capacities are raw link capacities (``capacity_fn=None``)
+      and nothing else is committed (``committed_fn=None``).
+    * :class:`repro.sim.recovery.RecoveryManager` replans a disrupted
+      file *around* other files' still-valid commitments, so it passes
+      residual capacities and the committed per-slot loads, and prices
+      against the already-paid peaks (``history_peak_fn``).
+    """
+    if not files:
+        return {}, 0.0
+
+    if capacity_fn is None:
+
+        def capacity_fn(src: int, dst: int, n: int) -> float:
+            if (
+                state.fault_model is not None
+                and state.fault_model.is_visible_down(src, dst, n)
+            ):
+                return 0.0
+            return state.topology.link(src, dst).capacity
+
+    if history_peak_fn is None:
+
+        def history_peak_fn(src: int, dst: int) -> float:
+            return state.ledger.peak_in_range(src, dst, 0, max(slot, 1))
+
+    end = max(f.deadline_slot for f in files) + 1
+    graph = TimeExpandedGraph(
+        state.topology,
+        start_slot=slot,
+        horizon=end - slot,
+        capacity_fn=capacity_fn,
+    )
+
+    model = Model(model_name)
+    flow_vars: Dict[Tuple[int, Arc], Variable] = {}
+    arc_users: Dict[Arc, List[Variable]] = defaultdict(list)
+
+    for f in files:
+        rid = f.request.request_id
+        window_last = f.deadline_slot
+        balance: Dict[Tuple[int, int], List[Tuple[float, Variable]]] = defaultdict(list)
+        arcs = [a for a in graph.arcs if slot <= a.slot <= window_last]
+        for arc in arcs:
+            if arc.kind is ArcKind.TRANSIT and arc.capacity <= 0:
+                continue
+            var = model.add_variable(f"M[{rid},{arc.src},{arc.dst},{arc.slot}]")
+            flow_vars[(rid, arc)] = var
+            if arc.kind is ArcKind.TRANSIT:
+                arc_users[arc].append(var)
+            balance[arc.tail].append((1.0, var))
+            balance[arc.head].append((-1.0, var))
+
+        sink = (f.request.destination, window_last + 1)
+        for node, terms in balance.items():
+            net = LinExpr.from_terms(terms)
+            supply = f.supplies.get(node[0], 0.0) if node[1] == slot else 0.0
+            if node == sink:
+                model.add_constraint(
+                    net == supply - f.remaining, name=f"snk[{rid}]"
+                )
+            elif supply > 0.0:
+                model.add_constraint(net == supply, name=f"sup[{rid},{node[0]}]")
+            else:
+                model.add_constraint(
+                    net == 0.0, name=f"cons[{rid},{node[0]},{node[1]}]"
+                )
+
+    for arc, users in arc_users.items():
+        if arc.capacity != float("inf"):
+            model.add_constraint(
+                LinExpr.sum(users) <= arc.capacity,
+                name=f"cap[{arc.src},{arc.dst},{arc.slot}]",
+            )
+
+    # Charge structure: history peaks are paid; the plan's per-slot
+    # loads — stacked on whatever is already committed there — set the
+    # new peaks.
+    by_link: Dict[Tuple[int, int], Dict[int, List[Variable]]] = defaultdict(
+        lambda: defaultdict(list)
+    )
+    for arc, users in arc_users.items():
+        by_link[arc.link_key][arc.slot].extend(users)
+
+    objective_terms: List[Tuple[float, Variable]] = []
+    fixed_cost = 0.0
+    for link in state.topology.links:
+        prior = history_peak_fn(link.src, link.dst)
+        if link.key not in by_link:
+            fixed_cost += link.price * prior
+            continue
+        x = model.add_variable(f"X[{link.src},{link.dst}]", lb=prior)
+        for plan_slot, users in by_link[link.key].items():
+            load = LinExpr.sum(users)
+            if committed_fn is not None:
+                load = load + committed_fn(link.src, link.dst, plan_slot)
+            model.add_constraint(
+                x >= load,
+                name=f"chg[{link.src},{link.dst},{plan_slot}]",
+            )
+        objective_terms.append((link.price, x))
+
+    model.minimize(LinExpr.from_terms(objective_terms, constant=fixed_cost))
+    solution = model.solve(backend=backend)
+    plan = {
+        key: solution.value(var)
+        for key, var in flow_vars.items()
+        if solution.value(var) > VOLUME_ATOL
+    }
+    return plan, solution.objective
+
+
 class ReplanningPostcardScheduler(Scheduler):
     """Executes one slot at a time, re-deriving the rest every slot."""
 
@@ -151,106 +283,43 @@ class ReplanningPostcardScheduler(Scheduler):
     def _solve_instrumented(
         self, slot: int, files: List[ActiveFile]
     ) -> Dict[Tuple[int, Arc], float]:
-        end = max(f.deadline_slot for f in files) + 1
-        graph = TimeExpandedGraph(
-            self._state.topology,
-            start_slot=slot,
-            horizon=end - slot,
-            capacity_fn=self._future_residual(slot),
+        # Future capacities are raw link capacities (nothing is
+        # committed ahead of time in the replanning model) minus
+        # visible outages; history peaks are what earlier slots
+        # actually executed.
+        plan, objective = solve_multisource_plan(
+            self._state, slot, files, backend=self.backend
         )
+        self.last_objective = objective
+        return plan
 
-        model = Model("replan")
-        flow_vars: Dict[Tuple[int, Arc], Variable] = {}
-        arc_users: Dict[Arc, List[Variable]] = defaultdict(list)
+    # -- surprise-failure recovery ------------------------------------------
 
-        for f in files:
-            rid = f.request.request_id
-            window_last = f.deadline_slot
-            balance: Dict[Tuple[int, int], List[Tuple[float, Variable]]] = defaultdict(list)
-            arcs = [a for a in graph.arcs if slot <= a.slot <= window_last]
-            for arc in arcs:
-                if arc.kind is ArcKind.TRANSIT and arc.capacity <= 0:
-                    continue
-                var = model.add_variable(f"M[{rid},{arc.src},{arc.dst},{arc.slot}]")
-                flow_vars[(rid, arc)] = var
-                if arc.kind is ArcKind.TRANSIT:
-                    arc_users[arc].append(var)
-                balance[arc.tail].append((1.0, var))
-                balance[arc.head].append((-1.0, var))
+    def resupply(
+        self,
+        request: "TransferRequest",
+        supplies: Dict[int, float],
+        delivered: float,
+    ) -> None:
+        """Execution-time disruption hook used by the recovery layer.
 
-            sink = (f.request.destination, window_last + 1)
-            for node, terms in balance.items():
-                net = LinExpr.from_terms(terms)
-                supply = f.supplies.get(node[0], 0.0) if node[1] == slot else 0.0
-                if node == sink:
-                    model.add_constraint(
-                        net == supply - f.remaining, name=f"snk[{rid}]"
-                    )
-                elif supply > 0.0:
-                    model.add_constraint(net == supply, name=f"sup[{rid},{node[0]}]")
-                else:
-                    model.add_constraint(
-                        net == 0.0, name=f"cons[{rid},{node[0]},{node[1]}]"
-                    )
-
-        for arc, users in arc_users.items():
-            if arc.capacity != float("inf"):
-                model.add_constraint(
-                    LinExpr.sum(users) <= arc.capacity,
-                    name=f"cap[{arc.src},{arc.dst},{arc.slot}]",
-                )
-
-        # Charge structure: history peaks are paid; the plan's per-slot
-        # loads set the new peaks (no other future commitments exist —
-        # the plan IS the future).
-        by_link: Dict[Tuple[int, int], Dict[int, List[Variable]]] = defaultdict(
-            lambda: defaultdict(list)
-        )
-        for arc, users in arc_users.items():
-            by_link[arc.link_key][arc.slot].extend(users)
-
-        objective_terms: List[Tuple[float, Variable]] = []
-        fixed_cost = 0.0
-        for link in self._state.topology.links:
-            prior = self._history_peak(link.src, link.dst, slot)
-            if link.key not in by_link:
-                fixed_cost += link.price * prior
-                continue
-            x = model.add_variable(f"X[{link.src},{link.dst}]", lb=prior)
-            for plan_slot, users in by_link[link.key].items():
-                model.add_constraint(
-                    x >= LinExpr.sum(users),
-                    name=f"chg[{link.src},{link.dst},{plan_slot}]",
-                )
-            objective_terms.append((link.price, x))
-
-        model.minimize(LinExpr.from_terms(objective_terms, constant=fixed_cost))
-        solution = model.solve(backend=self.backend)
-        self.last_objective = solution.objective
-        return {
-            key: solution.value(var)
-            for key, var in flow_vars.items()
-            if solution.value(var) > VOLUME_ATOL
-        }
-
-    def _future_residual(self, slot: int):
-        """Future capacities are raw link capacities (nothing is
-        committed ahead of time in the replanning model); the current
-        slot still honors fault models via the state."""
-
-        def capacity(src: int, dst: int, n: int) -> float:
-            if (
-                self._state.fault_model is not None
-                and self._state.fault_model.is_down(src, dst, n)
-            ):
-                return 0.0
-            return self._state.topology.link(src, dst).capacity
-
-        return capacity
-
-    def _history_peak(self, src: int, dst: int, slot: int) -> float:
-        """Peak volume actually executed before ``slot``."""
-        return self._state.ledger.peak_in_range(src, dst, 0, max(slot, 1))
+        A surprise outage voided some of this slot's executed arcs; the
+        engine reconstructed where the file's undelivered data really
+        sits.  Overwrite the scheduler's in-memory picture with that
+        ground truth — the file re-enters the active set and the next
+        slot's replan routes it around the (now revealed) outage.
+        """
+        for f in self.active:
+            if f.request.request_id == request.request_id:
+                f.supplies = dict(supplies)
+                f.delivered = delivered
+                break
+        else:
+            self.active.append(
+                ActiveFile(request, supplies=dict(supplies), delivered=delivered)
+            )
+        # A completion recorded from the voided arcs is no longer true.
+        self._state.completions.pop(request.request_id, None)
 
     # -- execution ----------------------------------------------------------
 

@@ -39,9 +39,12 @@ class NetworkState:
         self.rejected: List[TransferRequest] = []
         #: GB-slots of intermediate storage committed so far.
         self.storage_used: float = 0.0
-        #: Optional :class:`repro.sim.faults.FaultModel`; downed
-        #: link-slots report zero residual capacity, so every scheduler
-        #: transparently routes around visible outages.
+        #: Optional :class:`repro.sim.faults.FaultModel`; *visibly*
+        #: downed link-slots (announced outages, or surprise outages
+        #: already revealed by execution) report zero residual
+        #: capacity, so every scheduler transparently routes around
+        #: outages it is allowed to know about.  Surprise outages stay
+        #: invisible here until the engine detects them mid-run.
         self.fault_model = None
         #: Slot at which the current charging period began.
         self.period_start: int = 0
@@ -63,8 +66,11 @@ class NetworkState:
 
     def residual_capacity(self, src: int, dst: int, slot: int) -> float:
         """Capacity left for new traffic on (src, dst) during slot n
-        (zero while the link is down, if a fault model is attached)."""
-        if self.fault_model is not None and self.fault_model.is_down(src, dst, slot):
+        (zero while the link is *visibly* down, if a fault model is
+        attached — surprise outages are not knowable here)."""
+        if self.fault_model is not None and self.fault_model.is_visible_down(
+            src, dst, slot
+        ):
             return 0.0
         return self.ledger.residual_capacity(src, dst, slot)
 
@@ -114,6 +120,23 @@ class NetworkState:
                     "by the schedule"
                 )
             self.completions[request.request_id] = completion
+
+    def void_traffic(self, src: int, dst: int, slot: int, volume: float) -> None:
+        """Refund committed traffic that a surprise outage prevented.
+
+        Removes the volume from the ledger (see
+        :meth:`TrafficLedger.void`) and re-derives the link's charged
+        volume ``X_ij`` from the surviving samples, so the bill never
+        includes traffic that physically could not flow.  The recomputed
+        peak spans the current charging period including future
+        committed slots, matching how :meth:`commit` raised it.
+        """
+        self.ledger.void(src, dst, slot, volume)
+        usage = self.ledger.usage(src, dst)
+        end = max(usage.last_slot() + 1, self.period_start + 1)
+        self._charged[(src, dst)] = self.ledger.peak_in_range(
+            src, dst, self.period_start, end
+        )
 
     def reject(self, request: TransferRequest) -> None:
         """Record a file the scheduling policy chose to drop."""

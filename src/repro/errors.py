@@ -61,5 +61,15 @@ class SimulationError(ReproError):
     """The simulation engine detected an internal inconsistency."""
 
 
+class RecoveryError(SimulationError):
+    """Salvage-and-replan bookkeeping went inconsistent.
+
+    Raised when post-disruption reconstruction of a file's remaining
+    supply distribution disagrees with what the ledger recorded — a
+    bug, never an expected runtime outcome (infeasible recoveries are
+    recorded as SLO violations instead).
+    """
+
+
 class ObservabilityError(ReproError):
     """An instrumentation artifact (event file, sink) was invalid."""

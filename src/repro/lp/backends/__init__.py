@@ -8,12 +8,16 @@ from repro.errors import SolverError
 from repro.lp.backends.base import Backend
 from repro.lp.backends.highs import HighsBackend
 from repro.lp.backends.interior_point import InteriorPointBackend
+from repro.lp.backends.resilient import ResilientBackend
 from repro.lp.backends.simplex import SimplexBackend
 
 _BACKENDS: Dict[str, Type[Backend]] = {
     "highs": HighsBackend,
     "simplex": SimplexBackend,
     "interior_point": InteriorPointBackend,
+    # Retry + fallback chain over the three real solvers; see
+    # repro.lp.backends.resilient.
+    "resilient": ResilientBackend,
 }
 
 
@@ -37,6 +41,7 @@ __all__ = [
     "HighsBackend",
     "SimplexBackend",
     "InteriorPointBackend",
+    "ResilientBackend",
     "get_backend",
     "register_backend",
 ]

@@ -20,4 +20,10 @@ class Backend(abc.ABC):
         Implementations must not raise on infeasible/unbounded problems;
         they report it through :attr:`Solution.status` and let the model
         layer turn it into typed exceptions.
+
+        A raised :class:`~repro.errors.SolverError` (or a returned
+        :attr:`SolveStatus.ERROR`) is treated as *transient* by the
+        :class:`~repro.lp.backends.resilient.ResilientBackend` wrapper,
+        which retries it with backoff and eventually falls back to the
+        next solver in its chain.
         """

@@ -22,23 +22,29 @@ from repro.net.topology import Topology
 SchedulerFactory = Callable[[Topology, int], Scheduler]
 
 _REGISTRY: Dict[str, SchedulerFactory] = {
-    "postcard": lambda t, h: PostcardScheduler(t, h, on_infeasible="drop"),
-    "postcard-replan": lambda t, h: ReplanningPostcardScheduler(
+    "postcard": lambda t, h, **kw: PostcardScheduler(
+        t, h, on_infeasible="drop", **kw
+    ),
+    "postcard-replan": lambda t, h, **kw: ReplanningPostcardScheduler(
+        t, h, on_infeasible="drop", **kw
+    ),
+    "postcard-no-storage": lambda t, h, **kw: PostcardScheduler(
+        t, h, storage="destination_only", on_infeasible="drop", **kw
+    ),
+    "flow-based": lambda t, h, **kw: FlowBasedScheduler(
+        t, h, on_infeasible="drop", **kw
+    ),
+    "flow-2phase": lambda t, h, **kw: FlowBasedScheduler(
+        t, h, variant="two_phase", on_infeasible="drop", **kw
+    ),
+    # The combinatorial baselines solve no LPs; a requested backend is
+    # meaningless for them and deliberately ignored.
+    "direct": lambda t, h, **kw: DirectScheduler(t, h, on_infeasible="drop"),
+    "greedy": lambda t, h, **kw: GreedyStoreAndForwardScheduler(
         t, h, on_infeasible="drop"
     ),
-    "postcard-no-storage": lambda t, h: PostcardScheduler(
-        t, h, storage="destination_only", on_infeasible="drop"
-    ),
-    "flow-based": lambda t, h: FlowBasedScheduler(t, h, on_infeasible="drop"),
-    "flow-2phase": lambda t, h: FlowBasedScheduler(
-        t, h, variant="two_phase", on_infeasible="drop"
-    ),
-    "direct": lambda t, h: DirectScheduler(t, h, on_infeasible="drop"),
-    "greedy": lambda t, h: GreedyStoreAndForwardScheduler(
-        t, h, on_infeasible="drop"
-    ),
-    "q-aware": lambda t, h: PercentileAwareScheduler(
-        t, h, q=95.0, on_infeasible="drop"
+    "q-aware": lambda t, h, **kw: PercentileAwareScheduler(
+        t, h, q=95.0, on_infeasible="drop", **kw
     ),
 }
 
@@ -48,13 +54,24 @@ def scheduler_names() -> List[str]:
     return sorted(_REGISTRY)
 
 
-def make_scheduler(name: str, topology: Topology, horizon: int) -> Scheduler:
-    """Instantiate a registered scheduler by name."""
+def make_scheduler(
+    name: str,
+    topology: Topology,
+    horizon: int,
+    backend: Optional[str] = None,
+) -> Scheduler:
+    """Instantiate a registered scheduler by name.
+
+    ``backend`` overrides the LP solver (e.g. ``"resilient"`` for the
+    retry/fallback chain); the non-optimizing baselines ignore it.
+    """
     try:
         factory = _REGISTRY[name]
     except KeyError:
         known = ", ".join(scheduler_names())
         raise ReproError(f"unknown scheduler {name!r}; available: {known}") from None
+    if backend is not None:
+        return factory(topology, horizon, backend=backend)
     return factory(topology, horizon)
 
 

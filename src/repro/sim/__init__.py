@@ -3,6 +3,7 @@
 from repro.sim.engine import Simulation
 from repro.sim.faults import FaultModel, Outage
 from repro.sim.metrics import SimulationResult, SlotRecord
+from repro.sim.recovery import RecoveryManager, SlotDisruption
 from repro.sim.runner import ExperimentSetting, SchedulerComparison, run_comparison
 
 __all__ = [
@@ -14,4 +15,6 @@ __all__ = [
     "run_comparison",
     "FaultModel",
     "Outage",
+    "RecoveryManager",
+    "SlotDisruption",
 ]

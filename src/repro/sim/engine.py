@@ -39,20 +39,32 @@ class Simulation:
         workload: Workload,
         num_slots: int,
         slots_per_period: int = 0,
+        start_slot: int = 0,
     ):
         """``slots_per_period > 0`` splits the run into independent
         charging periods: at every boundary the scheduler's paid peaks
         expire (see :meth:`NetworkState.start_new_period`), and the
         result carries per-period bills.  The paper's setting is a
-        single period (the default)."""
+        single period (the default).
+
+        ``start_slot > 0`` resumes a run mid-window (the checkpoint
+        workflow: restore the scheduler's state from a snapshot, then
+        drive the remaining slots).  Completions restored from before
+        ``start_slot`` are not re-audited for lateness — their requests
+        were released outside this engine's window."""
         if num_slots < 1:
             raise SimulationError(f"num_slots must be >= 1, got {num_slots}")
         if slots_per_period < 0:
             raise SimulationError("slots_per_period must be non-negative")
+        if not 0 <= start_slot < num_slots:
+            raise SimulationError(
+                f"start_slot must be in [0, {num_slots}), got {start_slot}"
+            )
         self.scheduler = scheduler
         self.workload = workload
         self.num_slots = num_slots
         self.slots_per_period = slots_per_period
+        self.start_slot = start_slot
 
     def run(self, audit: bool = True) -> SimulationResult:
         with obs.span(
@@ -66,7 +78,19 @@ class Simulation:
         )
         deadlines = {}
 
-        for slot in range(self.num_slots):
+        # Surprise outages need execution-time detection: the recovery
+        # manager shadows every commitment and, after each slot, voids
+        # traffic that rode a dead link-slot and salvages the files.
+        # Announced-only (or absent) fault models take the fast path —
+        # the engine then behaves bit-identically to a fault-free run.
+        fault_model = getattr(self.scheduler.state, "fault_model", None)
+        recovery = None
+        if fault_model is not None and getattr(fault_model, "has_surprise", False):
+            from repro.sim.recovery import RecoveryManager
+
+            recovery = RecoveryManager(self.scheduler, fault_model)
+
+        for slot in range(self.start_slot, self.num_slots):
             if (
                 self.slots_per_period
                 and slot > 0
@@ -87,24 +111,33 @@ class Simulation:
             elapsed = sched_span.seconds
             rejected_now = len(self.scheduler.state.rejected) - rejected_before
 
+            disruption = None
+            if recovery is not None:
+                recovery.observe(slot, requests, schedule)
+                disruption = recovery.execute_slot(slot)
+
             with obs.timed_span("sim.record", slot=slot) as record_span:
                 requested_gb = sum(r.size_gb for r in requests)
                 transit_gb = schedule.total_transit_volume()
                 storage_gb = schedule.total_storage_volume()
                 cost_after = self.scheduler.state.current_cost_per_slot()
-            result.slots.append(
-                SlotRecord(
-                    slot=slot,
-                    num_requests=len(requests),
-                    num_rejected=rejected_now,
-                    requested_gb=requested_gb,
-                    scheduled_transit_gb=transit_gb,
-                    scheduled_storage_gb=storage_gb,
-                    cost_per_slot_after=cost_after,
-                    solve_seconds=elapsed,
-                    overhead_seconds=record_span.seconds,
-                )
+            record = SlotRecord(
+                slot=slot,
+                num_requests=len(requests),
+                num_rejected=rejected_now,
+                requested_gb=requested_gb,
+                scheduled_transit_gb=transit_gb,
+                scheduled_storage_gb=storage_gb,
+                cost_per_slot_after=cost_after,
+                solve_seconds=elapsed,
+                overhead_seconds=record_span.seconds,
             )
+            if disruption is not None and disruption.any:
+                record.disrupted_gb = disruption.disrupted_gb
+                record.salvaged_gb = disruption.salvaged_gb
+                record.lost_gb = disruption.lost_gb
+                record.deadline_misses = disruption.deadline_misses
+            result.slots.append(record)
             result.total_requests += len(requests)
             result.total_rejected += rejected_now
             result.total_requested_gb += requested_gb
@@ -127,9 +160,21 @@ class Simulation:
             result.period_bills.append(
                 state.ledger.period_cost(state.period_start, tail_end)
             )
+        if recovery is not None:
+            result.disrupted_gb = recovery.disrupted_gb
+            result.salvaged_gb = recovery.salvaged_gb
+            result.lost_gb = recovery.lost_gb
+            result.deadline_misses = recovery.deadline_misses
+            result.recovery_replans = recovery.replans
+            result.slo_violations = sorted(recovery.slo_violations)
+
         for request_id, completed_at in state.completions.items():
             deadline = deadlines.get(request_id)
             if deadline is None:
+                if self.start_slot > 0:
+                    # Restored from a checkpoint: the file was released
+                    # (and audited) before this engine's window began.
+                    continue
                 raise SimulationError(
                     f"scheduler completed unknown file {request_id}"
                 )
@@ -144,12 +189,17 @@ class Simulation:
         return result
 
     def _audit(self, result: SimulationResult) -> None:
-        """Cross-check the scheduler's ledger against hard constraints."""
+        """Cross-check the scheduler's ledger against hard constraints.
+
+        Traffic voided by surprise outages has already been refunded
+        from the ledger, so the capacity check naturally sees only what
+        physically flowed.
+        """
         state = self.scheduler.state
         ledger = state.ledger
         for src, dst in ledger.used_links():
             capacity = state.topology.link(src, dst).capacity
-            usage = ledger._usage[(src, dst)]
+            usage = ledger.usage(src, dst)
             for slot, volume in usage.volumes.items():
                 if volume > capacity + max(VOLUME_ATOL, 1e-6 * capacity):
                     raise SimulationError(
@@ -161,10 +211,13 @@ class Simulation:
             raise SimulationError(f"audit: files completed late: {late}")
         # Every released file must be completed or rejected — except
         # files whose deadline extends past the simulated window, which
-        # a replanning scheduler may legitimately still be draining.
+        # a replanning scheduler may legitimately still be draining,
+        # and files already booked as SLO violations by the recovery
+        # layer (their loss is the recorded outcome, not a bug).
         accounted = set(state.completions) | {
             r.request_id for r in state.rejected
         }
+        accounted.update(result.slo_violations)
         unaccounted = [
             rid
             for rid, deadline in self._deadlines.items()

@@ -31,6 +31,15 @@ class SlotRecord:
     #: volume aggregation) — everything the old single perf_counter
     #: pair silently excluded.
     overhead_seconds: float = 0.0
+    #: Undelivered GB of files hit by a surprise outage this slot
+    #: (0.0 everywhere when the run has no surprise faults).
+    disrupted_gb: float = 0.0
+    #: Of the disrupted volume, GB re-admitted within its deadline.
+    salvaged_gb: float = 0.0
+    #: Disrupted GB no recovery strategy could deliver in time.
+    lost_gb: float = 0.0
+    #: Files whose SLO was violated during this slot's recovery.
+    deadline_misses: int = 0
 
 
 @dataclass
@@ -63,6 +72,21 @@ class SimulationResult:
     #: Fraction of billable volume carried under already-paid peaks
     #: (the "time-shifting dividend"; see TrafficLedger.free_ride_fraction).
     free_ride_fraction: float = 0.0
+    #: Surprise-failure accounting (all zero without surprise outages):
+    #: total undelivered GB disrupted by unannounced failures, and its
+    #: exhaustive split into salvaged and lost volume —
+    #: ``disrupted_gb == salvaged_gb + lost_gb`` holds per run.
+    disrupted_gb: float = 0.0
+    salvaged_gb: float = 0.0
+    lost_gb: float = 0.0
+    #: Files that missed their deadline because recovery fell through
+    #: to the recorded-SLO-violation tier.
+    deadline_misses: int = 0
+    #: Multi-source LP replans attempted by the recovery layer.
+    recovery_replans: int = 0
+    #: request ids whose SLO was violated (excluded from the audit's
+    #: everyone-completes-or-is-rejected check).
+    slo_violations: List[int] = field(default_factory=list)
 
     # -- derived metrics -------------------------------------------------
 
@@ -97,11 +121,26 @@ class SimulationResult:
         """Re-bill the run's recorded traffic under another scheme."""
         return ledger.cost_per_slot(scheme)
 
+    @property
+    def salvage_rate(self) -> float:
+        """Fraction of disrupted volume recovered (1.0 when nothing
+        was disrupted)."""
+        if self.disrupted_gb <= 0:
+            return 1.0
+        return self.salvaged_gb / self.disrupted_gb
+
     def summary(self) -> str:
-        return (
+        text = (
             f"{self.scheduler_name}: cost/slot={self.final_cost_per_slot:.2f}, "
             f"files={self.total_requests} (rejected {self.total_rejected}), "
             f"relay overhead={self.relay_overhead:.2f}x, "
             f"storage={self.total_storage_gb_slots:.0f} GB-slots, "
             f"free-ride={self.free_ride_fraction:.0%}"
         )
+        if self.disrupted_gb > 0:
+            text += (
+                f", disrupted={self.disrupted_gb:.1f} GB "
+                f"(salvaged {self.salvaged_gb:.1f}, lost {self.lost_gb:.1f}, "
+                f"{self.deadline_misses} misses)"
+            )
+        return text

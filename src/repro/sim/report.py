@@ -60,18 +60,35 @@ def render_markdown(records: List[dict], title: str = "Benchmark results") -> st
         lines.append(f"*Setting:* {record.get('setting', '(unknown)')}  ")
         lines.append(f"*Runs:* {record.get('runs', '?')}, scale `{record.get('scale', '?')}`")
         lines.append("")
-        lines.append("| scheduler | cost/slot | 95% CI ± | rejected |")
-        lines.append("|-----------|-----------|----------|----------|")
         means = record["means"]
         half_widths = record.get("half_widths", {})
         rejected = record.get("rejected", {})
+        salvaged = record.get("salvaged", {})
+        lost = record.get("lost", {})
+        chaos = bool(salvaged) or bool(lost)
+        if chaos:
+            lines.append(
+                "| scheduler | cost/slot | 95% CI ± | rejected | salvaged GB | lost GB |"
+            )
+            lines.append(
+                "|-----------|-----------|----------|----------|-------------|---------|"
+            )
+        else:
+            lines.append("| scheduler | cost/slot | 95% CI ± | rejected |")
+            lines.append("|-----------|-----------|----------|----------|")
         winner = min(means, key=means.get)
         for name in sorted(means, key=means.get):
             mark = " **(best)**" if name == winner else ""
-            lines.append(
+            row = (
                 f"| {name}{mark} | {means[name]:.2f} | "
                 f"{half_widths.get(name, 0.0):.2f} | {rejected.get(name, 0)} |"
             )
+            if chaos:
+                row += (
+                    f" {salvaged.get(name, 0.0):.1f} |"
+                    f" {lost.get(name, 0.0):.1f} |"
+                )
+            lines.append(row)
         lines.append("")
     return "\n".join(lines)
 

@@ -83,17 +83,30 @@ class SchedulerComparison:
         return mean_ci(self.costs[name_a]).mean / mean_ci(self.costs[name_b]).mean
 
     def to_table(self) -> str:
+        disrupted = any(
+            r.disrupted_gb > 0
+            for results in self.results.values()
+            for r in results
+        )
         rows = []
         for name in self.costs:
             ci = self.interval(name)
             rejected = sum(r.total_rejected for r in self.results[name])
-            rows.append(
-                [name, ci.mean, ci.half_width, rejected,
-                 sum(r.solve_seconds_total for r in self.results[name])]
-            )
-        return format_table(
-            ["scheduler", "cost/slot", "95% CI +/-", "rejected", "solve s"], rows
-        )
+            row = [name, ci.mean, ci.half_width, rejected,
+                   sum(r.solve_seconds_total for r in self.results[name])]
+            if disrupted:
+                row.extend(
+                    [
+                        f"{sum(r.salvaged_gb for r in self.results[name]):.1f}",
+                        f"{sum(r.lost_gb for r in self.results[name]):.1f}",
+                        sum(r.deadline_misses for r in self.results[name]),
+                    ]
+                )
+            rows.append(row)
+        headers = ["scheduler", "cost/slot", "95% CI +/-", "rejected", "solve s"]
+        if disrupted:
+            headers.extend(["salvaged", "lost", "misses"])
+        return format_table(headers, rows)
 
 
 def run_comparison(
@@ -104,6 +117,7 @@ def run_comparison(
     audit: bool = True,
     topology_factory=None,
     workload_factory=None,
+    fault_factory=None,
 ) -> SchedulerComparison:
     """Run every scheduler on ``runs`` seeded instances of a setting.
 
@@ -116,6 +130,13 @@ def run_comparison(
     ``workload_factory(topology, setting, seed)`` override the default
     Sec. VII topology/workload, letting the same harness sweep other
     shapes (rings, geo presets, flash crowds, ...).
+
+    ``fault_factory(topology, setting, seed)`` attaches a
+    :class:`~repro.sim.faults.FaultModel` to every scheduler's state —
+    one fresh instance per scheduler, so execution-time reveals of
+    surprise outages never leak between competitors.  With surprise
+    outages present, :meth:`SchedulerComparison.to_table` grows
+    salvage columns.
     """
     comparison = SchedulerComparison(setting=setting, runs=runs)
     horizon = setting.num_slots + setting.max_deadline
@@ -145,6 +166,10 @@ def run_comparison(
                     min_deadline=setting.min_deadline,
                 )
             scheduler = factory(topology, horizon)
+            if fault_factory is not None:
+                scheduler.state.fault_model = fault_factory(
+                    topology, setting, base_seed + run
+                )
             result = Simulation(scheduler, workload, setting.num_slots).run(audit=audit)
             comparison.costs.setdefault(name, []).append(result.final_cost_per_slot)
             comparison.results.setdefault(name, []).append(result)

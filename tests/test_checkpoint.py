@@ -92,6 +92,70 @@ def test_period_bookkeeping_survives():
     assert restored.banked_period_bills == pytest.approx(state.banked_period_bills)
 
 
+def test_mid_run_resume_under_active_faults():
+    """Checkpoint/restore in the middle of a run with a surprise outage
+    in the resumed half: bills, completions, and salvage counters all
+    match the uninterrupted run.
+
+    The outage is confined to the resumed window and disrupts a file
+    *released* there (the recovery shadow log is in-memory state, not
+    part of a checkpoint, so only post-resume commitments can be
+    salvaged after a restore).
+    """
+    from repro.core.scheduler import PostcardScheduler as PS
+    from repro.sim import FaultModel, Outage
+    from repro.traffic.workload import TraceWorkload
+
+    topo = line_topology(3, capacity=10.0)
+    # Shared request objects: both runs see identical request_ids.
+    early = TransferRequest(0, 1, 6.0, 3, release_slot=0)
+    late = TransferRequest(0, 1, 6.0, 4, release_slot=4)
+    workload = TraceWorkload([early, late])
+    faults = FaultModel([Outage(0, 1, 4, 5, announced=False)])
+    split = 4
+
+    def fresh(state=None):
+        scheduler = PS(topo, horizon=14, on_infeasible="drop")
+        if state is not None:
+            scheduler._state = state
+        scheduler.state.fault_model = faults.copy()
+        return scheduler
+
+    # Uninterrupted reference run.
+    full_sched = fresh()
+    full = Simulation(full_sched, workload, num_slots=10).run()
+    assert full.disrupted_gb > 0  # the outage really bites
+
+    # Interrupted run: first half, checkpoint, restore, second half.
+    first_sched = fresh()
+    Simulation(first_sched, workload, num_slots=split).run()
+    restored = state_from_json(state_to_json(first_sched.state), topo)
+    second_sched = fresh(state=restored)
+    second = Simulation(
+        second_sched, workload, num_slots=10, start_slot=split
+    ).run()
+
+    assert second_sched.state.completions == full_sched.state.completions
+    assert second_sched.state.charged_snapshot() == pytest.approx(
+        full_sched.state.charged_snapshot()
+    )
+    assert second_sched.state.current_cost_per_slot() == pytest.approx(
+        full_sched.state.current_cost_per_slot()
+    )
+    for link in topo.links:
+        for slot in range(14):
+            assert second_sched.state.ledger.volume(
+                link.src, link.dst, slot
+            ) == pytest.approx(
+                full_sched.state.ledger.volume(link.src, link.dst, slot)
+            )
+    # Salvage accounting of the resumed half equals the full run's.
+    assert second.disrupted_gb == pytest.approx(full.disrupted_gb)
+    assert second.salvaged_gb == pytest.approx(full.salvaged_gb)
+    assert second.lost_gb == pytest.approx(full.lost_gb)
+    assert second.deadline_misses == full.deadline_misses
+
+
 def test_rejections_survive_with_fresh_ids():
     topo = line_topology(3, capacity=10.0)
     state = NetworkState(topo, horizon=10)

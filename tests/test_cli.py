@@ -37,6 +37,49 @@ def test_simulate_table(capsys):
     assert "postcard" in out and "direct" in out and "cost/slot" in out
 
 
+def test_simulate_surprise_chaos(capsys):
+    code = main(
+        [
+            "simulate",
+            "--datacenters", "5",
+            "--slots", "8",
+            "--seed", "3",
+            "--surprise",
+            "--solver-chain",
+            "--schedulers", "postcard",
+        ]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "salvaged" in out
+    assert "chaos [postcard]:" in out
+    assert "disrupted=" in out and "replans=" in out
+
+
+def test_simulate_outages_file(tmp_path, capsys):
+    import json
+
+    path = tmp_path / "outages.json"
+    path.write_text(
+        json.dumps(
+            [{"src": 0, "dst": 1, "start_slot": 0, "end_slot": 2}]
+        )
+    )
+    code = main(
+        [
+            "simulate",
+            "--datacenters", "4",
+            "--slots", "4",
+            "--max-files", "2",
+            "--outages", str(path),
+            "--schedulers", "postcard",
+        ]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "chaos [postcard]: outages=1" in out
+
+
 def test_figure_command(capsys):
     code = main(
         [

@@ -1,0 +1,230 @@
+"""Retry/backoff/fallback behavior of the resilient solver chain."""
+
+import pytest
+
+from repro.errors import InfeasibleError, SolverError
+from repro.lp import Model
+from repro.lp.backends import ResilientBackend, get_backend
+from repro.lp.backends.base import Backend
+from repro.lp.result import SolveStatus
+
+
+def _tiny_model():
+    """min x s.t. x >= 3  ->  optimum 3."""
+    m = Model("tiny")
+    x = m.add_variable("x")
+    m.add_constraint(x.as_expr() >= 3)
+    m.minimize(x.as_expr())
+    return m
+
+
+def _infeasible_model():
+    m = Model("impossible")
+    x = m.add_variable("x", ub=1.0)
+    m.add_constraint(x.as_expr() >= 3)
+    m.minimize(x.as_expr())
+    return m
+
+
+class FlakyBackend(Backend):
+    """Raises SolverError ``failures`` times, then delegates to highs."""
+
+    name = "flaky"
+
+    def __init__(self, failures):
+        self.failures = failures
+        self.calls = 0
+
+    def solve(self, model, **options):
+        self.calls += 1
+        if self.calls <= self.failures:
+            raise SolverError("transient numerical blow-up")
+        return get_backend("highs").solve(model, **options)
+
+
+class DeadBackend(Backend):
+    name = "dead"
+    calls = 0
+
+    def solve(self, model, **options):
+        DeadBackend.calls += 1
+        raise SolverError("permanently broken")
+
+
+def test_registered_and_default_chain():
+    backend = get_backend("resilient")
+    assert isinstance(backend, ResilientBackend)
+    assert backend.chain == ("highs", "simplex", "interior_point")
+
+
+def test_healthy_solve_passes_through():
+    backend = ResilientBackend()
+    solution = backend.solve(_tiny_model())
+    assert solution.status is SolveStatus.OPTIMAL
+    assert solution.objective == pytest.approx(3.0)
+    assert backend.retries == 0
+    assert backend.fallbacks == 0
+
+
+def test_transient_failure_is_retried():
+    flaky = FlakyBackend(failures=1)
+    sleeps = []
+    backend = ResilientBackend(
+        chain=("flaky",),
+        max_attempts=3,
+        sleep=sleeps.append,
+        factory=lambda name: flaky,
+    )
+    solution = backend.solve(_tiny_model())
+    assert solution.status is SolveStatus.OPTIMAL
+    assert flaky.calls == 2
+    assert backend.retries == 1
+    assert backend.fallbacks == 0
+    assert sleeps == [pytest.approx(0.05)]
+
+
+def test_backoff_doubles_and_caps():
+    flaky = FlakyBackend(failures=4)
+    sleeps = []
+    backend = ResilientBackend(
+        chain=("flaky",),
+        max_attempts=5,
+        backoff_base=0.1,
+        backoff_max=0.3,
+        sleep=sleeps.append,
+        factory=lambda name: flaky,
+    )
+    backend.solve(_tiny_model())
+    assert sleeps == [
+        pytest.approx(0.1),
+        pytest.approx(0.2),
+        pytest.approx(0.3),  # capped
+        pytest.approx(0.3),
+    ]
+
+
+def test_exhausted_backend_falls_through_chain():
+    flaky = FlakyBackend(failures=99)  # never recovers
+
+    def factory(name):
+        return flaky if name == "flaky" else get_backend(name)
+
+    backend = ResilientBackend(
+        chain=("flaky", "highs"),
+        max_attempts=2,
+        sleep=lambda s: None,
+        factory=factory,
+    )
+    solution = backend.solve(_tiny_model())
+    assert solution.status is SolveStatus.OPTIMAL
+    assert backend.fallbacks == 1
+    assert backend.retries == 1  # one retry on flaky before falling through
+    assert flaky.calls == 2
+
+
+def test_whole_chain_exhausted_raises_with_cause():
+    backend = ResilientBackend(
+        chain=("dead",),
+        max_attempts=2,
+        sleep=lambda s: None,
+        factory=lambda name: DeadBackend(),
+    )
+    with pytest.raises(SolverError, match="all backends"):
+        backend.solve(_tiny_model())
+
+
+def test_infeasible_is_conclusive_not_transient():
+    """INFEASIBLE is an answer: no retry, no fallback, the typed
+    exception from the model layer propagates on the first attempt."""
+    calls = []
+
+    class CountingHighs(Backend):
+        name = "counting"
+
+        def solve(self, model, **options):
+            calls.append(1)
+            return get_backend("highs").solve(model, **options)
+
+    backend = ResilientBackend(
+        chain=("counting", "counting"),
+        max_attempts=3,
+        sleep=lambda s: None,
+        factory=lambda name: CountingHighs(),
+    )
+    solution = backend.solve(_infeasible_model())
+    assert solution.status is SolveStatus.INFEASIBLE
+    assert len(calls) == 1
+    assert backend.retries == 0 and backend.fallbacks == 0
+
+
+def test_infeasible_exception_propagates_immediately():
+    calls = []
+
+    class RaisingBackend(Backend):
+        name = "raising"
+
+        def solve(self, model, **options):
+            calls.append(1)
+            raise InfeasibleError("no feasible point")
+
+    backend = ResilientBackend(
+        chain=("raising",),
+        max_attempts=5,
+        sleep=lambda s: None,
+        factory=lambda name: RaisingBackend(),
+    )
+    with pytest.raises(InfeasibleError):
+        backend.solve(_tiny_model())
+    assert len(calls) == 1
+
+
+def test_error_status_counts_as_transient():
+    class ErrorStatusBackend(Backend):
+        name = "errstatus"
+
+        def __init__(self):
+            self.calls = 0
+
+        def solve(self, model, **options):
+            self.calls += 1
+            if self.calls == 1:
+                from repro.lp.result import Solution
+                import numpy as np
+
+                return Solution(
+                    SolveStatus.ERROR, np.zeros(1), 0.0, model_id=-2
+                )
+            return get_backend("highs").solve(model, **options)
+
+    flaky = ErrorStatusBackend()
+    backend = ResilientBackend(
+        chain=("errstatus",),
+        max_attempts=2,
+        sleep=lambda s: None,
+        factory=lambda name: flaky,
+    )
+    solution = backend.solve(_tiny_model())
+    assert solution.status is SolveStatus.OPTIMAL
+    assert flaky.calls == 2
+
+
+def test_validation():
+    with pytest.raises(SolverError, match="chain"):
+        ResilientBackend(chain=())
+    with pytest.raises(SolverError, match="max_attempts"):
+        ResilientBackend(max_attempts=0)
+
+
+def test_scheduler_runs_on_resilient_backend(line3):
+    """End to end: a Postcard scheduler solving through the chain
+    produces the same answer as plain highs."""
+    from repro.core import PostcardScheduler
+    from repro.traffic import TransferRequest
+
+    plain = PostcardScheduler(line3, horizon=10)
+    chained = PostcardScheduler(line3, horizon=10, backend="resilient")
+    for scheduler in (plain, chained):
+        scheduler.on_slot(0, [TransferRequest(0, 1, 6.0, 4, release_slot=0)])
+    assert chained.state.current_cost_per_slot() == pytest.approx(
+        plain.state.current_cost_per_slot()
+    )

@@ -110,3 +110,43 @@ def test_custom_topology_and_workload_factories():
     # The ring actually got used: schedulers saw 5 datacenters.
     any_result = comparison.results["postcard"][0]
     assert any_result.num_slots == 4
+
+
+def test_fault_factory_attaches_per_scheduler_models():
+    from repro.sim.faults import FaultModel
+
+    built = []
+
+    def fault_factory(topology, setting, seed):
+        fm = FaultModel.random(
+            topology,
+            num_slots=setting.num_slots,
+            outage_probability=0.5,
+            seed=seed,
+            announced=False,
+        )
+        built.append(fm)
+        return fm
+
+    comparison = run_comparison(
+        tiny("chaos", 40.0, 3),
+        FACTORIES,
+        runs=2,
+        base_seed=7,
+        fault_factory=fault_factory,
+    )
+    # One fresh model per (run, scheduler): reveals never leak.
+    assert len(built) == 2 * len(FACTORIES)
+    assert len(set(map(id, built))) == len(built)
+    for results in comparison.results.values():
+        for result in results:
+            assert result.salvaged_gb + result.lost_gb == pytest.approx(
+                result.disrupted_gb
+            )
+    if any(
+        r.disrupted_gb > 0
+        for results in comparison.results.values()
+        for r in results
+    ):
+        table = comparison.to_table()
+        assert "salvaged" in table and "lost" in table
