@@ -51,9 +51,12 @@ _TRACKED_COUNTERS = (
     "scheduler.replans",
 )
 
-#: The spans that answer "where did the time go".
+#: The spans that answer "where did the time go".  lp.build covers the
+#: whole model-construction side (graph + assembly); lp.solve covers
+#: the backend side (lowering + optimize, with lp.compile nested).
 _TRACKED_SPANS = (
     "timeexp.build",
+    "lp.build",
     "lp.compile",
     "lp.solve",
     "scheduler.build_model",

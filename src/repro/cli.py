@@ -7,7 +7,9 @@ Usage (after ``pip install -e .``)::
     python -m repro simulate --slots 5 --obs-jsonl events.jsonl
     python -m repro simulate --slots 8 --surprise --solver-chain
     python -m repro simulate --outages outages.json --surprise
+    python -m repro simulate --schedulers postcard direct greedy --jobs 3
     python -m repro figure fig6 --runs 3
+    python -m repro figure fig6 --runs 8 --jobs 4
     python -m repro example fig3
     python -m repro trace generate --datacenters 6 --slots 5 -o trace.json
     python -m repro trace run trace.json --scheduler postcard
@@ -74,8 +76,106 @@ def _build_fault_model(args: argparse.Namespace, topology):
     return None
 
 
+def _cmd_simulate_parallel(args: argparse.Namespace) -> int:
+    """Fan the per-scheduler runs of ``simulate`` out to workers.
+
+    Workers rebuild topology/workload/faults from the same seeds the
+    serial path uses, so the table is identical for any ``--jobs``.
+    """
+    from repro.sim.parallel import (
+        FaultSpec,
+        RunTask,
+        TOPOLOGY_COMPLETE,
+        run_tasks,
+    )
+    from repro.sim.runner import ExperimentSetting
+
+    setting = ExperimentSetting(
+        "simulate",
+        capacity=args.capacity,
+        max_deadline=args.max_deadline,
+        num_datacenters=args.datacenters,
+        num_slots=args.slots,
+        max_files=args.max_files,
+    )
+    faults = None
+    if args.outages:
+        faults = FaultSpec(path=args.outages, announced=not args.surprise)
+    elif args.surprise:
+        faults = FaultSpec(
+            outage_probability=args.outage_prob,
+            mean_duration=args.mean_outage,
+            announced=False,
+        )
+    backend = "resilient" if args.solver_chain else None
+    tasks = [
+        RunTask(
+            setting=setting,
+            scheduler=name,
+            run=0,
+            base_seed=args.seed,
+            backend=backend,
+            faults=faults,
+            topology=TOPOLOGY_COMPLETE,
+        )
+        for name in args.schedulers
+    ]
+    rows = []
+    chaos = []
+    for name, _run, result in run_tasks(tasks, jobs=args.jobs):
+        row = [
+            name,
+            result.final_cost_per_slot,
+            result.total_requests,
+            result.total_rejected,
+            f"{result.relay_overhead:.2f}",
+            f"{result.solve_seconds_total:.2f}",
+        ]
+        if faults is not None:
+            row.extend(
+                [
+                    f"{result.salvaged_gb:.1f}",
+                    f"{result.lost_gb:.1f}",
+                    result.deadline_misses,
+                ]
+            )
+            chaos.append((name, result))
+        rows.append(row)
+    headers = ["scheduler", "cost/slot", "files", "rejected", "relay", "solve s"]
+    if faults is not None:
+        headers.extend(["salvaged", "lost", "misses"])
+    print(format_table(headers, rows))
+    if chaos:
+        # Rebuild the (seeded, hence identical) outage set for the
+        # summary line the serial path prints.
+        topology = complete_topology(
+            args.datacenters, capacity=args.capacity, seed=args.seed
+        )
+        fault_model = faults.build(topology, args.slots, args.seed)
+        for name, result in chaos:
+            print(
+                f"chaos [{name}]: outages={len(fault_model.outages)} "
+                f"disrupted={result.disrupted_gb:.2f} GB "
+                f"salvaged={result.salvaged_gb:.2f} GB "
+                f"lost={result.lost_gb:.2f} GB "
+                f"misses={result.deadline_misses} "
+                f"replans={result.recovery_replans}"
+            )
+    return 0
+
+
 def _cmd_simulate(args: argparse.Namespace) -> int:
     from repro import obs
+
+    if args.jobs > 1:
+        if args.profile or args.obs_jsonl or args.show_links:
+            print(
+                "note: --profile/--obs-jsonl/--show-links need in-process "
+                "state; ignoring --jobs and running serially",
+                file=sys.stderr,
+            )
+        else:
+            return _cmd_simulate_parallel(args)
 
     topology = complete_topology(
         args.datacenters, capacity=args.capacity, seed=args.seed
@@ -177,7 +277,9 @@ def _cmd_figure(args: argparse.Namespace) -> int:
         max_files=args.max_files,
     )
     factories = {name: scheduler_factory(name) for name in args.schedulers}
-    comparison = run_comparison(setting, factories, runs=args.runs, base_seed=args.seed)
+    comparison = run_comparison(
+        setting, factories, runs=args.runs, base_seed=args.seed, jobs=args.jobs
+    )
     print(setting.describe())
     print(comparison.to_table())
     return 0
@@ -384,6 +486,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="solve LPs through the resilient retry/fallback backend "
         "chain (highs -> simplex -> interior_point)",
     )
+    p_sim.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="run schedulers in N worker processes (same seeds, same "
+        "results; incompatible with --profile/--obs-jsonl/--show-links)",
+    )
     p_sim.set_defaults(func=_cmd_simulate)
 
     p_fig = sub.add_parser("figure", help="regenerate a paper figure")
@@ -393,6 +502,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_fig.add_argument("--slots", type=int, default=12)
     p_fig.add_argument("--max-files", type=int, default=10)
     p_fig.add_argument("--seed", type=int, default=2012)
+    p_fig.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="fan the runs x schedulers grid out to N worker processes",
+    )
     p_fig.add_argument(
         "--schedulers",
         nargs="+",

@@ -9,17 +9,36 @@ is traffic already committed by earlier online rounds.  With
 ``B == 0`` this is exactly the paper's
 ``X_ij(t) = max{X_ij(t-1), max_n sum_k M_ij^k(n)}``; with in-flight
 traffic it is the strictly more accurate form (see DESIGN.md).
+
+Two assembly paths build the same model:
+
+* ``"legacy"`` constructs every row through the ``LinExpr`` operator
+  algebra — readable, obviously faithful to the math, and kept as the
+  executable reference.
+* ``"fast"`` builds the coefficient dictionaries of each row directly,
+  skipping operator dispatch, expression copies and ``Arc`` hashing.
+  It performs float-identical arithmetic in the same order, so the
+  resulting model compiles to the same matrices bit for bit — a claim
+  pinned by ``tests/test_compile_equivalence.py``.
+
+The whole assembly (including time-expanded-graph construction) runs
+under the ``lp.build`` observability span, the counterpart of the
+backends' ``lp.solve`` span.
 """
 
 from __future__ import annotations
 
 from collections import defaultdict
+from itertools import repeat
 from typing import Dict, List, Optional, Tuple
 
 from repro.errors import SchedulingError
 from repro.core.schedule import ScheduleEntry, TransferSchedule
 from repro.core.state import NetworkState
 from repro.lp import LinExpr, Model, Solution, Variable
+from repro.lp.constraint import Constraint, Sense
+from repro.obs import registry as obs
+from repro.timeexp.cache import GraphCache
 from repro.timeexp.graph import Arc, ArcKind, TimeExpandedGraph
 from repro.traffic.spec import TransferRequest
 from repro.units import VOLUME_ATOL
@@ -27,6 +46,13 @@ from repro.units import VOLUME_ATOL
 #: Storage policies for :func:`build_postcard_model`.
 STORAGE_FULL = "full"
 STORAGE_DESTINATION_ONLY = "destination_only"
+
+#: Stride for the fast assembler's packed ``node * stride + slot``
+#: balance keys; bounds the representable horizon (slots per problem).
+_NODE_KEY = 1 << 21
+
+#: Assembly paths for :func:`build_postcard_model`.
+ASSEMBLY_MODES = ("legacy", "fast")
 
 
 class PostcardModel:
@@ -37,7 +63,7 @@ class PostcardModel:
         model: Model,
         graph: TimeExpandedGraph,
         requests: List[TransferRequest],
-        flow_vars: Dict[Tuple[int, Arc], Variable],
+        flow_vars,
         charge_vars: Dict[Tuple[int, int], Variable],
         fixed_charge_cost: float,
         capacity_rows=None,
@@ -45,7 +71,18 @@ class PostcardModel:
         self.model = model
         self.graph = graph
         self.requests = requests
-        self.flow_vars = flow_vars
+        # ``flow_vars`` arrives either as the {(rid, arc): var} dict (the
+        # reference assembler) or as a flat [(rid, arc, var), ...] list
+        # (the fast assembler, which skips hashing Arc objects in its
+        # hot loop).  The dict view is materialized on first access.
+        if isinstance(flow_vars, dict):
+            self._flow_items = [
+                (rid, arc, var) for (rid, arc), var in flow_vars.items()
+            ]
+            self._flow_vars: Optional[Dict[Tuple[int, Arc], Variable]] = flow_vars
+        else:
+            self._flow_items = flow_vars
+            self._flow_vars = None
         self.charge_vars = charge_vars
         #: sum(a_ij * X_ij(t-1)) over links the new files cannot touch;
         #: a constant added to the objective so it reports the full
@@ -54,11 +91,20 @@ class PostcardModel:
         #: (src, dst, slot) -> the capacity Constraint, for shadow prices.
         self.capacity_rows: Dict[Tuple[int, int, int], object] = capacity_rows or {}
 
+    @property
+    def flow_vars(self) -> Dict[Tuple[int, Arc], Variable]:
+        """Per-(request, arc) flow variables, keyed for external lookups."""
+        if self._flow_vars is None:
+            self._flow_vars = {
+                (rid, arc): var for rid, arc, var in self._flow_items
+            }
+        return self._flow_vars
+
     def solve(self, backend: str = "highs", **options) -> Tuple[TransferSchedule, Solution]:
         """Optimize and extract the store-and-forward schedule."""
         solution = self.model.solve(backend=backend, **options)
         entries = []
-        for (request_id, arc), var in self.flow_vars.items():
+        for request_id, arc, var in self._flow_items:
             volume = solution.value(var)
             if volume > VOLUME_ATOL:
                 entries.append(
@@ -106,6 +152,9 @@ def build_postcard_model(
     cost_fn_factory=None,
     charge_exempt=None,
     charged_volume_fn=None,
+    graph: Optional[TimeExpandedGraph] = None,
+    graph_cache: Optional[GraphCache] = None,
+    assembly: str = "legacy",
 ) -> PostcardModel:
     """Assemble the Sec. V LP for the files released at the current slot.
 
@@ -145,6 +194,17 @@ def build_postcard_model(
     charged_volume_fn:
         Optional override for ``X_ij(t-1)``; percentile-aware callers
         pass the charged volume *excluding* amnestied burst slots.
+    graph:
+        Optional pre-built :class:`TimeExpandedGraph` covering exactly
+        the requests' window (validated); saves rebuilding it.
+    graph_cache:
+        Optional :class:`~repro.timeexp.cache.GraphCache` used to build
+        the graph incrementally from the previous slot's arcs.  Ignored
+        when ``graph`` is given.
+    assembly:
+        ``"legacy"`` (operator algebra, the reference) or ``"fast"``
+        (direct coefficient construction); the two produce bit-identical
+        compiled problems.
     """
     if not requests:
         raise SchedulingError("build_postcard_model needs at least one request")
@@ -154,16 +214,61 @@ def build_postcard_model(
         raise SchedulingError("storage_capacity must be non-negative")
     if storage_price < 0:
         raise SchedulingError("storage_price must be non-negative")
+    if assembly not in ASSEMBLY_MODES:
+        raise SchedulingError(
+            f"unknown assembly mode {assembly!r}; available: "
+            + ", ".join(ASSEMBLY_MODES)
+        )
 
-    start = min(r.release_slot for r in requests)
-    end = max(r.release_slot + r.deadline_slots for r in requests)
-    graph = TimeExpandedGraph(
-        state.topology,
-        start_slot=start,
-        horizon=end - start,
-        capacity_fn=state.residual_capacity,
-    )
+    with obs.span("lp.build", assembly=assembly, requests=len(requests)):
+        start = min(r.release_slot for r in requests)
+        end = max(r.release_slot + r.deadline_slots for r in requests)
+        if graph is not None:
+            if graph.start_slot != start or graph.end_slot != end:
+                raise SchedulingError(
+                    f"provided graph spans slots [{graph.start_slot}, "
+                    f"{graph.end_slot}) but the requests need [{start}, {end})"
+                )
+        elif graph_cache is not None:
+            graph = graph_cache.build(
+                start, end - start, capacity_fn=state.residual_capacity
+            )
+        else:
+            graph = TimeExpandedGraph(
+                state.topology,
+                start_slot=start,
+                horizon=end - start,
+                capacity_fn=state.residual_capacity,
+            )
 
+        assemble = _assemble_fast if assembly == "fast" else _assemble_legacy
+        return assemble(
+            state,
+            graph,
+            requests,
+            storage=storage,
+            name=name,
+            storage_capacity=storage_capacity,
+            storage_price=storage_price,
+            cost_fn_factory=cost_fn_factory,
+            charge_exempt=charge_exempt,
+            charged_volume_fn=charged_volume_fn,
+        )
+
+
+def _assemble_legacy(
+    state: NetworkState,
+    graph: TimeExpandedGraph,
+    requests: List[TransferRequest],
+    storage: str,
+    name: str,
+    storage_capacity: float,
+    storage_price: float,
+    cost_fn_factory,
+    charge_exempt,
+    charged_volume_fn,
+) -> PostcardModel:
+    """Operator-algebra assembly — the executable reference."""
     model = Model(name)
     flow_vars: Dict[Tuple[int, Arc], Variable] = {}
     #: per transit (link, slot): list of vars crossing it (for capacity
@@ -281,6 +386,347 @@ def build_postcard_model(
 
     return PostcardModel(
         model, graph, list(requests), flow_vars, charge_vars, fixed_cost,
+        capacity_rows=capacity_rows,
+    )
+
+
+def _lin(coeffs: Dict[int, float], constant: float, model_id: int) -> LinExpr:
+    """A LinExpr adopting ``coeffs`` without the constructor's copy.
+
+    Only for freshly-built dictionaries that no other code aliases.
+    """
+    expr = LinExpr.__new__(LinExpr)
+    expr.coeffs = coeffs
+    expr.constant = constant
+    expr._model_id = model_id
+    return expr
+
+
+def _assemble_fast(
+    state: NetworkState,
+    graph: TimeExpandedGraph,
+    requests: List[TransferRequest],
+    storage: str,
+    name: str,
+    storage_capacity: float,
+    storage_price: float,
+    cost_fn_factory,
+    charge_exempt,
+    charged_volume_fn,
+) -> PostcardModel:
+    """Direct-construction assembly, float-identical to the reference.
+
+    Mirrors :func:`_assemble_legacy` row for row but writes each row's
+    coefficient dictionary directly instead of going through the
+    ``LinExpr`` operators: every coefficient is the exact float the
+    operator chain would have produced (``1.0``, ``-1.0``, or a negated
+    constant), in the same insertion order, so the compiled matrices are
+    interchangeable bit for bit.  Arc grouping keys on ``id(arc)``
+    (arc objects are unique within a graph) to avoid hashing frozen
+    dataclasses in the hot loop.
+    """
+    model = Model(name)
+    mid = model._id
+    variables = model.variables
+    constraints = model.constraints
+    inf = float("inf")
+
+    flow_items: List[Tuple[int, Arc, Variable]] = []
+    #: id(arc) -> (arc, vars crossing it); insertion order matches the
+    #: legacy Arc-keyed dicts because each arc object is first seen at
+    #: the same point of the same iteration.
+    arc_users: Dict[int, Tuple[Arc, List[Variable]]] = {}
+    storage_users: Dict[int, Tuple[Arc, List[Variable]]] = {}
+
+    # Hot-loop locals: every name below is touched once per (request,
+    # arc) pair, so attribute/global lookups would dominate.
+    by_slot = graph._by_slot
+    transit_kind = ArcKind.TRANSIT
+    make_var = Variable
+    add_var = variables.append
+    add_flow = flow_items.append
+    get_arc_entry = arc_users.get
+    get_store_entry = storage_users.get
+    dest_only = storage == STORAGE_DESTINATION_ONLY
+    nvar = len(variables)
+    #: Balance rows key on ``node_id * _NODE_KEY + slot`` instead of
+    #: ``(node_id, slot)`` tuples — integer keys hash in one machine op
+    #: and skip ~2 tuple allocations per arc in the hottest loop.
+    #: Node ids are non-negative ints (Topology invariant) and slots
+    #: stay far below the stride, so the encoding is collision-free.
+    stride = _NODE_KEY
+
+    #: Request windows overlap heavily, so everything that depends only
+    #: on the (slot, arc) pair — attribute reads, the committed-capacity
+    #: filter, the formatted name suffix — is computed once per slot and
+    #: replayed per request as plain tuple unpacking.  Filtering at prep
+    #: time preserves the legacy per-arc iteration order exactly.  The
+    #: dict lives on the graph: for GraphCache-built graphs it is the
+    #: cache's persistent store, so slots whose arc lists were reused
+    #: unchanged keep their prepared tuples across consecutive builds.
+    prepared = graph.assembly_prep
+
+    def _prep(slot: int) -> list:
+        entries = []
+        for arc in by_slot.get(slot, ()):
+            transit = arc.kind is transit_kind
+            if transit and arc.capacity <= 0:
+                continue  # fully committed link-slot: no variable
+            src, dst = arc.src, arc.dst
+            entries.append(
+                (transit, src, dst, f"{src},{dst},{slot}]", arc, id(arc))
+            )
+        prepared[slot] = entries
+        return entries
+
+    def _emit_request_rows(request, rid, first, last_exclusive, balance):
+        """Source/sink/conservation rows from an assembled balance map."""
+        source = request.source * stride + first
+        sink = request.destination * stride + last_exclusive
+        if source not in balance:
+            raise SchedulingError(
+                f"file {rid}: no admissible arc leaves its source; "
+                "the problem is trivially infeasible"
+            )
+        size = float(request.size_gb)
+        for node, coeffs in balance.items():
+            if node == source:
+                con = Constraint(_lin(coeffs, -size, mid), Sense.EQ, f"src[{rid}]")
+            elif node == sink:
+                con = Constraint(_lin(coeffs, size, mid), Sense.EQ, f"snk[{rid}]")
+            else:
+                con = Constraint(
+                    _lin(coeffs, 0.0, mid), Sense.EQ,
+                    f"cons[{rid},{node // stride},{node % stride}]",
+                )
+            constraints.append(con)
+
+    if not dest_only:
+        # STORAGE_FULL admits every prepared arc, so a whole window's
+        # structure — name suffixes, arc order, balance-row template —
+        # is a pure function of (first, last): build it once per window
+        # and replay it per request with C-speed comprehensions.  Every
+        # produced object matches the per-pair loop below element for
+        # element (same offsets, same insertion orders).
+        window_cache: Dict[Tuple[int, int], tuple] = {}
+
+        def _window_template(first: int, last: int) -> tuple:
+            suffixes: List[str] = []
+            arcs: List[Arc] = []
+            transit_offs: List[Tuple[int, Arc, int]] = []
+            storage_offs: List[Tuple[int, Arc, int, int]] = []
+            rows: Dict[int, List[Tuple[int, float]]] = {}
+            off = 0
+            for slot in range(first, last):
+                entries = prepared.get(slot)
+                if entries is None:
+                    entries = _prep(slot)
+                for transit, src, dst, suffix, arc, aid in entries:
+                    suffixes.append(suffix)
+                    arcs.append(arc)
+                    if transit:
+                        transit_offs.append((off, arc, aid))
+                    else:
+                        storage_offs.append((off, arc, aid, src))
+                    tail = src * stride + slot
+                    head = dst * stride + slot + 1
+                    lst = rows.get(tail)
+                    if lst is None:
+                        rows[tail] = [(off, 1.0)]
+                    else:
+                        lst.append((off, 1.0))
+                    lst = rows.get(head)
+                    if lst is None:
+                        rows[head] = [(off, -1.0)]
+                    else:
+                        lst.append((off, -1.0))
+                    off += 1
+            tmpl = (suffixes, arcs, transit_offs, storage_offs, list(rows.items()))
+            window_cache[(first, last)] = tmpl
+            return tmpl
+
+        for request in requests:
+            rid = request.request_id
+            destination = request.destination
+            first, last_exclusive = graph.request_window(request)
+            tmpl = window_cache.get((first, last_exclusive))
+            if tmpl is None:
+                tmpl = _window_template(first, last_exclusive)
+            suffixes, arcs, transit_offs, storage_offs, row_items = tmpl
+
+            base = nvar
+            prefix = f"M[{rid},"
+            new_vars = [
+                make_var(prefix + suffix, base + off, 0.0, inf, mid)
+                for off, suffix in enumerate(suffixes)
+            ]
+            nvar = base + len(new_vars)
+            variables.extend(new_vars)
+            flow_items.extend(zip(repeat(rid), arcs, new_vars))
+
+            for off, arc, aid in transit_offs:
+                var = new_vars[off]
+                entry = get_arc_entry(aid)
+                if entry is None:
+                    arc_users[aid] = (arc, [var])
+                else:
+                    entry[1].append(var)
+            for off, arc, aid, src in storage_offs:
+                if src == destination:
+                    continue
+                var = new_vars[off]
+                entry = get_store_entry(aid)
+                if entry is None:
+                    storage_users[aid] = (arc, [var])
+                else:
+                    entry[1].append(var)
+
+            balance = {
+                key: {base + off: coef for off, coef in pairs}
+                for key, pairs in row_items
+            }
+            _emit_request_rows(request, rid, first, last_exclusive, balance)
+    else:
+        for request in requests:
+            rid = request.request_id
+            destination = request.destination
+            first, last_exclusive = graph.request_window(request)
+            prefix = f"M[{rid},"
+            balance: Dict[int, Dict[int, float]] = {}
+            for slot in range(first, last_exclusive):
+                entries = prepared.get(slot)
+                if entries is None:
+                    entries = _prep(slot)
+                for transit, src, dst, suffix, arc, aid in entries:
+                    if not transit and src != destination:
+                        continue  # destination_only: no relay buffering
+                    index = nvar
+                    nvar = index + 1
+                    var = make_var(prefix + suffix, index, 0.0, inf, mid)
+                    add_var(var)
+                    add_flow((rid, arc, var))
+                    if transit:
+                        entry = get_arc_entry(aid)
+                        if entry is None:
+                            arc_users[aid] = (arc, [var])
+                        else:
+                            entry[1].append(var)
+                    elif src != destination:
+                        entry = get_store_entry(aid)
+                        if entry is None:
+                            storage_users[aid] = (arc, [var])
+                        else:
+                            entry[1].append(var)
+                    tail = src * stride + slot
+                    head = dst * stride + slot + 1
+                    row = balance.get(tail)
+                    if row is None:
+                        balance[tail] = {index: 1.0}
+                    else:
+                        row[index] = 1.0
+                    row = balance.get(head)
+                    if row is None:
+                        balance[head] = {index: -1.0}
+                    else:
+                        row[index] = -1.0
+
+            _emit_request_rows(request, rid, first, last_exclusive, balance)
+
+    # Capacity rows: aggregate new traffic within residual capacity.
+    capacity_rows: Dict[Tuple[int, int, int], object] = {}
+    for arc, users in arc_users.values():
+        if arc.capacity != inf:
+            con = Constraint(
+                _lin({var.index: 1.0 for var in users}, -float(arc.capacity), mid),
+                Sense.LE,
+                f"cap[{arc.src},{arc.dst},{arc.slot}]",
+            )
+            constraints.append(con)
+            capacity_rows[(arc.src, arc.dst, arc.slot)] = con
+
+    # Storage rows: per-datacenter buffer capacity for in-transit data.
+    if storage_capacity != inf:
+        for arc, users in storage_users.values():
+            constraints.append(
+                Constraint(
+                    _lin({var.index: 1.0 for var in users},
+                         -float(storage_capacity), mid),
+                    Sense.LE,
+                    f"store[{arc.src},{arc.slot}]",
+                )
+            )
+
+    # Charge rows: one X_ij per overlay link that new traffic can use.
+    by_link: Dict[Tuple[int, int], Dict[int, List[Variable]]] = {}
+    for arc, users in arc_users.values():
+        slots = by_link.get(arc.link_key)
+        if slots is None:
+            slots = by_link[arc.link_key] = {}
+        slot_users = slots.get(arc.slot)
+        if slot_users is None:
+            slots[arc.slot] = list(users)
+        else:
+            slot_users.extend(users)
+
+    charge_vars: Dict[Tuple[int, int], Variable] = {}
+    objective_terms: List[Tuple[float, Variable]] = []
+    fixed_cost = 0.0
+    for link in state.topology.links:
+        key = link.key
+        prior = (
+            charged_volume_fn(*key)
+            if charged_volume_fn is not None
+            else state.charged_volume(*key)
+        )
+        cost_fn = cost_fn_factory(link) if cost_fn_factory else None
+        if key not in by_link:
+            fixed_cost += cost_fn(prior) if cost_fn else link.price * prior
+            continue
+        index = len(variables)
+        x = Variable(f"X[{key[0]},{key[1]}]", index, float(prior), inf, mid)
+        variables.append(x)
+        charge_vars[key] = x
+        # One volumes-map fetch per link instead of one ledger call per
+        # row; ``volumes.get(slot, 0.0)`` is exactly committed_volume().
+        committed_map = state.ledger.usage(key[0], key[1]).volumes
+        for slot, users in by_link[key].items():
+            if charge_exempt is not None and charge_exempt(key[0], key[1], slot):
+                continue
+            committed = committed_map.get(slot, 0.0)
+            coeffs = {index: 1.0}
+            for var in users:
+                coeffs[var.index] = -1.0
+            constraints.append(
+                Constraint(
+                    _lin(coeffs, -float(committed), mid),
+                    Sense.GE,
+                    f"chg[{key[0]},{key[1]},{slot}]",
+                )
+            )
+        if cost_fn is None:
+            objective_terms.append((link.price, x))
+        else:
+            objective_terms.append(
+                (1.0, _link_cost_variable(model, key, x, cost_fn))
+            )
+
+    # Metered storage cost: price per GB-slot of in-transit buffering.
+    storage_terms: List[Tuple[float, Variable]] = []
+    if storage_price > 0.0:
+        for _arc, users in storage_users.values():
+            storage_terms.extend((storage_price, var) for var in users)
+
+    model.minimize(
+        LinExpr.from_terms(objective_terms + storage_terms, constant=fixed_cost)
+    )
+
+    return PostcardModel(
+        model,
+        graph,
+        list(requests),
+        flow_items,
+        charge_vars,
+        fixed_cost,
         capacity_rows=capacity_rows,
     )
 

@@ -30,7 +30,8 @@ from repro.lp.expr import LinExpr, Variable
 from repro.lp.constraint import Constraint, Sense
 from repro.lp.model import Model
 from repro.lp.result import Solution, SolveStatus
-from repro.lp.compile import CompiledProblem, compile_model
+from repro.lp.compile import CompiledProblem, compile_mode, compile_model
+from repro.lp.warm import WarmStart
 
 __all__ = [
     "LinExpr",
@@ -41,5 +42,7 @@ __all__ = [
     "Solution",
     "SolveStatus",
     "CompiledProblem",
+    "compile_mode",
     "compile_model",
+    "WarmStart",
 ]

@@ -30,29 +30,43 @@ class HighsBackend(Backend):
 
     name = "highs"
 
+    #: scipy's HiGHS bindings expose no basis/solution injection, so a
+    #: ``warm=`` hint is accepted but unused — warm and cold solves are
+    #: bit-identical through this backend (the fast scheduling path
+    #: relies on exactly that).
+    supports_warm_start = False
+
     def solve(self, model: Model, **options) -> Solution:
-        problem = compile_model(model)
-        n = problem.num_variables
+        options.pop("warm", None)
+        # The span covers the backend's whole job — lowering the model
+        # to matrices *and* optimizing — so lp.build + lp.solve account
+        # for the full per-slot scheduling cost.
+        with obs.span("lp.solve", backend=self.name) as sp:
+            problem = compile_model(model)
+            n = problem.num_variables
 
-        if n == 0:
-            # Degenerate but legal: an empty model is trivially optimal.
-            return Solution(
-                SolveStatus.OPTIMAL,
-                np.zeros(0),
-                problem.c0,
-                model._id,
-                solver=self.name,
-            )
+            if n == 0:
+                # Degenerate but legal: an empty model is trivially optimal.
+                return Solution(
+                    SolveStatus.OPTIMAL,
+                    np.zeros(0),
+                    problem.c0,
+                    model._id,
+                    solver=self.name,
+                )
 
-        # Method auto-selection: HiGHS's default (dual simplex) crawls
-        # on large degenerate time-expanded instances where its
-        # interior-point code flies (~13x on a paper-scale maxT=8
-        # slot), so big problems default to IPM unless overridden.
-        method = options.pop("method", None)
-        if method is None:
-            method = "highs-ipm" if n > 20000 else "highs"
+            # Method auto-selection: HiGHS's default (dual simplex)
+            # crawls on large degenerate time-expanded instances where
+            # its interior-point code flies (~13x on a paper-scale
+            # maxT=8 slot), so big problems default to IPM unless
+            # overridden.
+            method = options.pop("method", None)
+            if method is None:
+                method = "highs-ipm" if n > 20000 else "highs"
+            attrs = getattr(sp, "attrs", None)
+            if attrs is not None:
+                attrs["method"] = method
 
-        with obs.span("lp.solve", backend=self.name, method=method):
             result = linprog(
                 problem.c,
                 A_ub=problem.a_ub if problem.num_inequalities else None,

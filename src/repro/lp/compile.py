@@ -9,19 +9,80 @@ The compiled form matches what :func:`scipy.optimize.linprog` expects:
 
 Maximization is handled by negating ``c`` and flipping the sign of the
 reported objective, so backends only ever minimize.
+
+Two lowering paths produce the same matrices:
+
+* ``"vectorized"`` (the default) accumulates every constraint's
+  coefficient arrays into flat COO buffers with C-speed ``list.extend``
+  calls, expands row indices with :func:`numpy.repeat`, and applies GE
+  sign flips as one vectorized multiply.  This is the fast path used in
+  production.
+* ``"legacy"`` is the original per-constraint / per-coefficient Python
+  loop, kept as the executable reference that the equivalence suite
+  (``tests/test_compile_equivalence.py``) checks the fast path against.
+
+Both paths perform float-identical operations (``flip * coef`` and
+``flip * -constant`` in the same order), so the compiled problems are
+bit-for-bit interchangeable, not merely close.  Select the reference
+path with the :func:`compile_mode` context manager.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import List, Tuple
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional, Tuple
 
 import numpy as np
 from scipy import sparse
 
+from repro.errors import ModelError
 from repro.lp.constraint import Sense
 from repro.lp.model import Model
 from repro.obs import registry as obs
+
+#: Valid lowering modes; module default is the vectorized fast path.
+COMPILE_MODES = ("vectorized", "legacy")
+_compile_mode = "vectorized"
+
+def _bounds_array(variables) -> np.ndarray:
+    """Variable bounds as an ``(n, 2)`` float array.
+
+    ``linprog`` accepts this shape directly and its input cleaning then
+    reduces to a memcpy, where a list of per-variable tuples would cost
+    a Python-level conversion pass on every solve.
+    """
+    n = len(variables)
+    bounds = np.empty((n, 2), dtype=float)
+    bounds[:, 0] = np.fromiter((v.lb for v in variables), dtype=float, count=n)
+    bounds[:, 1] = np.fromiter((v.ub for v in variables), dtype=float, count=n)
+    return bounds
+
+
+@contextmanager
+def compile_mode(mode: str) -> Iterator[None]:
+    """Temporarily select the lowering path (``"vectorized"``/``"legacy"``).
+
+    Used by the equivalence tests and the fast-path benchmark to force
+    the reference implementation; everything else should leave the
+    default alone.
+    """
+    global _compile_mode
+    if mode not in COMPILE_MODES:
+        raise ModelError(
+            f"unknown compile mode {mode!r}; available: {', '.join(COMPILE_MODES)}"
+        )
+    previous = _compile_mode
+    _compile_mode = mode
+    try:
+        yield
+    finally:
+        _compile_mode = previous
+
+
+def current_compile_mode() -> str:
+    """The lowering path :func:`compile_model` currently uses."""
+    return _compile_mode
 
 
 @dataclass
@@ -34,12 +95,18 @@ class CompiledProblem:
     b_ub: np.ndarray
     a_eq: sparse.csr_matrix
     b_eq: np.ndarray
-    bounds: List[Tuple[float, float]]
+    #: Per-variable (lb, ub): an ``(n, 2)`` array from the vectorized
+    #: lowering, a list of tuples from the legacy one.  ``linprog``
+    #: accepts both; the array form skips a Python-level conversion
+    #: pass inside scipy on every solve.
+    bounds: "np.ndarray | List[Tuple[float, float]]"
     maximize: bool
     #: One entry per model constraint, in order: ("ub"|"eq", row, sign).
     #: ``sign`` is -1 for GE constraints (negated into LE rows), so a
     #: model-level dual is ``sign * marginal`` of the compiled row.
-    row_map: List[Tuple[str, int, float]] = None
+    #: Defaults to an empty list so an un-populated problem degrades to
+    #: "no dual information" instead of crashing dual extraction.
+    row_map: List[Tuple[str, int, float]] = field(default_factory=list)
 
     @property
     def num_variables(self) -> int:
@@ -54,29 +121,146 @@ class CompiledProblem:
         return self.a_eq.shape[0]
 
 
-def compile_model(model: Model) -> CompiledProblem:
+def compile_model(model: Model, mode: Optional[str] = None) -> CompiledProblem:
     """Lower a :class:`Model` into :class:`CompiledProblem` matrices.
 
     ``GE`` constraints are negated into ``LE`` rows; constraint constants
-    move to the right-hand side.
+    move to the right-hand side.  ``mode`` overrides the module-wide
+    lowering path (see :func:`compile_mode`).
     """
-    with obs.span("lp.compile", model=model.name):
-        problem = _compile(model)
+    mode = mode or _compile_mode
+    if mode not in COMPILE_MODES:
+        raise ModelError(
+            f"unknown compile mode {mode!r}; available: {', '.join(COMPILE_MODES)}"
+        )
+    with obs.span("lp.compile", model=model.name, mode=mode):
+        if mode == "vectorized":
+            problem = _compile_vectorized(model)
+        else:
+            problem = _compile_legacy(model)
     obs.counter("lp.cols", problem.num_variables)
     obs.counter("lp.rows", problem.num_inequalities + problem.num_equalities)
     obs.counter("lp.nonzeros", int(problem.a_ub.nnz + problem.a_eq.nnz))
     return problem
 
 
-def _compile(model: Model) -> CompiledProblem:
-    n = model.num_variables
-
-    c = np.zeros(n)
+def _objective_vector(model: Model) -> Tuple[np.ndarray, float]:
+    c = np.zeros(model.num_variables)
     for idx, coef in model.objective.coeffs.items():
         c[idx] = coef
-    c0 = model.objective.constant
     if not model.sense_minimize:
         c = -c
+    return c, model.objective.constant
+
+
+def _compile_vectorized(model: Model) -> CompiledProblem:
+    """COO assembly from pre-accumulated flat buffers.
+
+    One Python-level iteration per constraint; per-coefficient work is
+    ``dict.keys()``/``dict.values()`` handed to ``list.extend`` (all C),
+    then row expansion, sign flips and zero filtering run as numpy
+    array operations.
+    """
+    n = model.num_variables
+    c, c0 = _objective_vector(model)
+
+    ub_cols: List[int] = []
+    ub_vals: List[float] = []
+    ub_counts: List[int] = []
+    ub_flips: List[float] = []
+    b_ub: List[float] = []
+    eq_cols: List[int] = []
+    eq_vals: List[float] = []
+    eq_counts: List[int] = []
+    b_eq: List[float] = []
+
+    row_map: List[Tuple[str, int, float]] = []
+    for con in model.constraints:
+        expr = con.expr
+        coeffs = expr.coeffs
+        if con.sense is Sense.EQ:
+            row_map.append(("eq", len(b_eq), 1.0))
+            eq_cols.extend(coeffs.keys())
+            eq_vals.extend(coeffs.values())
+            eq_counts.append(len(coeffs))
+            b_eq.append(-expr.constant)
+        else:
+            flip = -1.0 if con.sense is Sense.GE else 1.0
+            row_map.append(("ub", len(b_ub), flip))
+            ub_cols.extend(coeffs.keys())
+            ub_vals.extend(coeffs.values())
+            ub_counts.append(len(coeffs))
+            ub_flips.append(flip)
+            b_ub.append(flip * -expr.constant)
+
+    a_ub = _coo_from_buffers(ub_cols, ub_vals, ub_counts, ub_flips, len(b_ub), n)
+    a_eq = _coo_from_buffers(eq_cols, eq_vals, eq_counts, None, len(b_eq), n)
+
+    bounds = _bounds_array(model.variables)
+
+    return CompiledProblem(
+        c=c,
+        c0=c0,
+        a_ub=a_ub,
+        b_ub=np.asarray(b_ub, dtype=float),
+        a_eq=a_eq,
+        b_eq=np.asarray(b_eq, dtype=float),
+        bounds=bounds,
+        maximize=not model.sense_minimize,
+        row_map=row_map,
+    )
+
+
+def _coo_from_buffers(
+    cols: List[int],
+    vals: List[float],
+    counts: List[int],
+    flips: Optional[List[float]],
+    num_rows: int,
+    num_cols: int,
+) -> sparse.csr_matrix:
+    """CSR matrix from per-constraint flattened coefficient buffers.
+
+    ``counts[i]`` entries of ``cols``/``vals`` belong to row ``i``;
+    ``flips`` optionally scales each row's entries (the GE negation).
+    Explicit zeros are dropped, matching the legacy per-coefficient
+    ``coef != 0.0`` filter (a flipped zero is still zero).
+    """
+    counts_arr = np.asarray(counts, dtype=np.intp)
+    cols_arr = np.asarray(cols, dtype=np.intp)
+    data = np.asarray(vals, dtype=float)
+    if flips is not None and len(flips):
+        data = data * np.repeat(np.asarray(flips, dtype=float), counts_arr)
+    keep = data != 0.0
+    if keep.all():
+        # The buffers are already row-contiguous, so the CSR index
+        # pointer is just the running total of per-row counts — no COO
+        # row expansion, no lexsort.  ``sum_duplicates()`` canonicalizes
+        # (sorted indices, merged duplicates), yielding the exact matrix
+        # the COO round-trip would.
+        indptr = np.empty(num_rows + 1, dtype=np.intp)
+        indptr[0] = 0
+        np.cumsum(counts_arr, out=indptr[1:])
+        matrix = sparse.csr_matrix(
+            (data, cols_arr, indptr), shape=(num_rows, num_cols), dtype=float
+        )
+        matrix.sum_duplicates()
+        return matrix
+    # Explicit zeros present: filtering invalidates the per-row counts,
+    # so fall back to the COO round-trip.
+    rows = np.repeat(np.arange(num_rows, dtype=np.intp), counts_arr)
+    rows = rows[keep]
+    cols_arr = cols_arr[keep]
+    data = data[keep]
+    return sparse.csr_matrix(
+        (data, (rows, cols_arr)), shape=(num_rows, num_cols), dtype=float
+    )
+
+
+def _compile_legacy(model: Model) -> CompiledProblem:
+    """The original per-constraint loop, kept as executable reference."""
+    n = model.num_variables
+    c, c0 = _objective_vector(model)
 
     ub_rows: List[int] = []
     ub_cols: List[int] = []

@@ -1,0 +1,81 @@
+"""Warm-start data threaded between consecutive solves.
+
+The online Postcard controller solves a *sequence* of closely related
+LPs: every slot's model shares the charged-volume variables ``X[i,j]``
+with the previous slot's (same names, monotonically growing optimal
+values), while the per-file flow variables are new each time.  A
+:class:`WarmStart` captures one solve's variable values **by name** so
+the next model — with different variable indices and shapes — can be
+seeded from them.
+
+How much a backend can do with the hint varies:
+
+* ``interior_point`` uses it as the initial primal iterate (projected
+  into the positive orthant), which typically cuts iterations on
+  consecutive slots.
+* ``highs`` (scipy's HiGHS bindings) exposes no basis- or
+  solution-injection API, so the hint is accepted and deliberately
+  ignored — warm and cold solves are bit-identical there, which is what
+  lets the fast scheduling path guarantee unchanged results.
+* ``simplex`` (the dense educational tableau) likewise ignores the
+  hint; injecting a starting basis into a two-phase tableau is out of
+  scope for a verification backend.
+
+Backends advertise their behavior via
+:attr:`~repro.lp.backends.base.Backend.supports_warm_start`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.lp.model import Model
+from repro.lp.result import Solution
+
+
+@dataclass
+class WarmStart:
+    """Variable values of a previous solve, keyed by variable name.
+
+    ``objective`` and ``solver`` record where the hint came from (for
+    reports and debugging); neither affects the seeded solve.
+    """
+
+    values: Dict[str, float] = field(default_factory=dict)
+    objective: Optional[float] = None
+    solver: Optional[str] = None
+
+    @classmethod
+    def from_solution(cls, model: Model, solution: Solution) -> "WarmStart":
+        """Capture every variable's optimal value from a solved model."""
+        x = solution.x
+        return cls(
+            values={var.name: float(x[var.index]) for var in model.variables},
+            objective=solution.objective,
+            solver=solution.solver,
+        )
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def initial_point(self, model: Model) -> np.ndarray:
+        """A bounds-feasible initial point for ``model``'s variables.
+
+        Variables whose name matches a recorded value start there
+        (clipped into their bounds); unknown variables start at the
+        projection of zero onto their bounds — the same neutral default
+        a cold start would effectively use.
+        """
+        x0 = np.empty(model.num_variables)
+        get = self.values.get
+        for i, var in enumerate(model.variables):
+            value = get(var.name, 0.0)
+            if value < var.lb:
+                value = var.lb
+            elif value > var.ub:
+                value = var.ub
+            x0[i] = value
+        return x0

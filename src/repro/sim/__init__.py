@@ -3,6 +3,12 @@
 from repro.sim.engine import Simulation
 from repro.sim.faults import FaultModel, Outage
 from repro.sim.metrics import SimulationResult, SlotRecord
+from repro.sim.parallel import (
+    FaultSpec,
+    RunTask,
+    run_comparison_parallel,
+    run_tasks,
+)
 from repro.sim.recovery import RecoveryManager, SlotDisruption
 from repro.sim.runner import ExperimentSetting, SchedulerComparison, run_comparison
 
@@ -13,6 +19,10 @@ __all__ = [
     "ExperimentSetting",
     "SchedulerComparison",
     "run_comparison",
+    "run_comparison_parallel",
+    "run_tasks",
+    "RunTask",
+    "FaultSpec",
     "FaultModel",
     "Outage",
     "RecoveryManager",

@@ -118,6 +118,7 @@ def run_comparison(
     topology_factory=None,
     workload_factory=None,
     fault_factory=None,
+    jobs: int = 1,
 ) -> SchedulerComparison:
     """Run every scheduler on ``runs`` seeded instances of a setting.
 
@@ -137,7 +138,41 @@ def run_comparison(
     surprise outages never leak between competitors.  With surprise
     outages present, :meth:`SchedulerComparison.to_table` grows
     salvage columns.
+
+    ``jobs > 1`` fans the grid out to worker processes through
+    :mod:`repro.sim.parallel`.  Worker tasks must be rebuildable from
+    seeds, so the parallel path requires every ``factories`` key to be
+    a registered scheduler name and rejects the ``*_factory``
+    overrides (use :class:`~repro.sim.parallel.FaultSpec` via
+    :func:`~repro.sim.parallel.run_comparison_parallel` for seeded
+    faults).  Results are bit-identical to the sequential loop.
     """
+    if jobs > 1:
+        from repro.errors import SimulationError
+        from repro.sim.parallel import run_comparison_parallel
+
+        if topology_factory or workload_factory or fault_factory:
+            raise SimulationError(
+                "jobs > 1 cannot ship factory callables to workers; "
+                "run sequentially or use repro.sim.parallel directly"
+            )
+        from repro.registry import scheduler_names
+
+        unknown = sorted(set(factories) - set(scheduler_names()))
+        if unknown:
+            raise SimulationError(
+                f"jobs > 1 resolves schedulers by registry name; "
+                f"unknown: {', '.join(unknown)}"
+            )
+        return run_comparison_parallel(
+            setting,
+            list(factories),
+            runs=runs,
+            base_seed=base_seed,
+            jobs=jobs,
+            audit=audit,
+        )
+
     comparison = SchedulerComparison(setting=setting, runs=runs)
     horizon = setting.num_slots + setting.max_deadline
 

@@ -1,0 +1,179 @@
+"""Incremental construction of consecutive time-expanded graphs.
+
+The online controller rebuilds a :class:`TimeExpandedGraph` every slot,
+but consecutive windows overlap in all but one layer: slot ``t``'s graph
+spans ``[t, t + maxT)`` and slot ``t+1``'s spans ``[t+1, t+1 + maxT)``.
+Worse, most per-slot arc sets are *identical* between builds — a
+transit arc changes only when earlier commitments consumed residual
+capacity on exactly that link-slot, and holdover arcs never change.
+
+:class:`GraphCache` exploits this: it keeps the per-slot arc lists of
+the last build and, on the next one, re-validates each cached transit
+arc's capacity against the caller's ``capacity_fn``.  Unchanged arcs
+are reused as-is (no allocation); changed ones are re-created with the
+fresh capacity.  The resulting graph is **equal arc-for-arc** to a
+from-scratch :class:`TimeExpandedGraph` over the same window — the
+equivalence suite (``tests/test_compile_equivalence.py``) pins this.
+
+Cache reuse is observable through the ``timeexp.cache.hit`` /
+``timeexp.cache.refresh`` counters (arcs reused vs. rebuilt).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from repro.errors import TopologyError
+from repro.net.topology import Topology
+from repro.obs import registry as obs
+from repro.timeexp.graph import Arc, ArcKind, TimeExpandedGraph
+
+CapacityFn = Callable[[int, int, int], float]
+
+
+class GraphCache:
+    """Builds time-expanded graphs, reusing arcs across consecutive calls.
+
+    One cache serves one ``(topology, storage_capacity, include_holdover)``
+    configuration — the same invariants a single scheduler holds for its
+    whole run.  ``build`` is a drop-in replacement for the
+    :class:`TimeExpandedGraph` constructor.
+    """
+
+    def __init__(
+        self,
+        topology: Topology,
+        storage_capacity: float = float("inf"),
+        include_holdover: bool = True,
+    ):
+        self.topology = topology
+        self.storage_capacity = storage_capacity
+        self.include_holdover = include_holdover
+        #: slot -> arc list in construction order (transit arcs in link
+        #: order, then holdover arcs), as of the most recent build.
+        self._slot_arcs: Dict[int, List[Arc]] = {}
+        #: slot -> fast-assembler prepared tuples, valid exactly as long
+        #: as the slot's arc list above is reused unchanged.  Handed to
+        #: every built graph (see TimeExpandedGraph.assembly_prep).
+        self._slot_prep: Dict[int, list] = {}
+        #: Lifetime tallies (also mirrored to obs counters).
+        self.reused_arcs = 0
+        self.refreshed_arcs = 0
+
+    def build(
+        self,
+        start_slot: int,
+        horizon: int,
+        capacity_fn: Optional[CapacityFn] = None,
+    ) -> TimeExpandedGraph:
+        """A graph over ``[start_slot, start_slot + horizon)`` slots.
+
+        Equivalent to ``TimeExpandedGraph(topology, start_slot, horizon,
+        capacity_fn, storage_capacity, include_holdover)`` — only faster
+        when windows overlap with earlier builds.
+        """
+        if horizon < 1:
+            raise TopologyError(f"horizon must be >= 1 slot, got {horizon}")
+        if start_slot < 0:
+            raise TopologyError(f"start_slot must be non-negative, got {start_slot}")
+        reused = refreshed = 0
+        slot_arcs: Dict[int, List[Arc]] = {}
+        for slot in range(start_slot, start_slot + horizon):
+            cached = self._slot_arcs.get(slot)
+            if cached is None:
+                arcs = self._build_slot(slot, capacity_fn)
+                refreshed += len(arcs)
+            else:
+                arcs, hits = self._refresh_slot(slot, cached, capacity_fn)
+                reused += hits
+                refreshed += len(arcs) - hits
+            if arcs is not cached:
+                self._slot_prep.pop(slot, None)
+            slot_arcs[slot] = arcs
+            self._slot_arcs[slot] = arcs
+        # Drop slots that slid out of every plausible future window so a
+        # long online run does not accumulate stale layers.
+        for slot in [s for s in self._slot_arcs if s < start_slot]:
+            del self._slot_arcs[slot]
+            self._slot_prep.pop(slot, None)
+
+        self.reused_arcs += reused
+        self.refreshed_arcs += refreshed
+        obs.counter("timeexp.cache.hit", reused)
+        obs.counter("timeexp.cache.refresh", refreshed)
+        graph = TimeExpandedGraph(
+            self.topology,
+            start_slot=start_slot,
+            horizon=horizon,
+            capacity_fn=capacity_fn,
+            storage_capacity=self.storage_capacity,
+            include_holdover=self.include_holdover,
+            _slot_arcs=slot_arcs,
+        )
+        graph.assembly_prep = self._slot_prep
+        return graph
+
+    def invalidate(self) -> None:
+        """Forget every cached arc (e.g. after a topology-level change
+        such as a revealed outage making capacities jump discontinuously
+        outside ``capacity_fn``'s own accounting)."""
+        self._slot_arcs.clear()
+        self._slot_prep.clear()
+
+    # -- internals -------------------------------------------------------
+
+    def _build_slot(self, slot: int, capacity_fn: Optional[CapacityFn]) -> List[Arc]:
+        """Fresh arcs for one slot, in the canonical construction order."""
+        arcs: List[Arc] = []
+        for link in self.topology.links:
+            cap = (
+                capacity_fn(link.src, link.dst, slot)
+                if capacity_fn is not None
+                else link.capacity
+            )
+            if cap < 0:
+                raise TopologyError(
+                    f"negative residual capacity on ({link.src},{link.dst}) "
+                    f"at slot {slot}"
+                )
+            arcs.append(
+                Arc(link.src, link.dst, slot, ArcKind.TRANSIT, cap, link.price)
+            )
+        if self.include_holdover:
+            for node_id in self.topology.node_ids():
+                arcs.append(
+                    Arc(node_id, node_id, slot, ArcKind.HOLDOVER,
+                        self.storage_capacity, 0.0)
+                )
+        return arcs
+
+    def _refresh_slot(
+        self,
+        slot: int,
+        cached: List[Arc],
+        capacity_fn: Optional[CapacityFn],
+    ) -> tuple:
+        """Re-validate one cached slot; returns (arcs, reused_count)."""
+        hits = 0
+        arcs = cached
+        for i, arc in enumerate(cached):
+            if arc.kind is ArcKind.HOLDOVER:
+                hits += 1
+                continue
+            cap = (
+                capacity_fn(arc.src, arc.dst, slot)
+                if capacity_fn is not None
+                else self.topology.link(arc.src, arc.dst).capacity
+            )
+            if cap == arc.capacity:
+                hits += 1
+                continue
+            if cap < 0:
+                raise TopologyError(
+                    f"negative residual capacity on ({arc.src},{arc.dst}) "
+                    f"at slot {slot}"
+                )
+            if arcs is cached:
+                arcs = list(cached)
+            arcs[i] = Arc(arc.src, arc.dst, slot, ArcKind.TRANSIT, cap, arc.price)
+        return arcs, hits

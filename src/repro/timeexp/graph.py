@@ -78,6 +78,7 @@ class TimeExpandedGraph:
         capacity_fn: Optional[Callable[[int, int, int], float]] = None,
         storage_capacity: float = float("inf"),
         include_holdover: bool = True,
+        _slot_arcs: Optional[Dict[int, List[Arc]]] = None,
     ):
         if horizon < 1:
             raise TopologyError(f"horizon must be >= 1 slot, got {horizon}")
@@ -92,6 +93,29 @@ class TimeExpandedGraph:
         self.arcs: List[Arc] = []
         self._out: Dict[TimeNode, List[Arc]] = {}
         self._in: Dict[TimeNode, List[Arc]] = {}
+        #: Arcs carrying data during each slot, in construction order
+        #: (transit arcs in link order, then holdover arcs).  Lets
+        #: per-request admissibility queries touch only the slots of the
+        #: request's window instead of filtering every arc.
+        self._by_slot: Dict[int, List[Arc]] = {}
+
+        #: Per-slot scratch for the fast assembler's prepared-arc tuples
+        #: (see ``repro.core.formulation``).  A :class:`GraphCache`
+        #: replaces this with its own persistent dict so prepared slots
+        #: survive across consecutive builds; entries are dropped there
+        #: whenever a slot's arc list is refreshed.
+        self.assembly_prep: Dict[int, list] = {}
+
+        if _slot_arcs is not None:
+            # Construction from a GraphCache's per-slot arc lists; the
+            # cache has already validated capacities against capacity_fn.
+            with obs.span("timeexp.build", horizon=horizon, cached=True):
+                for slot in range(start_slot, start_slot + horizon):
+                    for arc in _slot_arcs[slot]:
+                        self._add_arc(arc)
+                obs.counter("timeexp.nodes", self.num_nodes)
+                obs.counter("timeexp.arcs", len(self.arcs))
+            return
 
         with obs.span("timeexp.build", horizon=horizon):
             for slot in range(start_slot, start_slot + horizon):
@@ -121,6 +145,7 @@ class TimeExpandedGraph:
         self.arcs.append(arc)
         self._out.setdefault(arc.tail, []).append(arc)
         self._in.setdefault(arc.head, []).append(arc)
+        self._by_slot.setdefault(arc.slot, []).append(arc)
 
     # -- structure queries -------------------------------------------------
 
@@ -194,7 +219,10 @@ class TimeExpandedGraph:
         of its deadline incurs no extra cost.
         """
         first, last_exclusive = self.request_window(request)
-        return [a for a in self.arcs if first <= a.slot < last_exclusive]
+        arcs: List[Arc] = []
+        for slot in range(first, last_exclusive):
+            arcs.extend(self._by_slot.get(slot, ()))
+        return arcs
 
     def source_node(self, request: TransferRequest) -> TimeNode:
         first, _ = self.request_window(request)

@@ -1,0 +1,289 @@
+"""Equivalence suite: every fast path is pinned to its reference.
+
+Three fast paths shipped together and each one claims *bit-identical*
+results, not merely close ones:
+
+* ``compile_model``'s vectorized COO lowering vs. the legacy
+  per-coefficient loop (select with ``compile_mode``);
+* ``build_postcard_model``'s direct-construction ``assembly="fast"``
+  vs. the original operator-algebra ``assembly="legacy"``;
+* :class:`~repro.timeexp.cache.GraphCache` reuse vs. a from-scratch
+  :class:`~repro.timeexp.graph.TimeExpandedGraph`.
+
+The checks here compare raw matrices, bounds, names, and row maps with
+exact equality — any future change that lands a fast path a ULP away
+from its reference fails loudly instead of drifting results.
+"""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.core import build_postcard_model
+from repro.core.state import NetworkState
+from repro.lp.compile import CompiledProblem, compile_mode, compile_model
+from repro.lp.model import Model
+from repro.net.generators import complete_topology
+from repro.timeexp.cache import GraphCache
+from repro.timeexp.graph import ArcKind, TimeExpandedGraph
+from repro.traffic import PaperWorkload
+
+
+def assert_compiled_identical(a: CompiledProblem, b: CompiledProblem):
+    """Exact (not approximate) equality of two compiled problems."""
+    assert a.maximize == b.maximize
+    assert a.c0 == b.c0
+    np.testing.assert_array_equal(a.c, b.c)
+    np.testing.assert_array_equal(a.bounds, b.bounds)
+    np.testing.assert_array_equal(a.b_ub, b.b_ub)
+    np.testing.assert_array_equal(a.b_eq, b.b_eq)
+    assert a.row_map == b.row_map
+    for m1, m2 in ((a.a_ub, b.a_ub), (a.a_eq, b.a_eq)):
+        assert m1.shape == m2.shape
+        c1, c2 = m1.copy(), m2.copy()
+        for m in (c1, c2):
+            m.sum_duplicates()
+            m.sort_indices()
+        np.testing.assert_array_equal(c1.indptr, c2.indptr)
+        np.testing.assert_array_equal(c1.indices, c2.indices)
+        np.testing.assert_array_equal(c1.data, c2.data)
+
+
+def _postcard_instance(storage="full", **build_kw):
+    topo = complete_topology(6, capacity=30.0, seed=2026)
+    workload = PaperWorkload(
+        topo, max_deadline=4, min_files=5, max_files=5, seed=7
+    )
+    requests = [r.with_release(0) for r in workload.requests_at(0)]
+    state = NetworkState(topo, horizon=30)
+    return state, requests
+
+
+# -- compile_model: vectorized vs. legacy lowering -----------------------
+
+
+def _random_model(seed: int) -> Model:
+    """A seeded model exercising every lowering branch: all three
+    senses, negative/zero coefficients, nonzero constants, free and
+    bounded variables, and (on odd seeds) maximization."""
+    rnd = random.Random(seed)
+    model = Model(f"rand{seed}")
+    n = rnd.randint(3, 12)
+    xs = [
+        model.add_variable(
+            f"x{i}",
+            lb=None if rnd.random() < 0.2 else rnd.uniform(-5.0, 0.0),
+            ub=None if rnd.random() < 0.3 else rnd.uniform(1.0, 10.0),
+        )
+        for i in range(n)
+    ]
+    for _ in range(rnd.randint(2, 12)):
+        terms = rnd.sample(xs, rnd.randint(1, n))
+        # First coefficient is nonzero so the row never degenerates to a
+        # constant (which the model would reject as trivially false).
+        expr = rnd.choice([-2.5, -1.0, 1.0, 3.75]) * terms[0]
+        for x in terms[1:]:
+            expr = expr + rnd.choice([-2.5, -1.0, 0.0, 1.0, 3.75]) * x
+        expr = expr + rnd.uniform(-4.0, 4.0)
+        rhs = rnd.uniform(-10.0, 10.0)
+        sense = rnd.choice(["le", "ge", "eq"])
+        if sense == "le":
+            model.add_constraint(expr <= rhs)
+        elif sense == "ge":
+            model.add_constraint(expr >= rhs)
+        else:
+            model.add_constraint(expr == rhs)
+    objective = 0.0
+    for x in rnd.sample(xs, rnd.randint(1, n)):
+        objective = objective + rnd.uniform(-3.0, 3.0) * x
+    objective = objective + rnd.uniform(-2.0, 2.0)
+    if seed % 2:
+        model.maximize(objective)
+    else:
+        model.minimize(objective)
+    return model
+
+
+@pytest.mark.parametrize("seed", range(10))
+def test_vectorized_compile_matches_legacy_random(seed):
+    model = _random_model(seed)
+    with compile_mode("vectorized"):
+        fast = compile_model(model)
+    with compile_mode("legacy"):
+        reference = compile_model(model)
+    assert_compiled_identical(fast, reference)
+
+
+def test_vectorized_compile_matches_legacy_postcard():
+    """The real thing: a full Postcard slot model, both lowerings."""
+    state, requests = _postcard_instance()
+    built = build_postcard_model(state, requests)
+    fast = compile_model(built.model, mode="vectorized")
+    reference = compile_model(built.model, mode="legacy")
+    assert_compiled_identical(fast, reference)
+    assert len(fast.row_map) == len(built.model.constraints)
+
+
+def test_compile_mode_rejects_unknown():
+    from repro.errors import ModelError
+
+    with pytest.raises(ModelError):
+        with compile_mode("typo"):
+            pass
+    with pytest.raises(ModelError):
+        compile_model(Model("m"), mode="typo")
+
+
+def test_row_map_default_is_per_instance():
+    """Regression: the row_map default must be a fresh list per
+    problem, not a shared mutable class-level default."""
+    from scipy import sparse
+
+    empty = np.zeros(0)
+    mat = sparse.csr_matrix((0, 0))
+    a = CompiledProblem(empty, 0.0, mat, empty, mat, empty, [], False)
+    b = CompiledProblem(empty, 0.0, mat, empty, mat, empty, [], False)
+    a.row_map.append(("ub", 0, 1.0))
+    assert b.row_map == []
+
+
+# -- build_postcard_model: fast vs. legacy assembly ----------------------
+
+
+def _assert_models_identical(fast, legacy):
+    fm, lm = fast.model, legacy.model
+    assert [(v.name, v.index, v.lb, v.ub) for v in fm.variables] == [
+        (v.name, v.index, v.lb, v.ub) for v in lm.variables
+    ]
+    assert len(fm.constraints) == len(lm.constraints)
+    for cf, cl in zip(fm.constraints, lm.constraints):
+        assert cf.name == cl.name
+        assert cf.sense == cl.sense
+        assert cf.expr.constant == cl.expr.constant
+        assert cf.expr.coeffs == cl.expr.coeffs
+    assert fm.objective.coeffs == lm.objective.coeffs
+    assert fm.objective.constant == lm.objective.constant
+    assert_compiled_identical(compile_model(fm), compile_model(lm))
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        {},
+        {"storage": "destination_only"},
+        {"storage_capacity": 40.0},
+        {"storage_capacity": 40.0, "storage_price": 0.5},
+    ],
+    ids=["full", "dest-only", "finite-storage", "metered-storage"],
+)
+def test_fast_assembly_matches_legacy(kwargs):
+    state, requests = _postcard_instance()
+    fast = build_postcard_model(state, requests, assembly="fast", **kwargs)
+    legacy = build_postcard_model(state, requests, assembly="legacy", **kwargs)
+    _assert_models_identical(fast, legacy)
+
+
+def test_fast_assembly_matches_legacy_with_commitments():
+    """After a committed slot the charge rows carry nonzero committed
+    volumes and transit arcs lose residual capacity — the fast path
+    must reproduce those constants exactly too."""
+    state, requests = _postcard_instance()
+    schedule, _ = build_postcard_model(state, requests).solve()
+    state.commit(schedule, requests)
+    later = [r.with_release(1) for r in requests[:3]]
+    fast = build_postcard_model(state, later, assembly="fast")
+    legacy = build_postcard_model(state, later, assembly="legacy")
+    _assert_models_identical(fast, legacy)
+
+
+def test_unknown_assembly_mode_rejected():
+    from repro.errors import SchedulingError
+
+    state, requests = _postcard_instance()
+    with pytest.raises(SchedulingError):
+        build_postcard_model(state, requests, assembly="typo")
+
+
+def test_fast_and_legacy_solve_to_same_schedule():
+    state, requests = _postcard_instance()
+    fast_sched, fast_sol = build_postcard_model(
+        state, requests, assembly="fast"
+    ).solve()
+    ref_sched, ref_sol = build_postcard_model(
+        state, requests, assembly="legacy"
+    ).solve()
+    assert fast_sol.objective == ref_sol.objective
+    assert fast_sched.link_slot_volumes() == ref_sched.link_slot_volumes()
+    assert fast_sched.storage_slot_volumes() == ref_sched.storage_slot_volumes()
+
+
+# -- GraphCache: cached builds vs. from-scratch graphs -------------------
+
+
+def _assert_graphs_equal(cached: TimeExpandedGraph, fresh: TimeExpandedGraph):
+    assert cached.start_slot == fresh.start_slot
+    assert cached.horizon == fresh.horizon
+    assert cached.arcs == fresh.arcs  # Arc is a frozen dataclass: == is exact
+
+
+def test_graph_cache_matches_fresh_builds():
+    topo = complete_topology(5, capacity=20.0, seed=3)
+    cache = GraphCache(topo)
+    #: (src, dst, slot) -> consumed capacity, mutated between builds to
+    #: mimic online commitments.
+    consumed = {}
+
+    def capacity_fn(src, dst, slot):
+        return topo.link(src, dst).capacity - consumed.get((src, dst, slot), 0.0)
+
+    for start in range(4):
+        if start:  # consume some capacity each slot, like commits do
+            consumed[(0, 1, start + 1)] = 5.0 * start
+            consumed[(2, 3, start + 2)] = 2.5
+        cached = cache.build(start, 4, capacity_fn=capacity_fn)
+        fresh = TimeExpandedGraph(
+            topo, start_slot=start, horizon=4, capacity_fn=capacity_fn
+        )
+        _assert_graphs_equal(cached, fresh)
+    assert cache.reused_arcs > 0
+    assert cache.refreshed_arcs > 0
+
+
+def test_graph_cache_reuses_unchanged_slots():
+    topo = complete_topology(4, capacity=10.0, seed=1)
+    cache = GraphCache(topo)
+    first = cache.build(0, 3)
+    before = cache.reused_arcs
+    second = cache.build(0, 3)
+    # No capacity changes: every arc object is reused as-is.
+    assert cache.reused_arcs == before + len(first.arcs)
+    assert [id(a) for a in second.arcs] == [id(a) for a in first.arcs]
+
+
+def test_graph_cache_invalidate_forgets_arcs():
+    topo = complete_topology(4, capacity=10.0, seed=1)
+    cache = GraphCache(topo)
+    first = cache.build(0, 3)
+    cache.invalidate()
+    second = cache.build(0, 3)
+    assert second.arcs == first.arcs
+    assert not set(map(id, second.arcs)) & set(map(id, first.arcs))
+
+
+def test_graph_cache_refresh_preserves_holdovers():
+    topo = complete_topology(4, capacity=10.0, seed=1)
+    cache = GraphCache(topo)
+    cache.build(0, 3)
+
+    def halved(src, dst, slot):
+        return topo.link(src, dst).capacity / 2.0
+
+    refreshed = cache.build(0, 3, capacity_fn=halved)
+    for arc in refreshed.arcs:
+        if arc.kind is ArcKind.TRANSIT:
+            assert arc.capacity == 5.0
+        else:
+            assert arc.kind is ArcKind.HOLDOVER
+    fresh = TimeExpandedGraph(topo, start_slot=0, horizon=3, capacity_fn=halved)
+    _assert_graphs_equal(refreshed, fresh)

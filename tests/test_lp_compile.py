@@ -68,8 +68,8 @@ def test_bounds_passed_through():
     m.add_variable("a", lb=1.0, ub=2.0)
     m.add_variable("b", lb=None)
     problem = compile_model(m)
-    assert problem.bounds[0] == (1.0, 2.0)
-    assert problem.bounds[1] == (float("-inf"), float("inf"))
+    assert tuple(problem.bounds[0]) == (1.0, 2.0)
+    assert tuple(problem.bounds[1]) == (float("-inf"), float("inf"))
 
 
 def test_zero_coefficients_not_stored():

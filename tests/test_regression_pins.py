@@ -14,19 +14,20 @@ max T=4, fixed deadlines) released at slot 0.
 import pytest
 
 from repro.core import (
+    PostcardScheduler,
     build_postcard_model,
     solve_offline,
     solve_soft_deadline,
 )
 from repro.core.bounds import dual_lower_bound
 from repro.core.state import NetworkState
-from repro.baselines import GreedyStoreAndForwardScheduler
+from repro.baselines import DirectScheduler, GreedyStoreAndForwardScheduler
 from repro.extensions import solve_multicast
-from repro.flowbased import solve_flow_column_generation
+from repro.flowbased import FlowBasedScheduler, solve_flow_column_generation
 from repro.flowbased.model import build_flow_model
 from repro.flowbased.two_phase import solve_two_phase
-from repro.net.generators import complete_topology
-from repro.traffic import PaperWorkload
+from repro.net.generators import complete_topology, fig1_topology, fig3_topology
+from repro.traffic import PaperWorkload, TransferRequest
 
 REL = 1e-6
 
@@ -135,3 +136,69 @@ def test_pin_orderings(instance):
     assert PINS["colgen"] == pytest.approx(PINS["flow_lp"], rel=REL)
     assert PINS["offline"] == pytest.approx(PINS["postcard"], rel=REL)
     assert PINS["soft_penalty_1"] <= PINS["postcard"] + 1e-9
+
+
+# -- fast-path pins -------------------------------------------------------
+#
+# The incremental scheduling path (cached time-expanded arcs, direct
+# fast assembly, warm-start hints) promises *bit-identical* results to
+# the from-scratch reference, so it must hit the very same pins.
+
+
+def test_pin_postcard_fast_assembly(instance):
+    topo, requests = instance
+    state = NetworkState(topo, horizon=30)
+    built = build_postcard_model(state, _fresh(requests), assembly="fast")
+    _, solution = built.solve()
+    assert solution.objective == pytest.approx(PINS["postcard"], rel=REL)
+
+
+def test_pin_postcard_incremental_scheduler(instance):
+    """The production configuration: incremental + warm (defaults)."""
+    topo, requests = instance
+    scheduler = PostcardScheduler(topo, horizon=30)
+    assert scheduler.incremental and scheduler.warm_start
+    scheduler.on_slot(0, _fresh(requests))
+    assert scheduler.last_objective == pytest.approx(PINS["postcard"], rel=REL)
+
+
+# -- paper-example pins ---------------------------------------------------
+#
+# The worked examples of Secs. I and IV, run through the fast path:
+# Fig. 1 costs 20 direct vs. 12 optimized; Fig. 3 costs 52 direct,
+# 50 flow-based, 98/3 = 32.67 with store-and-forward.
+
+FIG1_REQUEST = dict(source=2, destination=3, size_gb=6.0, deadline_slots=3)
+
+
+def _fig3_files():
+    return [
+        TransferRequest(2, 4, 8.0, 4, release_slot=3),
+        TransferRequest(1, 4, 10.0, 2, release_slot=3),
+    ]
+
+
+def test_pin_paper_fig1():
+    direct = DirectScheduler(fig1_topology(), horizon=100)
+    direct.on_slot(0, [TransferRequest(release_slot=0, **FIG1_REQUEST)])
+    assert direct.state.current_cost_per_slot() == pytest.approx(20.0, rel=REL)
+
+    postcard = PostcardScheduler(fig1_topology(), horizon=100)
+    postcard.on_slot(0, [TransferRequest(release_slot=0, **FIG1_REQUEST)])
+    assert postcard.state.current_cost_per_slot() == pytest.approx(12.0, rel=REL)
+
+
+def test_pin_paper_fig3():
+    direct = DirectScheduler(fig3_topology(), horizon=100)
+    direct.on_slot(3, _fig3_files())
+    assert direct.state.current_cost_per_slot() == pytest.approx(52.0, rel=REL)
+
+    flow = FlowBasedScheduler(fig3_topology(), 100)
+    flow.on_slot(3, _fig3_files())
+    assert flow.state.current_cost_per_slot() == pytest.approx(50.0, rel=REL)
+
+    postcard = PostcardScheduler(fig3_topology(), horizon=100)
+    postcard.on_slot(3, _fig3_files())
+    assert postcard.state.current_cost_per_slot() == pytest.approx(
+        98.0 / 3.0, rel=REL
+    )

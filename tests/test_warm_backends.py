@@ -1,0 +1,144 @@
+"""Warm-started solves across the backend chain.
+
+A ``warm=`` hint must never change *what* a backend computes — only,
+at best, how fast it gets there.  Every backend accepts the keyword:
+
+* ``highs`` advertises ``supports_warm_start = False`` and ignores the
+  hint entirely, so warm and cold solves are **bit-identical** (the
+  fast scheduling path leans on exactly that);
+* ``simplex`` likewise ignores it (a verification backend);
+* ``interior_point`` seeds its primal iterate from the hint and must
+  land on the same optimum to solver tolerance.
+
+Checked on the paper's worked examples (Figs. 1 and 3) per backend,
+and on a seeded 10-DC online run through the production path.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import PostcardScheduler, build_postcard_model
+from repro.core.state import NetworkState
+from repro.lp.backends import get_backend
+from repro.lp.warm import WarmStart
+from repro.net.generators import complete_topology, fig1_topology, fig3_topology
+from repro.sim import Simulation
+from repro.traffic import PaperWorkload, TransferRequest
+
+BACKENDS = ["highs", "simplex", "interior_point"]
+
+#: Loose enough for the interior-point solver's stopping tolerance,
+#: tight enough that a genuinely different optimum fails.
+REL = 1e-5
+
+
+def _fig1_model():
+    state = NetworkState(fig1_topology(), horizon=100)
+    request = TransferRequest(2, 3, 6.0, 3, release_slot=0)
+    return build_postcard_model(state, [request]).model
+
+
+def _fig3_model():
+    state = NetworkState(fig3_topology(), horizon=100)
+    files = [
+        TransferRequest(2, 4, 8.0, 4, release_slot=3),
+        TransferRequest(1, 4, 10.0, 2, release_slot=3),
+    ]
+    return build_postcard_model(state, files).model
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize(
+    "make_model, expected",
+    [(_fig1_model, 12.0), (_fig3_model, 98.0 / 3.0)],
+    ids=["fig1", "fig3"],
+)
+def test_warm_equals_cold_on_paper_examples(backend, make_model, expected):
+    model = make_model()
+    cold = model.solve(backend=backend)
+    hint = WarmStart.from_solution(model, cold)
+    warm = model.solve(backend=backend, warm=hint)
+    assert cold.objective == pytest.approx(expected, rel=REL)
+    assert warm.objective == pytest.approx(cold.objective, rel=REL)
+    if not get_backend(backend).supports_warm_start:
+        # Hint ignored => the very same solve.  (interior_point may
+        # legitimately land on a different point of a degenerate
+        # optimal face, so only its objective is pinned above.)
+        np.testing.assert_array_equal(warm.x, cold.x)
+
+
+@pytest.mark.parametrize(
+    "make_model", [_fig1_model, _fig3_model], ids=["fig1", "fig3"]
+)
+def test_highs_ignores_warm_bit_identically(make_model):
+    """scipy's HiGHS bindings expose no solution injection, so the hint
+    is dropped on the floor — warm and cold are the same solve."""
+    model = make_model()
+    backend = get_backend("highs")
+    assert backend.supports_warm_start is False
+    cold = model.solve(backend="highs")
+    warm = model.solve(
+        backend="highs", warm=WarmStart.from_solution(model, cold)
+    )
+    assert warm.objective == cold.objective
+    np.testing.assert_array_equal(warm.x, cold.x)
+
+
+def test_interior_point_advertises_warm_support():
+    assert get_backend("interior_point").supports_warm_start is True
+    assert get_backend("simplex").supports_warm_start is False
+
+
+def test_misleading_warm_hint_is_harmless():
+    """A hint from a *different* model (wrong shape, wrong names) must
+    not change the optimum — it only seeds the iterate."""
+    fig1 = _fig1_model()
+    fig3 = _fig3_model()
+    wrong = WarmStart.from_solution(fig3, fig3.solve(backend="highs"))
+    cold = fig1.solve(backend="interior_point")
+    warm = fig1.solve(backend="interior_point", warm=wrong)
+    assert warm.objective == pytest.approx(cold.objective, rel=REL)
+
+
+def _online_costs(warm_start: bool, backend: str = "highs"):
+    topology = complete_topology(10, capacity=100.0, seed=2012)
+    workload = PaperWorkload(topology, max_deadline=3, max_files=5, seed=3012)
+    scheduler = PostcardScheduler(
+        topology,
+        horizon=10,
+        backend=backend,
+        on_infeasible="drop",
+        warm_start=warm_start,
+    )
+    result = Simulation(scheduler, workload, 8).run()
+    return result.final_cost_per_slot, result.cost_trajectory()
+
+
+def test_online_10dc_warm_equals_cold_highs():
+    """The production path: a seeded 10-DC online run, warm hints
+    threaded slot to slot, must be bit-identical to cold solves."""
+    warm_cost, warm_traj = _online_costs(warm_start=True)
+    cold_cost, cold_traj = _online_costs(warm_start=False)
+    assert warm_cost == cold_cost
+    np.testing.assert_array_equal(warm_traj, cold_traj)
+
+
+def test_online_warm_equals_cold_interior_point():
+    """Same property through the solver that actually *uses* the hint,
+    on a smaller instance (the dense IPM is O(n^3) per iteration)."""
+    topology = complete_topology(4, capacity=60.0, seed=11)
+    workload = PaperWorkload(
+        topology, max_deadline=2, max_files=2, seed=13
+    )
+
+    def run(warm_start):
+        scheduler = PostcardScheduler(
+            topology,
+            horizon=6,
+            backend="interior_point",
+            on_infeasible="drop",
+            warm_start=warm_start,
+        )
+        return Simulation(scheduler, workload, 4).run().final_cost_per_slot
+
+    assert run(True) == pytest.approx(run(False), rel=REL)
