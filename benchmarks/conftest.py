@@ -49,6 +49,10 @@ _TRACKED_COUNTERS = (
     "timeexp.arcs",
     "scheduler.rejected",
     "scheduler.replans",
+    "heuristic.admitted",
+    "heuristic.rejected",
+    "hybrid.escalations",
+    "hybrid.fast_slots",
 )
 
 #: The spans that answer "where did the time go".  lp.build covers the
@@ -60,6 +64,7 @@ _TRACKED_SPANS = (
     "lp.compile",
     "lp.solve",
     "scheduler.build_model",
+    "scheduler.fastlane",
     "sim.scheduler",
     "sim.audit",
 )

@@ -1,0 +1,65 @@
+"""Heuristic fast lane vs. hybrid vs. the Postcard LP (PR 4).
+
+Runs the three schedulers on identical workloads through the
+figure-regeneration harness.  The claims under track:
+
+* the fast lane never violates a deadline (the harness audits every
+  run) and admits the whole feasible Sec. VII workload;
+* its cost stays within a bounded factor of the LP (ALAP packing
+  trades bill for speed), and the hybrid closes most of that gap by
+  escalating pressured slots;
+* the fast lane's decision time is far below the LP's solve time.
+
+The committed ``results/BENCH_heuristic.json`` (written by
+``scripts/bench_heuristic.py``) holds the single-slot scaling sweep —
+50 to 2000 requests per slot — behind the "near-linear admission"
+claim; this benchmark tracks the cost side at figure scale.
+"""
+
+import pytest
+from conftest import bench_runs, report, scaled_setting
+
+from repro.registry import scheduler_factory
+from repro.sim.runner import run_comparison
+
+
+def _factories():
+    return {
+        "postcard": scheduler_factory("postcard"),
+        "heuristic": scheduler_factory("heuristic"),
+        "hybrid": scheduler_factory("hybrid"),
+    }
+
+
+def _run(setting):
+    return run_comparison(setting, _factories(), runs=bench_runs(), base_seed=2012)
+
+
+def test_bench_heuristic_cost_and_speed(benchmark):
+    setting = scaled_setting("heuristic", capacity=100.0, max_deadline=3)
+    comparison = benchmark.pedantic(_run, args=(setting,), rounds=1, iterations=1)
+    report(
+        "Fast lane vs. hybrid vs. LP",
+        comparison,
+        "heuristic within 2.5x of LP cost, hybrid within 1.6x, "
+        "both orders of magnitude faster per slot",
+    )
+    # Deadline guarantee: the audit inside run_comparison already
+    # raised on any late completion; admission must also be total on
+    # the feasible Sec. VII workload.
+    for results in comparison.results.values():
+        assert all(r.total_rejected == 0 for r in results)
+        assert all(r.max_lateness() == 0 for r in results)
+
+    # Cost pins (mirror tests/test_hybrid.py on the bench geometry).
+    assert comparison.ratio("heuristic", "postcard") <= 2.5
+    assert comparison.ratio("hybrid", "postcard") <= 1.6
+
+    # The fast lane decides in a fraction of the LP's solve time.
+    lp_seconds = sum(
+        r.solve_seconds_total for r in comparison.results["postcard"]
+    )
+    fast_seconds = sum(
+        r.solve_seconds_total for r in comparison.results["heuristic"]
+    )
+    assert fast_seconds < lp_seconds

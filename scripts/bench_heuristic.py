@@ -1,0 +1,221 @@
+#!/usr/bin/env python
+"""Single-slot scaling sweep: fast-lane admission vs. the Postcard LP.
+
+Feeds one slot's batch of N requests — N swept from 50 to 2000 — to the
+fast-lane heuristic and to the Postcard LP on the same 10-DC topology,
+timing each scheduler's ``on_slot`` decision.  The LP leg is capped
+(``--lp-max``, default 400 requests) because its assembly+solve grows
+super-linearly; the heuristic runs the full sweep.  File sizes are kept
+small relative to capacity so the whole batch is feasible at every N —
+admission differences would otherwise confound the cost comparison.
+
+Reports, per N: decision seconds (best of ``--trials``), cost per slot,
+and the heuristic/LP cost ratio where both ran.  Writes a
+``BENCH_heuristic.json`` record for the benchmark trajectory and gates
+on the heuristic's scaling: the log-log slope fitted over the sweep
+must stay below ``--max-exponent`` (1.0 is linear; the admission test
+is O(paths x window) per request, so the batch should scale
+near-linearly), and the heuristic's largest-N decision time must beat
+the LP's time at its own cap.
+
+Usage::
+
+    PYTHONPATH=src python scripts/bench_heuristic.py \
+        [-o benchmarks/results/BENCH_heuristic.json] [--trials 3] \
+        [--lp-max 400] [--max-exponent 1.35]
+
+Exit status is nonzero if a gate fails (pass ``--max-exponent 0`` to
+make the scaling gate informational on noisy runners).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import platform
+import sys
+import time
+
+import numpy as np
+
+from repro import complete_topology
+from repro.core import PostcardScheduler
+from repro.heuristic import FastLaneScheduler
+from repro.traffic import TransferRequest
+
+NUM_DCS = 10
+CAPACITY = 100.0
+TOPOLOGY_SEED = 2012
+BATCH_SEED = 3012
+MIN_DEADLINE = 2
+MAX_DEADLINE = 5
+MIN_SIZE = 1.0
+MAX_SIZE = 5.0
+SWEEP = (50, 100, 200, 400, 800, 2000)
+
+
+def make_batch(num_requests: int, seed: int):
+    """A feasible single-slot batch: small files, loose-ish deadlines."""
+    rng = np.random.default_rng(seed)
+    requests = []
+    for _ in range(num_requests):
+        src = int(rng.integers(0, NUM_DCS))
+        dst = int(rng.integers(0, NUM_DCS - 1))
+        if dst >= src:
+            dst += 1
+        size = float(rng.uniform(MIN_SIZE, MAX_SIZE))
+        deadline = int(rng.integers(MIN_DEADLINE, MAX_DEADLINE + 1))
+        requests.append(TransferRequest(src, dst, size, deadline, release_slot=0))
+    return requests
+
+
+def run_once(factory, batch):
+    """Schedule one batch on a fresh scheduler; returns (seconds, state)."""
+    topology = complete_topology(NUM_DCS, capacity=CAPACITY, seed=TOPOLOGY_SEED)
+    scheduler = factory(topology)
+    requests = [r.with_release(0) for r in batch]
+    start = time.perf_counter()
+    scheduler.on_slot(0, requests)
+    elapsed = time.perf_counter() - start
+    return elapsed, scheduler.state
+
+
+def best_run(factory, batch, trials):
+    """Best-of-``trials`` timing (interference only adds time)."""
+    seconds, state = min(
+        (run_once(factory, batch) for _ in range(trials)), key=lambda r: r[0]
+    )
+    return seconds, state
+
+
+def fit_exponent(ns, seconds):
+    """Slope of log(seconds) over log(N): 1.0 = linear scaling."""
+    xs = np.log(np.asarray(ns, dtype=float))
+    ys = np.log(np.asarray(seconds, dtype=float))
+    slope, _ = np.polyfit(xs, ys, 1)
+    return float(slope)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "-o",
+        "--output",
+        default="benchmarks/results/BENCH_heuristic.json",
+        help="where to write the JSON record",
+    )
+    parser.add_argument("--trials", type=int, default=3)
+    parser.add_argument(
+        "--lp-max",
+        type=int,
+        default=400,
+        help="largest batch the LP leg runs (0 skips the LP entirely)",
+    )
+    parser.add_argument(
+        "--max-exponent",
+        type=float,
+        default=1.35,
+        help="fail if the heuristic's fitted scaling exponent exceeds "
+        "this; 0 disables the gate",
+    )
+    args = parser.parse_args(argv)
+
+    def heuristic_factory(topology):
+        return FastLaneScheduler(
+            topology, horizon=MAX_DEADLINE + 1, on_infeasible="drop"
+        )
+
+    def lp_factory(topology):
+        return PostcardScheduler(
+            topology, horizon=MAX_DEADLINE + 1, on_infeasible="drop"
+        )
+
+    rows = []
+    for n in SWEEP:
+        batch = make_batch(n, BATCH_SEED + n)
+        fast_seconds, fast_state = best_run(heuristic_factory, batch, args.trials)
+        row = {
+            "requests": n,
+            "heuristic_seconds": round(fast_seconds, 6),
+            "heuristic_cost": round(fast_state.current_cost_per_slot(), 4),
+            "heuristic_rejected": len(fast_state.rejected),
+            "lp_seconds": None,
+            "lp_cost": None,
+            "cost_ratio": None,
+        }
+        if args.lp_max and n <= args.lp_max:
+            lp_seconds, lp_state = best_run(lp_factory, batch, args.trials)
+            row["lp_seconds"] = round(lp_seconds, 6)
+            row["lp_cost"] = round(lp_state.current_cost_per_slot(), 4)
+            if lp_state.current_cost_per_slot() > 0:
+                row["cost_ratio"] = round(
+                    fast_state.current_cost_per_slot()
+                    / lp_state.current_cost_per_slot(),
+                    4,
+                )
+        rows.append(row)
+        lp_note = (
+            f"lp {row['lp_seconds']:.3f}s ratio {row['cost_ratio']}"
+            if row["lp_seconds"] is not None
+            else "lp skipped"
+        )
+        print(
+            f"N={n:5d}: heuristic {fast_seconds:.4f}s "
+            f"(rejected {row['heuristic_rejected']}), {lp_note}"
+        )
+
+    exponent = fit_exponent(
+        [r["requests"] for r in rows], [r["heuristic_seconds"] for r in rows]
+    )
+    lp_rows = [r for r in rows if r["lp_seconds"] is not None]
+    lp_cap_seconds = lp_rows[-1]["lp_seconds"] if lp_rows else None
+    largest = rows[-1]
+
+    record = {
+        "benchmark": "heuristic-scaling",
+        "scenario": {
+            "datacenters": NUM_DCS,
+            "capacity": CAPACITY,
+            "topology_seed": TOPOLOGY_SEED,
+            "batch_seed": BATCH_SEED,
+            "size_gb": [MIN_SIZE, MAX_SIZE],
+            "deadline_slots": [MIN_DEADLINE, MAX_DEADLINE],
+        },
+        "trials": args.trials,
+        "sweep": rows,
+        "heuristic_scaling_exponent": round(exponent, 3),
+        "lp_cap_requests": args.lp_max,
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+    }
+    with open(args.output, "w") as fh:
+        fh.write(json.dumps(record, indent=1) + "\n")
+
+    print(
+        f"\nheuristic scaling exponent: {exponent:.3f} "
+        f"(1.0 = linear) over N={SWEEP[0]}..{SWEEP[-1]}  ->  {args.output}"
+    )
+
+    failed = False
+    if args.max_exponent > 0 and exponent > args.max_exponent:
+        print(
+            f"FAIL: scaling exponent {exponent:.3f} above the "
+            f"{args.max_exponent:.2f} gate",
+            file=sys.stderr,
+        )
+        failed = True
+    if lp_cap_seconds is not None and largest["heuristic_seconds"] >= lp_cap_seconds:
+        print(
+            f"FAIL: heuristic at N={largest['requests']} "
+            f"({largest['heuristic_seconds']:.3f}s) is not faster than the "
+            f"LP at N={lp_rows[-1]['requests']} ({lp_cap_seconds:.3f}s)",
+            file=sys.stderr,
+        )
+        failed = True
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -73,6 +73,7 @@ from repro.core import (
 )
 from repro.flowbased import FlowBasedScheduler, build_flow_model, solve_two_phase
 from repro.baselines import DirectScheduler
+from repro.heuristic import FastLaneScheduler, HybridScheduler
 from repro.extensions import (
     PercentileAwareScheduler,
     maximize_bulk_throughput,
@@ -143,6 +144,8 @@ __all__ = [
     "build_flow_model",
     "solve_two_phase",
     "DirectScheduler",
+    "FastLaneScheduler",
+    "HybridScheduler",
     # advanced core
     "LookaheadPostcardScheduler",
     "solve_offline",

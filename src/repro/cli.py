@@ -8,6 +8,7 @@ Usage (after ``pip install -e .``)::
     python -m repro simulate --slots 8 --surprise --solver-chain
     python -m repro simulate --outages outages.json --surprise
     python -m repro simulate --schedulers postcard direct greedy --jobs 3
+    python -m repro simulate --schedulers heuristic hybrid postcard
     python -m repro figure fig6 --runs 3
     python -m repro figure fig6 --runs 8 --jobs 4
     python -m repro example fig3
@@ -20,6 +21,9 @@ LP compile/solve, audit) after the run; ``--obs-jsonl`` streams the raw
 instrumentation events to a file that ``report`` renders back.  The
 ``report`` subcommand also accepts a ``benchmarks/results/*.jsonl``
 file and renders it as Markdown (the two formats are auto-detected).
+``--schedulers heuristic hybrid`` selects the PR 4 fast lane: the LP-free
+close-to-deadline scheduler and the escalating hybrid (a per-scheduler
+``hybrid [...]`` summary line reports the lane split after the table).
 
 Every subcommand prints plain-text tables; nothing writes outside the
 paths the user names.
@@ -76,6 +80,17 @@ def _build_fault_model(args: argparse.Namespace, topology):
     return None
 
 
+def _hybrid_summary(name: str, result) -> str:
+    """One-line lane split for a hybrid scheduler's run."""
+    total = result.escalations + result.fast_slots
+    rate = result.escalations / total if total else 0.0
+    return (
+        f"hybrid [{name}]: fast-lane slots={result.fast_slots} "
+        f"LP escalations={result.escalations} "
+        f"(escalation rate {rate:.0%})"
+    )
+
+
 def _cmd_simulate_parallel(args: argparse.Namespace) -> int:
     """Fan the per-scheduler runs of ``simulate`` out to workers.
 
@@ -122,7 +137,10 @@ def _cmd_simulate_parallel(args: argparse.Namespace) -> int:
     ]
     rows = []
     chaos = []
+    hybrid_lines = []
     for name, _run, result in run_tasks(tasks, jobs=args.jobs):
+        if result.escalations + result.fast_slots > 0:
+            hybrid_lines.append(_hybrid_summary(name, result))
         row = [
             name,
             result.final_cost_per_slot,
@@ -145,6 +163,8 @@ def _cmd_simulate_parallel(args: argparse.Namespace) -> int:
     if faults is not None:
         headers.extend(["salvaged", "lost", "misses"])
     print(format_table(headers, rows))
+    for line in hybrid_lines:
+        print(line)
     if chaos:
         # Rebuild the (seeded, hence identical) outage set for the
         # summary line the serial path prints.
@@ -185,6 +205,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     backend = "resilient" if args.solver_chain else None
     rows = []
     chaos = []
+    hybrid_lines = []
     last_scheduler = None
 
     registry = obs.get_registry()
@@ -210,6 +231,8 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
             )
             result = Simulation(scheduler, workload, args.slots).run()
             last_scheduler = scheduler
+            if result.escalations + result.fast_slots > 0:
+                hybrid_lines.append(_hybrid_summary(name, result))
             row = [
                 name,
                 result.final_cost_per_slot,
@@ -237,6 +260,8 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     if faults is not None:
         headers.extend(["salvaged", "lost", "misses"])
     print(format_table(headers, rows))
+    for line in hybrid_lines:
+        print(line)
     for name, result in chaos:
         print(
             f"chaos [{name}]: outages={len(faults.outages)} "

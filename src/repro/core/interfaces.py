@@ -30,10 +30,34 @@ class Scheduler(abc.ABC):
     @property
     @abc.abstractmethod
     def state(self) -> "NetworkState":
-        """The scheduler's view of committed traffic and paid volumes."""
+        """The scheduler's view of committed traffic and paid volumes.
+
+        Returns:
+            The :class:`~repro.core.state.NetworkState` every cost,
+            completion, and rejection is recorded against.  Composite
+            schedulers (e.g. the hybrid) may share one state across
+            internal lanes, but externally there is always exactly one.
+        """
 
     @abc.abstractmethod
     def on_slot(
         self, slot: int, requests: List["TransferRequest"]
     ) -> "TransferSchedule":
-        """Schedule the files released at ``slot`` and commit the result."""
+        """Schedule the files released at ``slot`` and commit the result.
+
+        Args:
+            slot: The current slot index.  Implementations may require
+                every request's ``release_slot`` to equal it.
+            requests: The newly released files ``K(t)``; may be empty.
+
+        Returns:
+            The committed :class:`~repro.core.schedule.TransferSchedule`
+            — already applied to :attr:`state`, so the caller must not
+            commit it again.  Empty when nothing was scheduled.
+
+        Raises:
+            InfeasibleError: some file cannot meet its deadline and the
+                scheduler's infeasibility policy is ``"raise"``; with
+                ``"drop"``, the file is recorded in ``state.rejected``
+                instead.
+        """

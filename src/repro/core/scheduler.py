@@ -1,4 +1,19 @@
-"""The online Postcard controller."""
+"""The online Postcard controller.
+
+Implements the paper's per-slot optimization (Secs. IV-V): at each
+slot ``t`` the newly released files ``K(t)`` are routed and scheduled
+jointly by one LP over the time-expanded graph, minimizing the
+increase of the charged volumes ``X_ij`` on top of everything already
+committed.
+
+History: the seed PR introduced the from-scratch per-slot pipeline
+(fresh graph, operator-algebra assembly, cold solves); PR 3 made that
+pipeline incremental — :class:`~repro.timeexp.cache.GraphCache` reuse,
+direct assembly, and warm starts threaded between consecutive solves —
+behind ``incremental=``/``warm_start=`` flags that default on; PR 4's
+:class:`~repro.heuristic.hybrid.HybridScheduler` reuses this scheduler
+unchanged as its escalation lane.
+"""
 
 from __future__ import annotations
 

@@ -1,0 +1,34 @@
+"""The heuristic fast lane: deadline-guaranteed scheduling without LPs.
+
+Introduced in PR 4.  Postcard's per-slot LP is exact but its
+assembly + solve cost grows with the batch size and the window length;
+close-to-deadline heuristics (DCRoute, RCD) show that admission and
+placement can run in near-constant time per request while still
+guaranteeing deadlines.  This package supplies that fast lane and the
+hybrid mode that escalates pressured slots back to the LP:
+
+* :class:`~repro.heuristic.tracker.UtilizationTracker` — O(1)
+  residual / paid-headroom / utilization queries over committed plus
+  tentative load;
+* :class:`~repro.heuristic.paths.CandidatePathIndex` — cached
+  K-cheapest simple paths per (source, destination) pair;
+* :class:`~repro.heuristic.fastlane.FastLaneScheduler` — per-request
+  admission test plus as-late-as-possible placement (registry name
+  ``"heuristic"``);
+* :class:`~repro.heuristic.hybrid.HybridScheduler` — fast lane per
+  slot, LP escalation when admission pressure crosses a threshold
+  (registry name ``"hybrid"``).
+"""
+
+from repro.heuristic.fastlane import FastLaneScheduler, SlotPlan
+from repro.heuristic.hybrid import HybridScheduler
+from repro.heuristic.paths import CandidatePathIndex
+from repro.heuristic.tracker import UtilizationTracker
+
+__all__ = [
+    "CandidatePathIndex",
+    "FastLaneScheduler",
+    "HybridScheduler",
+    "SlotPlan",
+    "UtilizationTracker",
+]

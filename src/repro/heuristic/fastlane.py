@@ -1,0 +1,393 @@
+"""The fast-lane scheduler: constant-ish-time admission + ALAP placement.
+
+Introduced in PR 4 (heuristic fast-lane scheduler).  Inspired by
+close-to-deadline schedulers for inter-datacenter transfers (DCRoute,
+RCD): instead of solving the Postcard LP every slot, each arriving
+request passes a per-request **admission test** — is there residual
+capacity along some candidate path that delivers the file within its
+deadline ``T_k``? — and, if admitted, is placed by an
+**as-late-as-possible (ALAP)** rule that packs bytes into the slots
+nearest the deadline.  Keeping early slots free is what preserves
+admission headroom for future, possibly tighter-deadline arrivals;
+filling the charging ledger's already-paid headroom first is what keeps
+the bill from growing when free capacity exists.
+
+The complexity per request is O(candidate paths x window length): one
+backward ALAP sweep per hop over at most ``T_k`` slots, with O(1)
+capacity queries through the :class:`UtilizationTracker` — no graph
+build, no LP assembly, no solve.  Admitted requests are guaranteed to
+meet their deadline: placement only ever uses slots inside
+``[release, release + T_k - 1]`` with per-hop precedence windows, and
+the commit re-validates delivery, conservation, and capacity.
+
+The trade-off is cost: the LP sees all of ``K(t)`` jointly and
+optimizes the charged-volume objective exactly; the fast lane plans one
+file at a time against marginal bill increase.  The
+:class:`~repro.heuristic.hybrid.HybridScheduler` recovers most of the
+gap by escalating pressured slots back to the LP.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import InfeasibleError, SchedulingError
+from repro.core.interfaces import Scheduler
+from repro.core.schedule import ScheduleEntry, TransferSchedule
+from repro.core.state import NetworkState
+from repro.heuristic.paths import CandidatePathIndex
+from repro.heuristic.tracker import UtilizationTracker
+from repro.net.topology import Topology
+from repro.obs import registry as obs
+from repro.timeexp.graph import ArcKind
+from repro.traffic.spec import TransferRequest
+from repro.units import VOLUME_ATOL
+
+ON_INFEASIBLE_RAISE = "raise"
+ON_INFEASIBLE_DROP = "drop"
+
+#: Per-hop send volumes: slot -> GB leaving the hop's tail that slot.
+HopSends = Dict[int, float]
+
+
+@dataclass
+class SlotPlan:
+    """The fast lane's tentative decisions for one slot, before commit.
+
+    ``plans`` pairs each admitted request with its schedule entries;
+    ``rejected`` holds the requests that failed admission;
+    ``peak_utilization`` is the highest (committed + planned) / capacity
+    ratio over every link-slot the plan touches — the admission-pressure
+    signal the hybrid mode thresholds on.
+    """
+
+    slot: int
+    plans: List[Tuple[TransferRequest, List[ScheduleEntry]]] = field(
+        default_factory=list
+    )
+    rejected: List[TransferRequest] = field(default_factory=list)
+    peak_utilization: float = 0.0
+
+    @property
+    def admitted(self) -> int:
+        return len(self.plans)
+
+
+class FastLaneScheduler(Scheduler):
+    """Deadline-guaranteed admission + close-to-deadline placement.
+
+    Parameters
+    ----------
+    topology:
+        The inter-datacenter network.
+    horizon:
+        Number of slots in the charging period (for the ledger).
+    num_candidate_paths:
+        Cheapest simple paths examined per request (the admission
+        test's fan-out).
+    on_infeasible:
+        ``"raise"`` propagates :class:`InfeasibleError` on the first
+        inadmissible request; ``"drop"`` records it via
+        ``state.reject`` and continues.
+    state:
+        Optional externally owned :class:`NetworkState` to plan and
+        commit against — the hybrid scheduler passes the LP
+        scheduler's state here so both lanes share one ledger.
+    """
+
+    name = "heuristic"
+
+    def __init__(
+        self,
+        topology: Topology,
+        horizon: int,
+        num_candidate_paths: int = 4,
+        on_infeasible: str = ON_INFEASIBLE_RAISE,
+        state: Optional[NetworkState] = None,
+    ):
+        if on_infeasible not in (ON_INFEASIBLE_RAISE, ON_INFEASIBLE_DROP):
+            raise SchedulingError(f"unknown on_infeasible policy {on_infeasible!r}")
+        self._state = state if state is not None else NetworkState(topology, horizon)
+        self.on_infeasible = on_infeasible
+        self._paths = CandidatePathIndex(topology, max_paths=num_candidate_paths)
+        self._tracker = UtilizationTracker(self._state)
+
+    @property
+    def state(self) -> NetworkState:
+        return self._state
+
+    @property
+    def tracker(self) -> UtilizationTracker:
+        """The live utilization view (pending load of the current batch)."""
+        return self._tracker
+
+    # -- public entry ------------------------------------------------------
+
+    def on_slot(self, slot: int, requests: List[TransferRequest]) -> TransferSchedule:
+        """Admit-and-place the files released at ``slot``; commit the result.
+
+        Args:
+            slot: The current slot index (must equal every request's
+                ``release_slot``).
+            requests: The newly released files ``K(t)``.
+
+        Returns:
+            The committed :class:`TransferSchedule` for the admitted
+            requests (empty when everything was rejected or no requests
+            arrived).
+
+        Raises:
+            InfeasibleError: some request failed admission and the
+                policy is ``on_infeasible="raise"``.
+        """
+        if not requests:
+            return TransferSchedule()
+        plan = self.plan_slot(slot, requests)
+        if plan.rejected and self.on_infeasible == ON_INFEASIBLE_RAISE:
+            ids = [r.request_id for r in plan.rejected]
+            raise InfeasibleError(
+                f"fast lane cannot admit files {ids} at slot {slot}"
+            )
+        return self.commit_plan(plan)
+
+    def plan_slot(self, slot: int, requests: List[TransferRequest]) -> SlotPlan:
+        """Plan every request tentatively — nothing is committed.
+
+        Requests are processed tightest-deadline-first (ties: largest
+        desired rate), each seeing the tentative load of the ones
+        planned before it through the tracker.  The returned
+        :class:`SlotPlan` can be committed with :meth:`commit_plan` or
+        discarded (the hybrid mode discards it when escalating).
+        """
+        self._check_release(slot, requests)
+        self._tracker.reset()
+        plan = SlotPlan(slot=slot)
+        with obs.span(
+            "scheduler.fastlane", slot=slot, requests=len(requests)
+        ):
+            ordered = sorted(
+                requests, key=lambda r: (r.deadline_slots, -r.desired_rate)
+            )
+            for request in ordered:
+                entries = self._plan_file(request)
+                if entries is None:
+                    plan.rejected.append(request)
+                    continue
+                plan.plans.append((request, entries))
+                for e in entries:
+                    if e.kind is ArcKind.TRANSIT:
+                        self._tracker.add(e.src, e.dst, e.slot, e.volume)
+            plan.peak_utilization = self._tracker.peak_utilization()
+        return plan
+
+    def commit_plan(self, plan: SlotPlan) -> TransferSchedule:
+        """Apply a :class:`SlotPlan`: record rejections, commit schedules.
+
+        Each admitted request is committed individually (the commit
+        audit validates delivery, conservation, deadline windows, and
+        residual capacity), and the merged schedule is returned.
+        """
+        for request in plan.rejected:
+            self._state.reject(request)
+            obs.counter("heuristic.rejected")
+        all_entries: List[ScheduleEntry] = []
+        for request, entries in plan.plans:
+            schedule = TransferSchedule(entries)
+            self._state.commit(schedule, [request])
+            all_entries.extend(schedule.entries)
+            obs.counter("heuristic.admitted")
+        self._tracker.reset()
+        return TransferSchedule(all_entries)
+
+    # -- per-file planning -------------------------------------------------
+
+    def _check_release(self, slot: int, requests: List[TransferRequest]) -> None:
+        for request in requests:
+            if request.release_slot != slot:
+                raise SchedulingError(
+                    f"file {request.request_id} released at "
+                    f"{request.release_slot}, scheduled at {slot}"
+                )
+
+    def _plan_file(self, request: TransferRequest) -> Optional[List[ScheduleEntry]]:
+        """Admission test + placement: the cheapest feasible candidate.
+
+        Tries every candidate path with the headroom-first ALAP rule
+        and, for paths where free capacity fragments the placement into
+        infeasibility, retries with the pure ALAP rule.  Returns the
+        feasible plan with the smallest marginal bill increase, or
+        ``None`` (inadmissible) when no candidate fits.
+        """
+        best: Optional[Tuple[float, int, List[ScheduleEntry]]] = None
+        candidates = self._paths.candidates(
+            request.source, request.destination, request.deadline_slots
+        )
+        for path in candidates:
+            entries = self._plan_on_path(path, request, headroom_first=True)
+            if entries is None:
+                entries = self._plan_on_path(path, request, headroom_first=False)
+            if entries is None:
+                continue
+            cost = self._marginal_cost(entries)
+            key = (cost, len(path))
+            if best is None or key < (best[0], best[1]):
+                best = (cost, len(path), entries)
+        return None if best is None else best[2]
+
+    def _plan_on_path(
+        self, path: List[int], request: TransferRequest, headroom_first: bool
+    ) -> Optional[List[ScheduleEntry]]:
+        """ALAP placement along one path, planned backward from the deadline.
+
+        Hop ``h`` (0-based, of ``L``) may use slots
+        ``[release + h, release + T - (L - h)]``.  Hops are planned in
+        reverse: the last hop owes the whole file by the deadline; each
+        earlier hop owes, by slot ``n - 1``, whatever the next hop
+        sends at slot ``n`` (store-and-forward precedence).  Within a
+        hop the dues are packed into the latest admissible slots —
+        already-paid headroom first when ``headroom_first`` — so early
+        slots stay free for future arrivals.
+        """
+        hops = len(path) - 1
+        release, last = request.release_slot, request.last_slot
+        sends: List[HopSends] = [{} for _ in range(hops)]
+        #: deadline slot -> volume the current hop must have sent by then.
+        dues: Dict[int, float] = {last: request.size_gb}
+        for h in range(hops - 1, -1, -1):
+            first_h = release + h
+            last_h = last - (hops - 1 - h)
+            sent = self._alap_hop(
+                path[h], path[h + 1], first_h, last_h, dues, headroom_first
+            )
+            if sent is None:
+                return None
+            sends[h] = sent
+            next_dues: Dict[int, float] = defaultdict(float)
+            for n, volume in sent.items():
+                next_dues[n - 1] += volume
+            dues = next_dues
+
+        entries: List[ScheduleEntry] = []
+        arrivals: HopSends = {release: request.size_gb}
+        for h in range(hops):
+            self._emit_hop(entries, request, path[h], path[h + 1], sends[h], arrivals)
+            arrivals = {
+                n + 1: v for n, v in sends[h].items() if v > VOLUME_ATOL
+            }
+        return entries
+
+    def _alap_hop(
+        self,
+        src: int,
+        dst: int,
+        first: int,
+        last: int,
+        dues: Dict[int, float],
+        headroom_first: bool,
+    ) -> Optional[HopSends]:
+        """Pack one hop's dues into its window, latest slots first.
+
+        ``dues`` maps a deadline slot to the volume that must have left
+        by its end.  The sweep walks slots from ``last`` down to
+        ``first``; placing at slot ``n`` is capped so the volume parked
+        at slots ``>= n`` never exceeds what is *allowed* to be that
+        late (total minus the dues already binding at ``n - 1``) — that
+        single invariant implies every cumulative-due constraint.  With
+        ``headroom_first`` a free pass (paid-peak headroom only) runs
+        before the paid pass (full residual capacity).
+
+        Returns the slot -> volume sends, or ``None`` if the window
+        cannot carry the dues.
+        """
+        total = sum(dues.values())
+        tol = max(VOLUME_ATOL, 1e-9 * total)
+        sent: HopSends = defaultdict(float)
+        if total <= tol:
+            return {}
+        if first > last:
+            return None
+
+        def due_through(n: int) -> float:
+            return sum(v for d, v in dues.items() if d <= n)
+
+        remaining = total
+        cap_fns = [self._tracker.residual]
+        if headroom_first:
+            cap_fns.insert(0, self._tracker.headroom)
+        for cap_fn in cap_fns:
+            if remaining <= tol:
+                break
+            for n in range(last, first - 1, -1):
+                if remaining <= tol:
+                    break
+                cap = cap_fn(src, dst, n) - sent[n]
+                if cap <= VOLUME_ATOL:
+                    continue
+                placed_at_or_after = sum(
+                    v for m, v in sent.items() if m >= n
+                )
+                allowed = (total - due_through(n - 1)) - placed_at_or_after
+                take = min(cap, allowed, remaining)
+                if take > VOLUME_ATOL:
+                    sent[n] += take
+                    remaining -= take
+        if remaining > tol:
+            return None
+        return {n: v for n, v in sent.items() if v > VOLUME_ATOL}
+
+    def _marginal_cost(self, entries: List[ScheduleEntry]) -> float:
+        """Bill increase if ``entries`` joined the committed + pending load."""
+        load: Dict[Tuple[int, int, int], float] = defaultdict(float)
+        for e in entries:
+            if e.kind is ArcKind.TRANSIT:
+                load[(e.src, e.dst, e.slot)] += e.volume
+        peak_add: Dict[Tuple[int, int], float] = defaultdict(float)
+        for (src, dst, slot), volume in load.items():
+            level = (
+                volume
+                + self._state.committed_volume(src, dst, slot)
+                + self._tracker.pending(src, dst, slot)
+            )
+            over = level - self._state.charged_volume(src, dst)
+            if over > peak_add[(src, dst)]:
+                peak_add[(src, dst)] = over
+        return sum(
+            self._state.topology.link(src, dst).price * over
+            for (src, dst), over in peak_add.items()
+            if over > 0.0
+        )
+
+    def _emit_hop(
+        self,
+        entries: List[ScheduleEntry],
+        request: TransferRequest,
+        src: int,
+        dst: int,
+        sent: HopSends,
+        arrivals: HopSends,
+    ) -> None:
+        """Transit entries for one hop plus holdovers while data waits.
+
+        ``arrivals`` maps the slot at which volume becomes available at
+        the hop's tail node; volume that arrives before it departs is
+        parked there with explicit holdover entries, one per waiting
+        slot, so the schedule's flow-conservation audit balances.
+        """
+        rid = request.request_id
+        if not sent:
+            return
+        last_action = max(sent)
+        cursor = min(list(arrivals) + [min(sent)])
+        buffered = 0.0
+        for n in range(cursor, last_action + 1):
+            buffered += arrivals.get(n, 0.0)
+            volume = sent.get(n, 0.0)
+            if volume > VOLUME_ATOL:
+                entries.append(ScheduleEntry(rid, src, dst, n, volume))
+                buffered -= volume
+            if buffered > VOLUME_ATOL and n < last_action:
+                entries.append(
+                    ScheduleEntry(rid, src, src, n, buffered, ArcKind.HOLDOVER)
+                )

@@ -1,0 +1,158 @@
+"""Hybrid scheduling: fast lane by default, LP under pressure.
+
+Introduced in PR 4 (heuristic fast-lane scheduler).  The fast lane
+admits and places requests in O(paths x window) per request but plans
+one file at a time; the Postcard LP optimizes each slot's batch jointly
+but costs an assembly + solve.  :class:`HybridScheduler` runs the fast
+lane on every slot and **escalates** to the LP only when admission
+pressure says the greedy placement is likely leaving money (or
+admissions) on the table:
+
+* a request fails the fast lane's admission test (a rejection the LP
+  might still fit by repacking everyone jointly), or
+* the planned batch pushes some link-slot's utilization above a
+  configurable threshold (the fast lane's marginal-cost placement
+  degrades exactly when links run hot).
+
+Both lanes share one :class:`~repro.core.state.NetworkState` — one
+ledger, one bill — so escalated slots see everything the fast lane
+committed and vice versa.  The LP lane is a full
+:class:`~repro.core.scheduler.PostcardScheduler`, so escalations reuse
+the PR 3 fast path: incremental graph reuse across escalations and
+warm starts threaded from the previous LP solve.
+
+Escalations are observable: the ``hybrid.escalations`` /
+``hybrid.fast_slots`` counters and the ``hybrid.escalate`` span stream
+through :mod:`repro.obs`, and the simulation engine copies the tallies
+onto :class:`~repro.sim.metrics.SimulationResult`.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.errors import SchedulingError
+from repro.core.formulation import STORAGE_FULL
+from repro.core.interfaces import Scheduler
+from repro.core.schedule import TransferSchedule
+from repro.core.scheduler import ON_INFEASIBLE_RAISE, PostcardScheduler
+from repro.core.state import NetworkState
+from repro.heuristic.fastlane import FastLaneScheduler
+from repro.net.topology import Topology
+from repro.obs import registry as obs
+from repro.traffic.spec import TransferRequest
+
+
+class HybridScheduler(Scheduler):
+    """Fast-lane heuristic with LP escalation on admission pressure.
+
+    Parameters
+    ----------
+    topology, horizon:
+        As for every scheduler.
+    backend:
+        LP backend used by escalated slots (``"highs"`` default).
+    storage:
+        Storage mode for the LP lane (``"full"`` default).
+    on_infeasible:
+        Applied by the *LP* lane on escalated slots (``"raise"`` or
+        ``"drop"``); the fast lane itself never drops — an
+        inadmissible request triggers escalation instead.
+    escalate_utilization:
+        Escalate when the planned batch's peak link-slot utilization
+        exceeds this fraction (default 0.9).  Set > 1 to escalate on
+        rejections only.
+    escalate_on_rejection:
+        Escalate when the fast lane cannot admit some request
+        (default True).  With False, fast-lane rejections are final
+        and recorded as drops.
+    num_candidate_paths:
+        Fast-lane admission fan-out.
+    incremental, warm_start:
+        Forwarded to the LP lane (PR 3's fast scheduling path).
+    """
+
+    name = "hybrid"
+
+    def __init__(
+        self,
+        topology: Topology,
+        horizon: int,
+        backend: str = "highs",
+        storage: str = STORAGE_FULL,
+        on_infeasible: str = ON_INFEASIBLE_RAISE,
+        escalate_utilization: float = 0.9,
+        escalate_on_rejection: bool = True,
+        num_candidate_paths: int = 4,
+        incremental: bool = True,
+        warm_start: bool = True,
+    ):
+        if escalate_utilization <= 0.0:
+            raise SchedulingError(
+                f"escalate_utilization must be positive, got {escalate_utilization}"
+            )
+        self._lp = PostcardScheduler(
+            topology,
+            horizon,
+            backend=backend,
+            storage=storage,
+            on_infeasible=on_infeasible,
+            incremental=incremental,
+            warm_start=warm_start,
+        )
+        self._fast = FastLaneScheduler(
+            topology,
+            horizon,
+            num_candidate_paths=num_candidate_paths,
+            on_infeasible="drop",
+            state=self._lp.state,
+        )
+        self.escalate_utilization = escalate_utilization
+        self.escalate_on_rejection = escalate_on_rejection
+        #: Slots handed to the LP because of admission pressure.
+        self.escalations = 0
+        #: Slots the fast lane handled end to end.
+        self.fast_slots = 0
+
+    @property
+    def state(self) -> NetworkState:
+        """The single ledger both lanes plan and commit against."""
+        return self._lp.state
+
+    @property
+    def fast_lane(self) -> FastLaneScheduler:
+        return self._fast
+
+    @property
+    def lp_lane(self) -> PostcardScheduler:
+        return self._lp
+
+    def on_slot(self, slot: int, requests: List[TransferRequest]) -> TransferSchedule:
+        """Plan with the fast lane; escalate to the LP under pressure.
+
+        Args:
+            slot: The current slot index.
+            requests: The files released at ``slot``.
+
+        Returns:
+            The committed schedule, from whichever lane handled the
+            slot.
+        """
+        if not requests:
+            return TransferSchedule()
+        plan = self._fast.plan_slot(slot, requests)
+        rejected = bool(plan.rejected) and self.escalate_on_rejection
+        pressured = plan.peak_utilization > self.escalate_utilization
+        if rejected or pressured:
+            self.escalations += 1
+            obs.counter("hybrid.escalations")
+            with obs.span(
+                "hybrid.escalate",
+                slot=slot,
+                rejections=len(plan.rejected),
+                peak_utilization=round(plan.peak_utilization, 4),
+            ):
+                return self._lp.on_slot(slot, requests)
+        self.fast_slots += 1
+        obs.counter("hybrid.fast_slots")
+        return self._fast.commit_plan(plan)

@@ -1,0 +1,66 @@
+"""Cached candidate paths for the fast-lane admission test.
+
+Introduced in PR 4 (heuristic fast-lane scheduler).  The LP considers
+every path implicitly through the time-expanded graph; the fast lane
+instead examines a handful of *candidate* simple paths per
+(source, destination) pair, cheapest-first by per-GB price.  Because
+the topology is fixed for a scheduler's lifetime, the candidate lists
+are computed once per pair and cached — after warm-up, admission does
+no graph search at all, which is what makes per-request admission
+O(paths x window) instead of an LP solve.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, List, Tuple
+
+import networkx as nx
+
+from repro.errors import SchedulingError
+from repro.net.topology import Topology
+
+
+class CandidatePathIndex:
+    """K-cheapest-simple-path lists per (src, dst), computed lazily.
+
+    Parameters
+    ----------
+    topology:
+        The inter-datacenter network; prices weight the path search.
+    max_paths:
+        Candidates returned per query.  Internally ``2 * max_paths``
+        paths are cached so deadline filtering (long paths cannot meet
+        short deadlines) still leaves choices.
+    """
+
+    def __init__(self, topology: Topology, max_paths: int = 4):
+        if max_paths < 1:
+            raise SchedulingError("need at least one candidate path")
+        self.topology = topology
+        self.max_paths = max_paths
+        self._graph = topology.to_networkx()
+        self._cache: Dict[Tuple[int, int], List[List[int]]] = {}
+
+    def candidates(self, src: int, dst: int, max_hops: int) -> List[List[int]]:
+        """Up to ``max_paths`` cheapest paths with at most ``max_hops`` hops.
+
+        Returns node-id lists (``[src, ..., dst]``), cheapest first.
+        An unreachable pair returns an empty list (and caches that).
+        """
+        paths = self._cache.get((src, dst))
+        if paths is None:
+            try:
+                generator = nx.shortest_simple_paths(
+                    self._graph, src, dst, weight="price"
+                )
+                paths = list(itertools.islice(generator, self.max_paths * 2))
+            except nx.NetworkXNoPath:
+                paths = []
+            self._cache[(src, dst)] = paths
+        usable = [p for p in paths if len(p) - 1 <= max_hops]
+        return usable[: self.max_paths]
+
+    def __len__(self) -> int:
+        """Number of (src, dst) pairs already indexed."""
+        return len(self._cache)

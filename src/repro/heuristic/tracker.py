@@ -1,0 +1,108 @@
+"""Per-slot link utilization accounting for the fast lane.
+
+Introduced in PR 4 (heuristic fast-lane scheduler).  The fast lane
+never solves an LP, so it needs a cheap, always-current answer to three
+questions about any ``(link, slot)`` cell: how much residual capacity
+is left, how much of it is *free* (under the already-paid charged
+volume ``X_ij(t-1)``), and how utilized the cell would be if the
+current batch's tentative placements were committed.
+
+:class:`UtilizationTracker` layers a dict of *pending* volumes — this
+batch's not-yet-committed placements — over a
+:class:`~repro.core.state.NetworkState`, so every query is O(1) and the
+whole admission test stays O(paths x window) per request.  The pending
+layer also powers the hybrid scheduler's escalation trigger: its
+:meth:`peak_utilization` is the admission-pressure signal compared
+against the escalation threshold.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Tuple
+
+from repro.core.state import NetworkState
+
+LinkSlot = Tuple[int, int, int]  # (src, dst, slot)
+
+
+class UtilizationTracker:
+    """Residual/headroom/utilization queries over state + pending load.
+
+    Parameters
+    ----------
+    state:
+        The scheduler's :class:`~repro.core.state.NetworkState`; the
+        tracker reads committed volumes, charged peaks, and (fault-
+        aware) residual capacities from it and never mutates it.
+    """
+
+    def __init__(self, state: NetworkState):
+        self._state = state
+        #: (src, dst, slot) -> tentative volume planned but not yet
+        #: committed to the ledger by the current batch.
+        self._pending: Dict[LinkSlot, float] = defaultdict(float)
+
+    # -- the pending layer -------------------------------------------------
+
+    def reset(self) -> None:
+        """Forget all tentative placements (start of a new batch)."""
+        self._pending.clear()
+
+    def add(self, src: int, dst: int, slot: int, volume: float) -> None:
+        """Record a tentative placement of ``volume`` GB on a cell."""
+        if volume > 0.0:
+            self._pending[(src, dst, slot)] += volume
+
+    def pending(self, src: int, dst: int, slot: int) -> float:
+        """Tentative (uncommitted) volume currently planned on a cell."""
+        return self._pending.get((src, dst, slot), 0.0)
+
+    # -- capacity queries --------------------------------------------------
+
+    def residual(self, src: int, dst: int, slot: int) -> float:
+        """Capacity left on a cell after committed *and* pending load."""
+        return max(
+            0.0,
+            self._state.residual_capacity(src, dst, slot)
+            - self.pending(src, dst, slot),
+        )
+
+    def headroom(self, src: int, dst: int, slot: int) -> float:
+        """Free-of-charge volume the cell can still carry.
+
+        Traffic up to the link's charged peak ``X_ij(t-1)`` is already
+        paid for; what remains of that allowance — after committed and
+        pending volume — is capped by the residual capacity.
+        """
+        paid = self._state.charged_volume(src, dst) - (
+            self._state.committed_volume(src, dst, slot)
+            + self.pending(src, dst, slot)
+        )
+        return max(0.0, min(paid, self.residual(src, dst, slot)))
+
+    def utilization(self, src: int, dst: int, slot: int) -> float:
+        """(committed + pending) / raw link capacity for one cell."""
+        capacity = self._state.topology.link(src, dst).capacity
+        if capacity <= 0.0:
+            return 1.0
+        used = self._state.committed_volume(src, dst, slot) + self.pending(
+            src, dst, slot
+        )
+        return used / capacity
+
+    def peak_utilization(self) -> float:
+        """Highest utilization over the cells this batch touches.
+
+        This is the hybrid mode's admission-pressure signal: it looks
+        only at link-slots with pending volume, so an empty batch
+        reports 0.0 and a batch squeezing some cell near its capacity
+        reports close to 1.0 no matter how idle the rest of the network
+        is.
+        """
+        if not self._pending:
+            return 0.0
+        return max(
+            self.utilization(src, dst, slot)
+            for (src, dst, slot) in self._pending
+        )

@@ -23,6 +23,12 @@ How much a backend can do with the hint varies:
 
 Backends advertise their behavior via
 :attr:`~repro.lp.backends.base.Backend.supports_warm_start`.
+
+History: introduced in PR 3 (fast-path scheduling).  PR 4's hybrid
+scheduler inherits it for free: escalated slots run the same
+:class:`~repro.core.scheduler.PostcardScheduler`, so consecutive
+escalations warm-start from each other even with fast-lane slots in
+between.
 """
 
 from __future__ import annotations

@@ -17,6 +17,7 @@ from repro.core import PostcardScheduler, ReplanningPostcardScheduler
 from repro.core.interfaces import Scheduler
 from repro.extensions import PercentileAwareScheduler
 from repro.flowbased import FlowBasedScheduler
+from repro.heuristic import FastLaneScheduler, HybridScheduler
 from repro.net.topology import Topology
 
 SchedulerFactory = Callable[[Topology, int], Scheduler]
@@ -51,6 +52,15 @@ _REGISTRY: Dict[str, SchedulerFactory] = {
     ),
     "q-aware": lambda t, h, **kw: PercentileAwareScheduler(
         t, h, q=95.0, on_infeasible="drop", **kw
+    ),
+    # The PR 4 fast lane: LP-free admission + ALAP placement.  Like the
+    # other combinatorial schedulers it ignores a requested backend.
+    "heuristic": lambda t, h, **kw: FastLaneScheduler(
+        t, h, on_infeasible="drop"
+    ),
+    # Fast lane per slot, Postcard LP on escalated (pressured) slots.
+    "hybrid": lambda t, h, **kw: HybridScheduler(
+        t, h, on_infeasible="drop", **kw
     ),
 }
 

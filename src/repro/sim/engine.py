@@ -149,6 +149,11 @@ class Simulation:
         state = self.scheduler.state
         result.final_cost_per_slot = state.current_cost_per_slot()
         result.free_ride_fraction = state.ledger.free_ride_fraction()
+        # Hybrid schedulers expose their lane split; every other
+        # scheduler leaves both at zero (same duck-typed pattern as
+        # fault_model above).
+        result.escalations = getattr(self.scheduler, "escalations", 0)
+        result.fast_slots = getattr(self.scheduler, "fast_slots", 0)
         self._deadlines = deadlines
         if self.slots_per_period:
             # Close the trailing (possibly partial) period, extended to

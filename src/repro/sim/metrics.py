@@ -87,6 +87,11 @@ class SimulationResult:
     #: request ids whose SLO was violated (excluded from the audit's
     #: everyone-completes-or-is-rejected check).
     slo_violations: List[int] = field(default_factory=list)
+    #: Hybrid-scheduler accounting (both zero for every other
+    #: scheduler): slots escalated from the fast lane to the LP, and
+    #: slots the fast lane handled end to end.
+    escalations: int = 0
+    fast_slots: int = 0
 
     # -- derived metrics -------------------------------------------------
 

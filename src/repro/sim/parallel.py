@@ -21,6 +21,12 @@ process, with three properties the test suite pins down:
 
 ``jobs <= 1`` executes the same tasks in-process, which keeps
 debugging, profiling, and coverage simple.
+
+History: introduced in PR 3 (fast-path scheduling) alongside the
+incremental LP pipeline; PR 4 added the heuristic/hybrid schedulers to
+the registry, so they fan out here like any other named scheduler (the
+``escalations``/``fast_slots`` tallies ride back on the picklable
+:class:`~repro.sim.metrics.SimulationResult`).
 """
 
 from __future__ import annotations

@@ -6,6 +6,11 @@ different seeds for every scheduler under comparison, all schedulers
 seeing identical topologies and traffic.  Results are aggregated as
 mean cost per slot with 95% confidence intervals, exactly as the paper
 reports them.
+
+History: the seed PR introduced the sequential loop; PR 3 added the
+``jobs=`` fan-out through :mod:`repro.sim.parallel`; PR 4 grew the
+comparison table's on-demand columns for the heuristic/hybrid
+schedulers (LP escalations vs. fast-lane slots).
 """
 
 from __future__ import annotations
@@ -83,8 +88,20 @@ class SchedulerComparison:
         return mean_ci(self.costs[name_a]).mean / mean_ci(self.costs[name_b]).mean
 
     def to_table(self) -> str:
+        """Paper-style comparison table.
+
+        Columns appear on demand: salvage accounting columns when any
+        run saw surprise-outage disruption, and an ``escalated`` column
+        (LP-escalated slots / fast-lane slots, summed over runs) when a
+        hybrid scheduler is in the comparison.
+        """
         disrupted = any(
             r.disrupted_gb > 0
+            for results in self.results.values()
+            for r in results
+        )
+        hybrid = any(
+            r.escalations + r.fast_slots > 0
             for results in self.results.values()
             for r in results
         )
@@ -102,10 +119,16 @@ class SchedulerComparison:
                         sum(r.deadline_misses for r in self.results[name]),
                     ]
                 )
+            if hybrid:
+                escalated = sum(r.escalations for r in self.results[name])
+                fast = sum(r.fast_slots for r in self.results[name])
+                row.append(f"{escalated}/{fast}" if escalated + fast else "-")
             rows.append(row)
         headers = ["scheduler", "cost/slot", "95% CI +/-", "rejected", "solve s"]
         if disrupted:
             headers.extend(["salvaged", "lost", "misses"])
+        if hybrid:
+            headers.append("esc/fast")
         return format_table(headers, rows)
 
 

@@ -17,6 +17,12 @@ equivalence suite (``tests/test_compile_equivalence.py``) pins this.
 
 Cache reuse is observable through the ``timeexp.cache.hit`` /
 ``timeexp.cache.refresh`` counters (arcs reused vs. rebuilt).
+
+History: introduced in PR 3 (fast-path scheduling).  Because every
+build re-validates each cached arc's capacity, the cache is also
+correct under PR 4's hybrid scheduler, whose LP lane builds graphs
+*sporadically* — only on escalated slots, with fast-lane commits
+consuming capacity in between — rather than every slot.
 """
 
 from __future__ import annotations

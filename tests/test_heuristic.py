@@ -1,0 +1,277 @@
+"""Unit tests for the fast-lane heuristic scheduler (PR 4).
+
+Covers the utilization tracker's accounting, the candidate-path cache,
+the ALAP placement rule (bytes land in the slots nearest the deadline),
+headroom-first behavior, admission rejections, and the scheduler's
+integration with the simulation engine and registry.
+"""
+
+import pytest
+
+from repro.errors import InfeasibleError, SchedulingError
+from repro.core.state import NetworkState
+from repro.heuristic import (
+    CandidatePathIndex,
+    FastLaneScheduler,
+    UtilizationTracker,
+)
+from repro.net.generators import complete_topology
+from repro.net.topology import Datacenter, Link, Topology
+from repro.registry import make_scheduler, scheduler_names
+from repro.sim.engine import Simulation
+from repro.timeexp.graph import ArcKind
+from repro.traffic.spec import TransferRequest
+from repro.traffic.workload import PaperWorkload
+
+
+def two_node_topology(capacity=10.0, price=1.0):
+    return Topology(
+        [Datacenter(0), Datacenter(1)],
+        [
+            Link(0, 1, capacity=capacity, price=price),
+            Link(1, 0, capacity=capacity, price=price),
+        ],
+    )
+
+
+# -- UtilizationTracker ---------------------------------------------------
+
+
+def test_tracker_layers_pending_over_state():
+    topo = two_node_topology(capacity=10.0)
+    state = NetworkState(topo, horizon=10)
+    tracker = UtilizationTracker(state)
+    assert tracker.residual(0, 1, 0) == 10.0
+    assert tracker.utilization(0, 1, 0) == 0.0
+
+    tracker.add(0, 1, 0, 4.0)
+    assert tracker.pending(0, 1, 0) == 4.0
+    assert tracker.residual(0, 1, 0) == 6.0
+    assert tracker.utilization(0, 1, 0) == pytest.approx(0.4)
+    assert tracker.peak_utilization() == pytest.approx(0.4)
+
+    tracker.reset()
+    assert tracker.pending(0, 1, 0) == 0.0
+    assert tracker.peak_utilization() == 0.0
+
+
+def test_tracker_headroom_tracks_paid_peak():
+    topo = two_node_topology(capacity=10.0)
+    state = NetworkState(topo, horizon=10)
+    tracker = UtilizationTracker(state)
+    # Nothing paid yet: no free headroom anywhere.
+    assert tracker.headroom(0, 1, 3) == 0.0
+
+    # Commit 6 GB at slot 0 -> X_01 = 6; slots 1.. have 6 GB free.
+    scheduler = FastLaneScheduler(topo, horizon=10, state=state)
+    request = TransferRequest(0, 1, 6.0, 1, release_slot=0)
+    scheduler.on_slot(0, [request])
+    assert state.charged_volume(0, 1) == pytest.approx(6.0)
+    assert tracker.headroom(0, 1, 1) == pytest.approx(6.0)
+    # Pending volume eats into the free allowance.
+    tracker.add(0, 1, 1, 2.0)
+    assert tracker.headroom(0, 1, 1) == pytest.approx(4.0)
+
+
+# -- CandidatePathIndex ---------------------------------------------------
+
+
+def test_candidate_paths_cheapest_first_and_cached():
+    topo = complete_topology(5, capacity=30.0, seed=1)
+    index = CandidatePathIndex(topo, max_paths=3)
+    paths = index.candidates(0, 3, max_hops=4)
+    assert paths and all(p[0] == 0 and p[-1] == 3 for p in paths)
+
+    def price(path):
+        return sum(
+            topo.link(a, b).price for a, b in zip(path, path[1:])
+        )
+
+    assert price(paths[0]) == min(price(p) for p in paths)
+    assert len(index) == 1
+    # Deadline filtering: 1 hop max leaves only the direct path.
+    short = index.candidates(0, 3, max_hops=1)
+    assert short == [[0, 3]]
+    assert len(index) == 1  # served from cache
+
+
+def test_candidate_paths_unreachable_pair():
+    # A line topology has no path backwards from the last node when
+    # only forward links exist?  line_topology is bidirectional, so
+    # build an explicitly one-way pair instead.
+    topo = Topology(
+        [Datacenter(0), Datacenter(1)],
+        [Link(0, 1, capacity=5.0, price=1.0)],
+    )
+    index = CandidatePathIndex(topo)
+    assert index.candidates(1, 0, max_hops=3) == []
+
+
+# -- ALAP placement -------------------------------------------------------
+
+
+def test_single_hop_placement_is_as_late_as_possible():
+    topo = two_node_topology(capacity=10.0)
+    scheduler = FastLaneScheduler(topo, horizon=20)
+    # 10 GB over a 4-slot window on a 10 GB/slot link: pure ALAP puts
+    # everything in the final window slot.
+    request = TransferRequest(0, 1, 10.0, 4, release_slot=0)
+    schedule = scheduler.on_slot(0, [request])
+    volumes = schedule.link_slot_volumes()
+    assert volumes == {(0, 1, request.last_slot): pytest.approx(10.0)}
+
+
+def test_oversized_file_spills_backward_from_deadline():
+    topo = two_node_topology(capacity=10.0)
+    scheduler = FastLaneScheduler(topo, horizon=20)
+    # 25 GB through a 10 GB/slot link: slots 3, 2 fill completely and
+    # slot 1 takes the 5 GB remainder; slot 0 stays free.
+    request = TransferRequest(0, 1, 25.0, 4, release_slot=0)
+    schedule = scheduler.on_slot(0, [request])
+    volumes = schedule.link_slot_volumes()
+    assert volumes[(0, 1, 3)] == pytest.approx(10.0)
+    assert volumes[(0, 1, 2)] == pytest.approx(10.0)
+    assert volumes[(0, 1, 1)] == pytest.approx(5.0)
+    assert (0, 1, 0) not in volumes
+
+
+def test_headroom_first_prefers_paid_slots():
+    topo = two_node_topology(capacity=10.0)
+    scheduler = FastLaneScheduler(topo, horizon=20)
+    # First file sets the paid peak X_01 = 8 at its deadline slot 1.
+    scheduler.on_slot(0, [TransferRequest(0, 1, 8.0, 2, release_slot=0)])
+    assert scheduler.state.charged_volume(0, 1) == pytest.approx(8.0)
+    # Second file (6 GB, window 1..3): the free pass should ride the
+    # paid headroom of the *latest* free slots (2 GB left at slot 1 is
+    # the only committed slot; slots 2, 3 are fully free up to 8 GB).
+    schedule = scheduler.on_slot(1, [TransferRequest(0, 1, 6.0, 3, release_slot=1)])
+    volumes = schedule.link_slot_volumes()
+    # Everything fits under the paid peak in the last window slot: the
+    # bill must not grow.
+    assert scheduler.state.charged_volume(0, 1) == pytest.approx(8.0)
+    assert volumes == {(0, 1, 3): pytest.approx(6.0)}
+
+
+def test_multi_hop_emits_holdover_and_meets_deadline():
+    # Force a 2-hop relay: no direct link from 0 to 2.
+    topo = Topology(
+        [Datacenter(0), Datacenter(1), Datacenter(2)],
+        [
+            Link(0, 1, capacity=10.0, price=1.0),
+            Link(1, 2, capacity=10.0, price=1.0),
+        ],
+    )
+    scheduler = FastLaneScheduler(topo, horizon=20)
+    request = TransferRequest(0, 2, 10.0, 4, release_slot=0)
+    schedule = scheduler.on_slot(0, [request])
+    # Delivered in full, on time, with conservation intact.  Validate
+    # against raw capacity: on_slot already committed the volumes, so
+    # the state's residual view no longer covers this schedule.
+    schedule.validate(
+        [request], capacity_fn=lambda s, d, n: topo.link(s, d).capacity
+    )
+    completion = scheduler.state.completions[request.request_id]
+    assert completion <= request.last_slot
+    # ALAP: the final hop lands on the last window slot.
+    last_hop_slots = [
+        e.slot for e in schedule.transit_entries() if e.dst == 2
+    ]
+    assert max(last_hop_slots) == request.last_slot
+    # The source parks data before the first hop departs.
+    assert any(e.kind is ArcKind.HOLDOVER for e in schedule.entries)
+
+
+def test_infeasible_request_rejected_or_raised():
+    topo = two_node_topology(capacity=10.0)
+    # 50 GB in 2 slots through a 10 GB/slot pair: inadmissible.
+    request = TransferRequest(0, 1, 50.0, 2, release_slot=0)
+
+    raising = FastLaneScheduler(topo, horizon=20, on_infeasible="raise")
+    with pytest.raises(InfeasibleError):
+        raising.on_slot(0, [request])
+
+    dropping = FastLaneScheduler(topo, horizon=20, on_infeasible="drop")
+    schedule = dropping.on_slot(0, [TransferRequest(0, 1, 50.0, 2, release_slot=0)])
+    assert not schedule
+    assert len(dropping.state.rejected) == 1
+
+
+def test_wrong_release_slot_raises():
+    topo = two_node_topology()
+    scheduler = FastLaneScheduler(topo, horizon=10)
+    with pytest.raises(SchedulingError):
+        scheduler.on_slot(1, [TransferRequest(0, 1, 1.0, 2, release_slot=0)])
+
+
+def test_unknown_policy_rejected():
+    with pytest.raises(SchedulingError):
+        FastLaneScheduler(two_node_topology(), horizon=10, on_infeasible="shrug")
+
+
+def test_empty_slot_returns_empty_schedule():
+    scheduler = FastLaneScheduler(two_node_topology(), horizon=10)
+    assert not scheduler.on_slot(0, [])
+
+
+# -- tentative planning (plan_slot) ---------------------------------------
+
+
+def test_plan_slot_commits_nothing():
+    topo = two_node_topology(capacity=10.0)
+    scheduler = FastLaneScheduler(topo, horizon=20)
+    plan = scheduler.plan_slot(0, [TransferRequest(0, 1, 5.0, 2, release_slot=0)])
+    assert plan.admitted == 1 and not plan.rejected
+    assert plan.peak_utilization == pytest.approx(0.5)
+    assert scheduler.state.ledger.total_volume() == 0.0
+    assert not scheduler.state.completions
+    # Committing the same plan later applies it.
+    schedule = scheduler.commit_plan(plan)
+    assert schedule.total_transit_volume() == pytest.approx(5.0)
+    assert scheduler.state.ledger.total_volume() == pytest.approx(5.0)
+
+
+def test_plan_slot_orders_tightest_deadline_first():
+    topo = two_node_topology(capacity=10.0)
+    scheduler = FastLaneScheduler(topo, horizon=20, on_infeasible="drop")
+    # The loose file saturates all four window slots; if it were
+    # planned first, the tight file (which needs slot 0 entirely) would
+    # be squeezed out.  Tightest-deadline-first admits the tight file
+    # and rejects the loose one instead.
+    loose = TransferRequest(0, 1, 40.0, 4, release_slot=0)
+    tight = TransferRequest(0, 1, 10.0, 1, release_slot=0)
+    plan = scheduler.plan_slot(0, [loose, tight])
+    assert plan.admitted == 1
+    assert plan.rejected == [loose]
+    assert plan.plans[0][0] is tight
+
+
+# -- integration ----------------------------------------------------------
+
+
+def test_registry_and_simulation_integration():
+    assert "heuristic" in scheduler_names()
+    topo = complete_topology(6, capacity=30.0, seed=3)
+    scheduler = make_scheduler("heuristic", topo, horizon=12)
+    workload = PaperWorkload(topo, max_deadline=3, max_files=4, seed=7)
+    result = Simulation(scheduler, workload, 8).run()  # audit on
+    assert result.total_requests > 0
+    assert result.max_lateness() == 0
+    assert result.escalations == 0 and result.fast_slots == 0
+
+
+def test_fastlane_never_beats_lp_on_cold_instance(small_complete):
+    from repro.core import PostcardScheduler
+
+    requests = [
+        TransferRequest(0, 1, 20.0, 3, release_slot=0),
+        TransferRequest(1, 4, 35.0, 4, release_slot=0),
+        TransferRequest(2, 3, 10.0, 2, release_slot=0),
+    ]
+    fast = FastLaneScheduler(small_complete, horizon=20)
+    fast.on_slot(0, [r.with_release(0) for r in requests])
+    lp = PostcardScheduler(small_complete, horizon=20)
+    lp.on_slot(0, [r.with_release(0) for r in requests])
+    assert (
+        lp.state.current_cost_per_slot()
+        <= fast.state.current_cost_per_slot() + 1e-6
+    )

@@ -1,0 +1,184 @@
+"""Tests for the hybrid fast-lane/LP scheduler (PR 4).
+
+Covers the two escalation triggers (rejection, utilization pressure),
+the shared-state contract between the lanes, the simulation engine's
+lane-split reporting, and a cost regression pin: on the default 10-DC
+scenario the hybrid must stay within a fixed factor of the Postcard LP
+(and the pure fast lane within a looser one).
+"""
+
+import pytest
+
+from repro.errors import SchedulingError
+from repro.core import PostcardScheduler
+from repro.heuristic import FastLaneScheduler, HybridScheduler
+from repro.net.generators import complete_topology
+from repro.registry import make_scheduler
+from repro.sim.engine import Simulation
+from repro.net.topology import Datacenter, Link, Topology
+from repro.traffic.spec import TransferRequest
+from repro.traffic.workload import PaperWorkload
+
+
+def two_node_topology(capacity=10.0):
+    return Topology(
+        [Datacenter(0), Datacenter(1)],
+        [
+            Link(0, 1, capacity=capacity, price=1.0),
+            Link(1, 0, capacity=capacity, price=1.0),
+        ],
+    )
+
+
+# -- escalation triggers --------------------------------------------------
+
+
+def test_relaxed_slot_stays_in_fast_lane():
+    topo = two_node_topology(capacity=10.0)
+    scheduler = HybridScheduler(topo, horizon=20)
+    # 2 GB over 4 slots: 20% peak utilization, no rejection.
+    scheduler.on_slot(0, [TransferRequest(0, 1, 2.0, 4, release_slot=0)])
+    assert scheduler.fast_slots == 1
+    assert scheduler.escalations == 0
+
+
+def test_utilization_pressure_escalates():
+    topo = two_node_topology(capacity=10.0)
+    scheduler = HybridScheduler(topo, horizon=20, escalate_utilization=0.9)
+    # 9.5 GB in a 1-slot window: 95% utilization on the planned cell.
+    scheduler.on_slot(0, [TransferRequest(0, 1, 9.5, 1, release_slot=0)])
+    assert scheduler.escalations == 1
+    assert scheduler.fast_slots == 0
+    # The LP lane committed it: delivered on time, nothing rejected.
+    assert len(scheduler.state.completions) == 1
+    assert not scheduler.state.rejected
+
+
+def test_high_threshold_disables_pressure_trigger():
+    topo = two_node_topology(capacity=10.0)
+    scheduler = HybridScheduler(topo, horizon=20, escalate_utilization=2.0)
+    scheduler.on_slot(0, [TransferRequest(0, 1, 9.5, 1, release_slot=0)])
+    assert scheduler.escalations == 0
+    assert scheduler.fast_slots == 1
+
+
+def test_fastlane_rejection_escalates():
+    topo = two_node_topology(capacity=10.0)
+    # 25 GB in a 2-slot window overflows the 10 GB/slot link: the fast
+    # lane cannot admit it, so the slot escalates to the LP regardless
+    # of the (disabled) utilization trigger.  The LP cannot fit it
+    # either, and the drop policy records the rejection.
+    scheduler = HybridScheduler(
+        topo, horizon=20, escalate_utilization=2.0, on_infeasible="drop"
+    )
+    scheduler.on_slot(0, [TransferRequest(0, 1, 25.0, 2, release_slot=0)])
+    assert scheduler.escalations == 1
+    assert scheduler.fast_slots == 0
+    assert len(scheduler.state.rejected) == 1
+
+
+def test_rejection_trigger_can_be_disabled():
+    topo = two_node_topology(capacity=10.0)
+    scheduler = HybridScheduler(
+        topo,
+        horizon=20,
+        escalate_utilization=2.0,
+        escalate_on_rejection=False,
+        on_infeasible="drop",
+    )
+    scheduler.on_slot(0, [TransferRequest(0, 1, 25.0, 2, release_slot=0)])
+    assert scheduler.escalations == 0
+    assert scheduler.fast_slots == 1
+    assert len(scheduler.state.rejected) == 1
+
+
+def test_invalid_threshold_rejected():
+    with pytest.raises(SchedulingError):
+        HybridScheduler(two_node_topology(), horizon=10, escalate_utilization=0.0)
+
+
+# -- shared state ---------------------------------------------------------
+
+
+def test_lanes_share_one_ledger():
+    topo = two_node_topology(capacity=10.0)
+    scheduler = HybridScheduler(topo, horizon=20, escalate_utilization=0.5)
+    assert scheduler.state is scheduler.fast_lane.state
+    assert scheduler.state is scheduler.lp_lane.state
+
+    # Fast-lane slot (40% utilization), then a pressured slot (ALAP
+    # stacks 5 GB on the 4 GB already committed at slot 1 -> 90%): the
+    # escalated LP must see, and schedule around, the fast lane's
+    # committed traffic.
+    scheduler.on_slot(0, [TransferRequest(0, 1, 4.0, 2, release_slot=0)])
+    assert scheduler.fast_slots == 1
+    scheduler.on_slot(1, [TransferRequest(0, 1, 5.0, 1, release_slot=1)])
+    assert scheduler.escalations == 1
+    assert len(scheduler.state.completions) == 2
+    # One bill covering both lanes' traffic.
+    assert scheduler.state.ledger.total_volume() == pytest.approx(9.0)
+
+
+def test_empty_slot_is_free():
+    scheduler = HybridScheduler(two_node_topology(), horizon=10)
+    assert not scheduler.on_slot(0, [])
+    assert scheduler.escalations == 0 and scheduler.fast_slots == 0
+
+
+# -- engine integration ---------------------------------------------------
+
+
+def test_simulation_reports_lane_split():
+    topo = complete_topology(6, capacity=30.0, seed=5)
+    scheduler = make_scheduler("hybrid", topo, horizon=14)
+    workload = PaperWorkload(topo, max_deadline=3, max_files=6, seed=9)
+    result = Simulation(scheduler, workload, 10).run()  # audit on
+    assert result.max_lateness() == 0
+    assert result.escalations == scheduler.escalations
+    assert result.fast_slots == scheduler.fast_slots
+    assert result.escalations + result.fast_slots > 0
+
+
+# -- cost regression pin --------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def default_scenario_costs():
+    """LP, hybrid, and pure fast-lane costs on the default 10-DC scenario.
+
+    Mirrors the smoke-scale bench setting (fig4 shape): complete
+    10-DC topology at 100 GB/slot, Sec. VII workload with max T=3,
+    12 slots, horizon 15.
+    """
+    costs = {}
+    for name in ("postcard", "hybrid", "heuristic"):
+        topo = complete_topology(10, capacity=100.0, seed=2012)
+        workload = PaperWorkload(topo, max_deadline=3, max_files=10, seed=3012)
+        scheduler = make_scheduler(name, topo, horizon=15)
+        result = Simulation(scheduler, workload, 12).run()
+        assert result.total_rejected == 0
+        assert result.max_lateness() == 0
+        costs[name] = result.final_cost_per_slot
+    return costs
+
+
+def test_hybrid_cost_within_pinned_factor_of_lp(default_scenario_costs):
+    # Measured at PR 4: hybrid/LP = 1.46.  The pin leaves slack for
+    # solver noise but catches regressions that break escalation or
+    # the shared-ledger accounting.
+    ratio = default_scenario_costs["hybrid"] / default_scenario_costs["postcard"]
+    assert ratio <= 1.6
+
+
+def test_fastlane_cost_within_pinned_factor_of_lp(default_scenario_costs):
+    # Measured at PR 4: heuristic/LP = 1.94.  ALAP packing trades cost
+    # for speed; the pin bounds how much.
+    ratio = default_scenario_costs["heuristic"] / default_scenario_costs["postcard"]
+    assert ratio <= 2.5
+
+
+def test_hybrid_no_worse_than_pure_fast_lane(default_scenario_costs):
+    assert (
+        default_scenario_costs["hybrid"]
+        <= default_scenario_costs["heuristic"] * (1 + 1e-9)
+    )
