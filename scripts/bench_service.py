@@ -1,0 +1,196 @@
+#!/usr/bin/env python
+"""Service throughput/latency sweep: the daemon under offered load.
+
+Starts an in-process transfer-broker daemon (unix socket, default
+10-DC preset, automatic slot clock) per point and replays ~8 seconds
+of paced traffic through the load generator at each offered rate,
+sweeping 100 -> 5000 requests/minute.  Reports, per rate: sustained
+throughput, admission decisions, and the three latency percentiles the
+service defines (client round trip ``rtt``, queue ``wait``, and
+``decision`` — the slot-tick-to-decision time that is the service's
+admission latency; see docs/SERVICE.md).
+
+Writes a ``BENCH_service.json`` record and gates the acceptance
+targets: at every rate up to ``--gate-rate`` (default 1000 req/min)
+the daemon must sustain at least ``--min-sustain`` of the offered rate
+with zero failures/misses and p99 decision latency under one virtual
+slot tick.  Pass ``--gate-rate 0`` to make the gates informational on
+noisy shared runners.
+
+Usage::
+
+    PYTHONPATH=src python scripts/bench_service.py \
+        [-o benchmarks/results/BENCH_service.json] \
+        [--rates 100 500 1000 2000 5000] [--seconds 8] \
+        [--gate-rate 1000] [--min-sustain 0.9]
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import platform
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.service import ServiceConfig, ServiceDaemon, run_loadgen
+from repro.traffic import TransferRequest
+
+NUM_DCS = 10
+CAPACITY = 100.0
+TOPOLOGY_SEED = 2012
+BATCH_SEED = 4012
+TICK_SECONDS = 0.25
+MAX_DEADLINE = 8
+MIN_SIZE = 1.0
+MAX_SIZE = 10.0
+
+
+def make_requests(count: int, seed: int):
+    rng = np.random.default_rng(seed)
+    requests = []
+    for _ in range(count):
+        src = int(rng.integers(0, NUM_DCS))
+        dst = int(rng.integers(0, NUM_DCS - 1))
+        if dst >= src:
+            dst += 1
+        size = float(rng.uniform(MIN_SIZE, MAX_SIZE))
+        deadline = int(rng.integers(2, MAX_DEADLINE + 1))
+        requests.append(TransferRequest(src, dst, size, deadline, release_slot=0))
+    return requests
+
+
+async def run_point(rate: float, count: int, workdir: str):
+    """One sweep point: fresh daemon + one paced replay, then drain."""
+    sock = str(Path(workdir) / f"bench-{int(rate)}.sock")
+    config = ServiceConfig(
+        socket_path=sock,
+        datacenters=NUM_DCS,
+        capacity=CAPACITY,
+        seed=TOPOLOGY_SEED,
+        max_deadline=MAX_DEADLINE,
+        tick_seconds=TICK_SECONDS,
+    )
+    daemon = ServiceDaemon(config)
+    await daemon.start()
+    try:
+        return await run_loadgen(
+            make_requests(count, BATCH_SEED + int(rate)),
+            socket_path=sock,
+            rate_per_min=rate,
+            drain=True,
+        )
+    finally:
+        await daemon.stop()
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "-o",
+        "--output",
+        default="benchmarks/results/BENCH_service.json",
+        help="where to write the JSON record",
+    )
+    parser.add_argument(
+        "--rates", type=float, nargs="+",
+        default=[100.0, 500.0, 1000.0, 2000.0, 5000.0],
+        help="offered rates to sweep, requests/minute",
+    )
+    parser.add_argument(
+        "--seconds", type=float, default=8.0,
+        help="seconds of traffic replayed per point (sets request count)",
+    )
+    parser.add_argument(
+        "--gate-rate", type=float, default=1000.0,
+        help="gate sustain + latency at rates up to this; 0 disables "
+        "the gates (informational mode for shared runners)",
+    )
+    parser.add_argument(
+        "--min-sustain", type=float, default=0.9,
+        help="minimum sustained/offered throughput ratio at gated rates",
+    )
+    args = parser.parse_args(argv)
+
+    rows = []
+    with tempfile.TemporaryDirectory() as workdir:
+        for rate in args.rates:
+            count = max(20, round(rate / 60.0 * args.seconds))
+            result = asyncio.run(run_point(rate, count, workdir))
+            summary = result.summary()
+            row = {"offered_per_min": rate, "requests": count, **summary}
+            rows.append(row)
+            print(
+                f"rate {rate:6.0f}/min: sustained "
+                f"{summary['throughput_per_min']:7.1f}/min "
+                f"admitted {summary['admitted']}/{summary['submitted']} "
+                f"decision p50 {summary['decision_p50_s']*1000:.1f}ms "
+                f"p99 {summary['decision_p99_s']*1000:.1f}ms "
+                f"wait p99 {summary['wait_p99_s']*1000:.0f}ms "
+                f"misses {summary['deadline_misses']}"
+            )
+
+    record = {
+        "benchmark": "service-throughput",
+        "scenario": {
+            "datacenters": NUM_DCS,
+            "capacity": CAPACITY,
+            "topology_seed": TOPOLOGY_SEED,
+            "batch_seed": BATCH_SEED,
+            "tick_seconds": TICK_SECONDS,
+            "max_deadline": MAX_DEADLINE,
+            "size_gb": [MIN_SIZE, MAX_SIZE],
+            "seconds_per_point": args.seconds,
+        },
+        "sweep": rows,
+        "gate_rate_per_min": args.gate_rate,
+        "min_sustain_ratio": args.min_sustain,
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+    }
+    with open(args.output, "w") as fh:
+        fh.write(json.dumps(record, indent=1) + "\n")
+    print(f"\nwrote {len(rows)} sweep points -> {args.output}")
+
+    failed = False
+    if args.gate_rate > 0:
+        for row in rows:
+            if row["offered_per_min"] > args.gate_rate:
+                continue
+            rate = row["offered_per_min"]
+            sustained = row["throughput_per_min"]
+            if sustained < args.min_sustain * rate:
+                print(
+                    f"FAIL: {rate:.0f}/min offered but only "
+                    f"{sustained:.1f}/min sustained "
+                    f"(< {args.min_sustain:.0%})",
+                    file=sys.stderr,
+                )
+                failed = True
+            if row["decision_p99_s"] >= TICK_SECONDS:
+                print(
+                    f"FAIL: p99 decision latency {row['decision_p99_s']:.3f}s "
+                    f"at {rate:.0f}/min is not under one tick "
+                    f"({TICK_SECONDS}s)",
+                    file=sys.stderr,
+                )
+                failed = True
+            if row["failed"] or row["deadline_misses"] or not row["drained"]:
+                print(
+                    f"FAIL: rate {rate:.0f}/min had failed="
+                    f"{row['failed']} misses={row['deadline_misses']} "
+                    f"drained={row['drained']}",
+                    file=sys.stderr,
+                )
+                failed = True
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

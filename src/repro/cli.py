@@ -15,6 +15,8 @@ Usage (after ``pip install -e .``)::
     python -m repro trace generate --datacenters 6 --slots 5 -o trace.json
     python -m repro trace run trace.json --scheduler postcard
     python -m repro report events.jsonl
+    python -m repro serve --port 0 --checkpoint-dir ckpt/
+    python -m repro loadgen --port 7411 --requests 200 --rate 1000 --drain
 
 ``--profile`` prints a per-stage timing/counter breakdown (graph build,
 LP compile/solve, audit) after the run; ``--obs-jsonl`` streams the raw
@@ -378,6 +380,161 @@ def _cmd_trace_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro import obs
+    from repro.errors import ServiceError
+    from repro.service import ServiceConfig, ServiceDaemon
+
+    try:
+        config = ServiceConfig(
+            host=args.host,
+            port=args.port,
+            socket_path=args.socket,
+            datacenters=args.datacenters,
+            capacity=args.capacity,
+            seed=args.seed,
+            scheduler=args.scheduler,
+            backend="resilient" if args.solver_chain else None,
+            max_deadline=args.max_deadline,
+            tick_seconds=args.tick_seconds,
+            max_queue=args.max_queue,
+            max_batch=args.max_batch,
+            checkpoint_dir=args.checkpoint_dir,
+            checkpoint_every=args.checkpoint_every,
+            max_slots=args.max_slots,
+        )
+    except ServiceError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+    registry = obs.get_registry()
+    try:
+        jsonl = obs.JsonlSink(args.obs_jsonl) if args.obs_jsonl else None
+    except OSError as exc:
+        print(f"error: cannot open {args.obs_jsonl}: {exc}", file=sys.stderr)
+        return 1
+    if jsonl is not None:
+        registry.add_sink(jsonl)
+
+    async def _run() -> None:
+        daemon = ServiceDaemon(config)
+        await daemon.start()
+        endpoint = (
+            config.endpoint
+            if config.socket_path
+            else f"tcp:{config.host}:{daemon.port}"
+        )
+        resumed = " (resumed from checkpoint)" if daemon.broker.resumed else ""
+        print(
+            f"serving on {endpoint} scheduler={config.scheduler} "
+            f"tick={config.tick_seconds}s queue<={config.max_queue}{resumed}",
+            flush=True,
+        )
+        try:
+            await daemon.run_until_stopped()
+        finally:
+            await daemon.stop()
+        stats = daemon.broker.stats()
+        print(
+            f"drained: slots={stats['slots']} submitted={stats['submitted']} "
+            f"admitted={stats['admitted']} rejected={stats['rejected']} "
+            f"checkpoints={stats['checkpoints']}",
+            flush=True,
+        )
+
+    try:
+        asyncio.run(_run())
+    except KeyboardInterrupt:
+        print("interrupted; state is only as fresh as the last checkpoint")
+        return 130
+    finally:
+        if jsonl is not None:
+            registry.remove_sink(jsonl)
+            jsonl.close()
+    return 0
+
+
+def _cmd_loadgen(args: argparse.Namespace) -> int:
+    import asyncio
+    import json as _json
+
+    from repro.errors import ServiceError
+    from repro.service import run_loadgen
+
+    if args.trace:
+        requests = load_requests(args.trace)
+    else:
+        topology = complete_topology(
+            args.datacenters, capacity=args.capacity, seed=args.seed
+        )
+        workload = PaperWorkload(
+            topology,
+            max_deadline=args.max_deadline,
+            max_files=args.max_files,
+            seed=args.seed,
+        )
+        requests = []
+        slot = 0
+        while len(requests) < args.requests:
+            requests.extend(workload.requests_at(slot))
+            slot += 1
+        requests = requests[: args.requests]
+    if not requests:
+        print("nothing to replay", file=sys.stderr)
+        return 1
+
+    try:
+        result = asyncio.run(
+            run_loadgen(
+                requests,
+                host=args.host,
+                port=args.port,
+                socket_path=args.socket,
+                rate_per_min=args.rate,
+                max_retries=args.max_retries,
+                drain=args.drain,
+            )
+        )
+    except (ServiceError, ConnectionError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+    summary = result.summary()
+    if args.json:
+        from pathlib import Path
+
+        Path(args.json).write_text(_json.dumps(summary, indent=2) + "\n")
+    print(
+        f"replayed {summary['submitted']}/{len(requests)} requests at "
+        f"{summary['throughput_per_min']} req/min "
+        f"(target {args.rate:g} req/min)"
+    )
+    print(
+        f"admitted={summary['admitted']} rejected={summary['rejected']} "
+        f"failed={summary['failed']} "
+        f"backpressure_retries={summary['backpressure_retries']} "
+        f"deadline_misses={summary['deadline_misses']}"
+    )
+    print(
+        f"latency: rtt p50={summary['rtt_p50_s']}s p99={summary['rtt_p99_s']}s | "
+        f"wait p99={summary['wait_p99_s']}s | "
+        f"decision p50={summary['decision_p50_s']}s "
+        f"p99={summary['decision_p99_s']}s"
+    )
+    if args.drain:
+        print("drain: clean" if result.drained else "drain: FAILED")
+    if args.expect_no_misses and (
+        summary["deadline_misses"] > 0
+        or summary["failed"] > 0
+        or (args.drain and not result.drained)
+    ):
+        print("gate failed: misses/failures detected", file=sys.stderr)
+        return 1
+    return 0
+
+
 def _looks_like_obs_events(path: str) -> bool:
     """True when the first JSON line is an observability event.
 
@@ -565,6 +722,103 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--capacity", type=float, default=30.0)
     p_run.add_argument("--seed", type=int, default=0)
     p_run.set_defaults(func=_cmd_trace_run)
+
+    p_serve = sub.add_parser(
+        "serve", help="run the transfer-broker daemon (see docs/SERVICE.md)"
+    )
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument(
+        "--port", type=int, default=7411, help="TCP port (0 = ephemeral)"
+    )
+    p_serve.add_argument(
+        "--socket", metavar="PATH", default=None,
+        help="serve on a unix socket instead of TCP",
+    )
+    p_serve.add_argument("--datacenters", type=int, default=10)
+    p_serve.add_argument("--capacity", type=float, default=100.0)
+    p_serve.add_argument("--max-deadline", type=int, default=16)
+    p_serve.add_argument("--seed", type=int, default=0)
+    p_serve.add_argument(
+        "--scheduler", choices=scheduler_names(), default="hybrid"
+    )
+    p_serve.add_argument(
+        "--solver-chain", action="store_true",
+        help="solve escalated slots through the resilient backend chain",
+    )
+    p_serve.add_argument(
+        "--tick-seconds", type=float, default=0.25,
+        help="virtual-slot tick; 0 = manual (slots advance on 'tick' "
+        "messages only)",
+    )
+    p_serve.add_argument(
+        "--max-queue", type=int, default=1024,
+        help="intake depth bound; beyond it submissions get "
+        "backpressure + retry-after",
+    )
+    p_serve.add_argument(
+        "--max-batch", type=int, default=0,
+        help="cap on requests per slot batch (0 = drain the whole queue)",
+    )
+    p_serve.add_argument(
+        "--checkpoint-dir", metavar="DIR", default=None,
+        help="snapshot state here every --checkpoint-every slots; a "
+        "restart resumes from the snapshot",
+    )
+    p_serve.add_argument("--checkpoint-every", type=int, default=5)
+    p_serve.add_argument(
+        "--max-slots", type=int, default=0,
+        help="stop after N slots (0 = run until drained); automatic "
+        "clock only",
+    )
+    p_serve.add_argument(
+        "--obs-jsonl", metavar="PATH",
+        help="stream service instrumentation events to PATH",
+    )
+    p_serve.set_defaults(func=_cmd_serve)
+
+    p_lg = sub.add_parser(
+        "loadgen", help="replay a traffic trace against a running daemon"
+    )
+    p_lg.add_argument("--host", default="127.0.0.1")
+    p_lg.add_argument("--port", type=int, default=7411)
+    p_lg.add_argument(
+        "--socket", metavar="PATH", default=None,
+        help="connect over a unix socket instead of TCP",
+    )
+    p_lg.add_argument(
+        "--trace", metavar="FILE", default=None,
+        help="replay an explicit trace (from `repro trace generate`); "
+        "otherwise a PaperWorkload trace is generated",
+    )
+    p_lg.add_argument(
+        "--requests", type=int, default=200,
+        help="number of generated requests (ignored with --trace)",
+    )
+    p_lg.add_argument(
+        "--rate", type=float, default=1000.0, help="submission rate, req/min"
+    )
+    p_lg.add_argument("--datacenters", type=int, default=10)
+    p_lg.add_argument("--capacity", type=float, default=100.0)
+    p_lg.add_argument("--max-deadline", type=int, default=8)
+    p_lg.add_argument("--max-files", type=int, default=6)
+    p_lg.add_argument("--seed", type=int, default=0)
+    p_lg.add_argument(
+        "--max-retries", type=int, default=8,
+        help="backpressure retries per request before counting it failed",
+    )
+    p_lg.add_argument(
+        "--drain", action="store_true",
+        help="send drain after the replay (flushes + stops the daemon)",
+    )
+    p_lg.add_argument(
+        "--expect-no-misses", action="store_true",
+        help="exit 1 if any admitted request missed its deadline or any "
+        "submission failed (CI gate)",
+    )
+    p_lg.add_argument(
+        "--json", metavar="PATH", help="also write the summary as JSON"
+    )
+    p_lg.set_defaults(func=_cmd_loadgen)
 
     p_report = sub.add_parser(
         "report",

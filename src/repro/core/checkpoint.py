@@ -15,8 +15,9 @@ the network it was taken from, so restore requires the same topology
 from __future__ import annotations
 
 import json
+from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Union
+from typing import Any, Dict, List, Optional, Union
 
 from repro.errors import SchedulingError
 from repro.core.state import NetworkState
@@ -25,6 +26,7 @@ from repro.net.topology import Topology
 PathLike = Union[str, Path]
 
 _VERSION = 1
+_SNAPSHOT_VERSION = 1
 
 
 def state_to_json(state: NetworkState) -> str:
@@ -131,3 +133,107 @@ def save_state(state: NetworkState, path: PathLike) -> None:
 def load_state(path: PathLike, topology: Topology) -> NetworkState:
     """Read a checkpoint file back against the same topology."""
     return state_from_json(Path(path).read_text(), topology)
+
+
+# -- service snapshots -----------------------------------------------------
+#
+# A long-running daemon needs more than the NetworkState to resume after
+# a crash: the requests that were accepted but not yet batched into a
+# slot, the next virtual slot index, and the request-id watermark (ids
+# are process-local; a restored process must not reuse ids that key the
+# snapshot's completions).  A *snapshot* wraps a state checkpoint with
+# exactly that, leaving the pending-entry schema to the caller (the
+# service encodes its own client ids and enqueue metadata there).
+
+
+@dataclass
+class ServiceSnapshot:
+    """A restored daemon snapshot: state + queue + clock + caller data."""
+
+    state: NetworkState
+    #: Opaque pending-queue entries, exactly as the writer passed them.
+    pending: List[Dict[str, Any]] = field(default_factory=list)
+    #: Next virtual slot the daemon should process.
+    next_slot: int = 0
+    #: Caller-owned metadata (the service keeps its decision log here).
+    meta: Dict[str, Any] = field(default_factory=dict)
+
+
+def snapshot_to_json(
+    state: NetworkState,
+    pending: Optional[List[Dict[str, Any]]] = None,
+    next_slot: int = 0,
+    meta: Optional[Dict[str, Any]] = None,
+) -> str:
+    """Serialize a daemon snapshot (state + pending queue + clock).
+
+    ``pending`` entries must be JSON-serializable dicts; they round-trip
+    verbatim.  The current process's request-id watermark is captured so
+    :func:`snapshot_from_json` can keep restored and future ids disjoint.
+    """
+    from repro.traffic.spec import peek_next_request_id
+
+    payload = {
+        "version": _SNAPSHOT_VERSION,
+        "kind": "postcard-snapshot",
+        "state": json.loads(state_to_json(state)),
+        "pending": list(pending or []),
+        "next_slot": int(next_slot),
+        "request_id_watermark": peek_next_request_id(),
+        "meta": dict(meta or {}),
+    }
+    return json.dumps(payload, indent=1)
+
+
+def snapshot_from_json(text: str, topology: Topology) -> ServiceSnapshot:
+    """Rebuild a :class:`ServiceSnapshot` against ``topology``.
+
+    Restores the embedded NetworkState (with the same shape checks as
+    :func:`state_from_json`) and advances the process-local request-id
+    counter past the snapshot's watermark, so requests created after the
+    restore never collide with completions restored from before it.
+    """
+    from repro.traffic.spec import ensure_request_ids_above
+
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise SchedulingError(f"snapshot is not valid JSON: {exc}") from exc
+    if payload.get("kind") != "postcard-snapshot":
+        raise SchedulingError("not a postcard service snapshot")
+    if payload.get("version") != _SNAPSHOT_VERSION:
+        raise SchedulingError(
+            f"unsupported snapshot version {payload.get('version')!r}"
+        )
+    state = state_from_json(json.dumps(payload["state"]), topology)
+    ensure_request_ids_above(int(payload.get("request_id_watermark", 0)))
+    return ServiceSnapshot(
+        state=state,
+        pending=list(payload.get("pending", [])),
+        next_slot=int(payload.get("next_slot", 0)),
+        meta=dict(payload.get("meta", {})),
+    )
+
+
+def save_snapshot(
+    state: NetworkState,
+    path: PathLike,
+    pending: Optional[List[Dict[str, Any]]] = None,
+    next_slot: int = 0,
+    meta: Optional[Dict[str, Any]] = None,
+) -> None:
+    """Write a daemon snapshot atomically (tmp file + rename).
+
+    Atomicity is what makes the crash-recovery story honest: a daemon
+    killed mid-write leaves either the previous snapshot or the new one,
+    never a torn file.
+    """
+    target = Path(path)
+    tmp = target.with_name(target.name + ".tmp")
+    tmp.write_text(snapshot_to_json(state, pending, next_slot, meta))
+    tmp.replace(target)
+
+
+def load_snapshot(path: PathLike, topology: Topology) -> ServiceSnapshot:
+    """Read a daemon snapshot back against the same topology."""
+    return snapshot_from_json(Path(path).read_text(), topology)

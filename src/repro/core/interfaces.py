@@ -39,6 +39,22 @@ class Scheduler(abc.ABC):
             internal lanes, but externally there is always exactly one.
         """
 
+    def adopt_state(self, state: "NetworkState") -> None:
+        """Replace this scheduler's state with a restored one.
+
+        The checkpoint workflow builds a fresh scheduler and hands it a
+        :class:`~repro.core.state.NetworkState` restored by
+        :mod:`repro.core.checkpoint`.  The default assumes the
+        conventional ``_state`` attribute every in-tree scheduler uses;
+        composite schedulers override it to re-point internal lanes and
+        any caches that hold a state reference.
+
+        Args:
+            state: The restored state; must be built against the same
+                topology this scheduler was constructed with.
+        """
+        self._state = state
+
     @abc.abstractmethod
     def on_slot(
         self, slot: int, requests: List["TransferRequest"]

@@ -73,3 +73,24 @@ class RecoveryError(SimulationError):
 
 class ObservabilityError(ReproError):
     """An instrumentation artifact (event file, sink) was invalid."""
+
+
+class ServiceError(ReproError):
+    """The transfer-broker daemon was used or configured incorrectly."""
+
+
+class ProtocolError(ServiceError):
+    """A wire message violated the service's NDJSON protocol."""
+
+
+class BackpressureError(ServiceError):
+    """The intake queue is saturated; the client should retry later.
+
+    Carries ``retry_after_s``, the server's estimate of when capacity
+    will free up (one virtual slot tick by default) — the value the
+    daemon echoes back in its reject-with-retry-after response.
+    """
+
+    def __init__(self, message: str = "intake queue is full", *, retry_after_s: float = 0.0):
+        super().__init__(message)
+        self.retry_after_s = retry_after_s

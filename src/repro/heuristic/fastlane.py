@@ -118,6 +118,16 @@ class FastLaneScheduler(Scheduler):
     def state(self) -> NetworkState:
         return self._state
 
+    def adopt_state(self, state: NetworkState) -> None:
+        """Re-point at a restored state (checkpoint resume path).
+
+        The utilization tracker holds a state reference, so it is
+        rebuilt alongside — a stale tracker would answer capacity
+        queries against the abandoned state.
+        """
+        self._state = state
+        self._tracker = UtilizationTracker(state)
+
     @property
     def tracker(self) -> UtilizationTracker:
         """The live utilization view (pending load of the current batch)."""
@@ -291,12 +301,17 @@ class FastLaneScheduler(Scheduler):
 
         ``dues`` maps a deadline slot to the volume that must have left
         by its end.  The sweep walks slots from ``last`` down to
-        ``first``; placing at slot ``n`` is capped so the volume parked
-        at slots ``>= n`` never exceeds what is *allowed* to be that
-        late (total minus the dues already binding at ``n - 1``) — that
-        single invariant implies every cumulative-due constraint.  With
-        ``headroom_first`` a free pass (paid-peak headroom only) runs
-        before the paid pass (full residual capacity).
+        ``first``; placing at slot ``n`` is capped so that, at every
+        cutoff ``m <= n``, the volume parked at slots ``>= m`` never
+        exceeds what is *allowed* to be that late (total minus the dues
+        already binding at ``m - 1``).  Within a single descending pass
+        the cutoff at ``n`` itself is the binding one, but a later
+        capacity pass placing at a slot *above* volume an earlier pass
+        already parked must recheck the lower cutoffs too — otherwise
+        the earlier placement silently consumes lateness budget the
+        later one then overdraws.  With ``headroom_first`` a free pass
+        (paid-peak headroom only) runs before the paid pass (full
+        residual capacity).
 
         Returns the slot -> volume sends, or ``None`` if the window
         cannot carry the dues.
@@ -329,6 +344,11 @@ class FastLaneScheduler(Scheduler):
                     v for m, v in sent.items() if m >= n
                 )
                 allowed = (total - due_through(n - 1)) - placed_at_or_after
+                for m in range(n - 1, first - 1, -1):
+                    placed_at_or_after += sent.get(m, 0.0)
+                    slack = (total - due_through(m - 1)) - placed_at_or_after
+                    if slack < allowed:
+                        allowed = slack
                 take = min(cap, allowed, remaining)
                 if take > VOLUME_ATOL:
                     sent[n] += take

@@ -119,6 +119,16 @@ class HybridScheduler(Scheduler):
         """The single ledger both lanes plan and commit against."""
         return self._lp.state
 
+    def adopt_state(self, state: NetworkState) -> None:
+        """Re-point both lanes at a restored state (checkpoint resume).
+
+        The shared-ledger invariant must survive the swap: the LP lane
+        and the fast lane (including its tracker) end up on the same
+        restored :class:`NetworkState`.
+        """
+        self._lp.adopt_state(state)
+        self._fast.adopt_state(state)
+
     @property
     def fast_lane(self) -> FastLaneScheduler:
         return self._fast

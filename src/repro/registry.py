@@ -75,11 +75,14 @@ def make_scheduler(
     topology: Topology,
     horizon: int,
     backend: Optional[str] = None,
+    **kwargs,
 ) -> Scheduler:
     """Instantiate a registered scheduler by name.
 
     ``backend`` overrides the LP solver (e.g. ``"resilient"`` for the
     retry/fallback chain); the non-optimizing baselines ignore it.
+    Extra keyword arguments are forwarded to the factory (e.g. the
+    service daemon tunes the hybrid's ``escalate_utilization`` here).
     """
     try:
         factory = _REGISTRY[name]
@@ -87,8 +90,8 @@ def make_scheduler(
         known = ", ".join(scheduler_names())
         raise ReproError(f"unknown scheduler {name!r}; available: {known}") from None
     if backend is not None:
-        return factory(topology, horizon, backend=backend)
-    return factory(topology, horizon)
+        kwargs["backend"] = backend
+    return factory(topology, horizon, **kwargs)
 
 
 def scheduler_factory(name: str) -> SchedulerFactory:

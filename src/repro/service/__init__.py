@@ -1,0 +1,29 @@
+"""repro.service: the async transfer-broker daemon (PR 5).
+
+A long-running front end over the scheduling stack: clients submit
+transfer requests over a newline-delimited-JSON socket protocol, the
+daemon batches arrivals per virtual slot into ``K(t)``, drives the
+hybrid scheduler over one shared ledger, applies backpressure when the
+intake queue saturates, and checkpoints so a killed process resumes
+mid-charging-period.  See docs/SERVICE.md.
+"""
+
+from repro.service.config import ServiceConfig
+from repro.service.intake import IntakeQueue, PendingTransfer
+from repro.service.loadgen import LoadGenResult, percentile, run_loadgen
+from repro.service.server import ServiceDaemon, serve
+from repro.service.slotloop import TransferBroker
+from repro.service.store import SnapshotStore
+
+__all__ = [
+    "IntakeQueue",
+    "LoadGenResult",
+    "PendingTransfer",
+    "ServiceConfig",
+    "ServiceDaemon",
+    "SnapshotStore",
+    "TransferBroker",
+    "percentile",
+    "run_loadgen",
+    "serve",
+]

@@ -1,0 +1,98 @@
+"""Configuration of the transfer-broker daemon.
+
+One frozen-ish dataclass holds everything the daemon needs to be
+rebuilt identically after a restart: the listening endpoint, the
+topology parameters (the topology itself is a pure function of them,
+which is what lets a checkpoint restore onto "the same network"), the
+scheduler choice, the slot clock, and the intake / checkpoint policies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.errors import ServiceError
+from repro.net.generators import complete_topology
+from repro.net.topology import Topology
+
+#: Seconds per virtual slot when none is configured.
+DEFAULT_TICK_SECONDS = 0.25
+
+
+@dataclass
+class ServiceConfig:
+    """Everything needed to (re)build one transfer-broker daemon.
+
+    Endpoint: set ``socket_path`` for a unix socket, or ``host``/``port``
+    for TCP (``socket_path`` wins when both are given).  ``tick_seconds``
+    is the virtual slot length — the daemon batches all requests that
+    arrive within one tick into a single ``K(t)``; ``tick_seconds=0``
+    disables the automatic clock entirely, and slots advance only on
+    explicit ``tick`` protocol messages (the deterministic mode tests
+    and the crash-resume harness rely on).
+
+    ``horizon`` bounds the ledger window; submissions whose deadline
+    would cross it are refused (multi-period rollover is an open item,
+    see ROADMAP.md).  ``max_queue`` bounds the intake queue — the
+    backpressure threshold.  ``max_batch=0`` drains the whole queue into
+    each slot.  ``checkpoint_every=N`` snapshots state + pending queue
+    every N processed slots into ``checkpoint_dir`` (no persistence when
+    the directory is unset).
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 7411
+    socket_path: Optional[str] = None
+
+    datacenters: int = 10
+    capacity: float = 100.0
+    seed: int = 0
+
+    scheduler: str = "hybrid"
+    backend: Optional[str] = None
+    horizon: int = 4096
+    max_deadline: int = 16
+
+    tick_seconds: float = DEFAULT_TICK_SECONDS
+    max_queue: int = 1024
+    max_batch: int = 0
+
+    checkpoint_dir: Optional[str] = None
+    checkpoint_every: int = 5
+
+    #: Stop after this many processed slots (0 = run until drained).
+    max_slots: int = 0
+
+    def __post_init__(self) -> None:
+        if self.datacenters < 2:
+            raise ServiceError("service needs at least 2 datacenters")
+        if self.capacity <= 0:
+            raise ServiceError("capacity must be positive")
+        if self.horizon < 2:
+            raise ServiceError("horizon must be >= 2 slots")
+        if not 1 <= self.max_deadline < self.horizon:
+            raise ServiceError(
+                f"need 1 <= max_deadline < horizon, got {self.max_deadline}"
+            )
+        if self.tick_seconds < 0:
+            raise ServiceError("tick_seconds must be non-negative")
+        if self.max_queue < 1:
+            raise ServiceError("max_queue must be >= 1")
+        if self.max_batch < 0:
+            raise ServiceError("max_batch must be non-negative")
+        if self.checkpoint_every < 1:
+            raise ServiceError("checkpoint_every must be >= 1")
+
+    def topology(self) -> Topology:
+        """The (deterministic) network this daemon brokers transfers on."""
+        return complete_topology(
+            self.datacenters, capacity=self.capacity, seed=self.seed
+        )
+
+    @property
+    def endpoint(self) -> str:
+        """Human-readable listening endpoint."""
+        if self.socket_path:
+            return f"unix:{self.socket_path}"
+        return f"tcp:{self.host}:{self.port}"

@@ -1,0 +1,121 @@
+"""The bounded intake queue between the wire and the slot loop.
+
+Accepted submissions wait here until the next virtual-slot tick drains
+them into a batch ``K(t)``.  The queue has an explicit depth bound —
+when it saturates the daemon *rejects with retry-after* instead of
+buffering without limit, which is what keeps a surge from turning into
+unbounded memory growth and seconds-long admission latency.  The
+retry-after estimate is proportional to how many ticks the backlog
+needs to clear at the configured batch size.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.errors import BackpressureError
+from repro.obs import registry as obs
+
+
+@dataclass
+class PendingTransfer:
+    """One accepted submission waiting for its slot.
+
+    ``waiter`` is an ``asyncio.Future`` the server parks the client's
+    response on; the synchronous broker core leaves it ``None`` and
+    callers read the decision log instead.
+    """
+
+    client_id: str
+    source: int
+    destination: int
+    size_gb: float
+    deadline_slots: int
+    enqueued_at: float = field(default_factory=time.perf_counter)
+    waiter: Optional[Any] = None
+
+    def to_payload(self) -> Dict[str, Any]:
+        """The checkpoint representation (waiters don't survive a crash)."""
+        return {
+            "id": self.client_id,
+            "source": self.source,
+            "destination": self.destination,
+            "size_gb": self.size_gb,
+            "deadline_slots": self.deadline_slots,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Dict[str, Any]) -> "PendingTransfer":
+        return cls(
+            client_id=str(payload["id"]),
+            source=int(payload["source"]),
+            destination=int(payload["destination"]),
+            size_gb=float(payload["size_gb"]),
+            deadline_slots=int(payload["deadline_slots"]),
+        )
+
+
+class IntakeQueue:
+    """FIFO of :class:`PendingTransfer` with a hard depth bound.
+
+    ``offer`` raises :class:`BackpressureError` (with a retry-after
+    estimate) at the bound; ``drain`` pops up to one batch in arrival
+    order.  Arrival order is part of the service's determinism story:
+    identical submission sequences produce identical batches, hence
+    identical schedules.
+    """
+
+    def __init__(self, max_depth: int, tick_seconds: float, max_batch: int = 0):
+        self.max_depth = max_depth
+        self.tick_seconds = tick_seconds
+        self.max_batch = max_batch
+        self._queue: deque = deque()
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    @property
+    def depth(self) -> int:
+        return len(self._queue)
+
+    def retry_after(self) -> float:
+        """Ticks needed to clear the backlog, in seconds (>= one tick)."""
+        tick = self.tick_seconds or 1.0
+        per_slot = self.max_batch or max(1, self.max_depth)
+        backlog_ticks = max(1, -(-len(self._queue) // per_slot))
+        return round(backlog_ticks * tick, 6)
+
+    def offer(self, pending: PendingTransfer) -> None:
+        """Enqueue, or raise :class:`BackpressureError` at the bound."""
+        if len(self._queue) >= self.max_depth:
+            obs.counter("service.backpressure")
+            raise BackpressureError(
+                f"intake queue is full ({self.max_depth} pending)",
+                retry_after_s=self.retry_after(),
+            )
+        self._queue.append(pending)
+        obs.gauge("service.queue_depth", len(self._queue))
+
+    def requeue_front(self, items: List[PendingTransfer]) -> None:
+        """Put restored checkpoint entries back ahead of live arrivals."""
+        for pending in reversed(items):
+            self._queue.appendleft(pending)
+
+    def drain(self) -> List[PendingTransfer]:
+        """Pop the next slot's batch (whole queue when ``max_batch=0``)."""
+        limit = self.max_batch or len(self._queue)
+        batch = []
+        while self._queue and len(batch) < limit:
+            batch.append(self._queue.popleft())
+        return batch
+
+    def contains(self, client_id: str) -> bool:
+        """True while a submission with this id is waiting for a slot."""
+        return any(pending.client_id == client_id for pending in self._queue)
+
+    def snapshot_payloads(self) -> List[Dict[str, Any]]:
+        """Checkpoint encoding of everything still waiting."""
+        return [pending.to_payload() for pending in self._queue]

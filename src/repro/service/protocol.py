@@ -1,0 +1,115 @@
+"""The daemon's wire protocol: newline-delimited JSON messages.
+
+One request per line, one JSON object per request; responses are also
+single lines and always carry ``ok`` plus the request's ``op`` (and
+``id`` for per-transfer operations), so a client may pipeline requests
+on one connection and match responses out of order.
+
+Operations::
+
+    {"op": "submit", "id": "job-17", "source": 0, "destination": 3,
+     "size_gb": 12.5, "deadline_slots": 4}
+    {"op": "status", "id": "job-17"}
+    {"op": "stats"}
+    {"op": "drain"}
+    {"op": "tick"}          # only honored when the slot clock is manual
+    {"op": "ping"}
+
+A ``submit`` is answered after the slot that batches it is processed
+(decision: ``admitted`` or ``rejected``), or immediately with
+``{"ok": false, "error": "backpressure", "retry_after_s": ...}`` when
+the intake queue is saturated.  ``id`` is the client's idempotency key:
+resubmitting a known id returns the recorded decision instead of
+scheduling the transfer twice.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict
+
+from repro.errors import ProtocolError
+
+PROTOCOL_VERSION = 1
+
+#: Operations a client may send.
+OPS = ("submit", "status", "stats", "drain", "tick", "ping")
+
+#: Maximum accepted line length (a parse bound, not a data-plane limit —
+#: the payload is a description of a transfer, not the transfer itself).
+MAX_LINE_BYTES = 64 * 1024
+
+
+def encode(message: Dict[str, Any]) -> bytes:
+    """One protocol message as a newline-terminated JSON line."""
+    return (json.dumps(message, separators=(",", ":")) + "\n").encode()
+
+
+def decode_line(line: bytes) -> Dict[str, Any]:
+    """Parse one wire line into a message dict.
+
+    Raises :class:`ProtocolError` on anything that is not a single JSON
+    object with a known ``op`` — the server answers those with an
+    ``invalid`` error instead of dropping the connection.
+    """
+    if len(line) > MAX_LINE_BYTES:
+        raise ProtocolError(f"message exceeds {MAX_LINE_BYTES} bytes")
+    try:
+        message = json.loads(line.decode("utf-8", errors="strict"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"message is not valid JSON: {exc}") from exc
+    if not isinstance(message, dict):
+        raise ProtocolError("message must be a JSON object")
+    op = message.get("op")
+    if op not in OPS:
+        known = ", ".join(OPS)
+        raise ProtocolError(f"unknown op {op!r}; expected one of: {known}")
+    return message
+
+
+def validate_submit(message: Dict[str, Any], max_deadline: int) -> Dict[str, Any]:
+    """Normalize a ``submit`` message's transfer fields.
+
+    Returns ``{"id", "source", "destination", "size_gb",
+    "deadline_slots"}`` with coerced types; raises
+    :class:`ProtocolError` on missing/invalid fields.  Validation here
+    mirrors :class:`~repro.traffic.spec.TransferRequest`'s own invariants
+    so a bad submit is refused at the wire instead of exploding inside
+    the slot loop.
+    """
+    client_id = message.get("id")
+    if not isinstance(client_id, str) or not client_id:
+        raise ProtocolError("submit needs a non-empty string 'id'")
+    try:
+        source = int(message["source"])
+        destination = int(message["destination"])
+        size_gb = float(message["size_gb"])
+        deadline = int(message["deadline_slots"])
+    except KeyError as exc:
+        raise ProtocolError(f"submit missing field {exc}") from exc
+    except (TypeError, ValueError) as exc:
+        raise ProtocolError(f"submit field is malformed: {exc}") from exc
+    if source == destination:
+        raise ProtocolError(f"source equals destination ({source})")
+    if size_gb <= 0:
+        raise ProtocolError(f"size_gb must be positive, got {size_gb}")
+    if deadline < 1:
+        raise ProtocolError(f"deadline_slots must be >= 1, got {deadline}")
+    if deadline > max_deadline:
+        raise ProtocolError(
+            f"deadline_slots {deadline} exceeds the service cap {max_deadline}"
+        )
+    return {
+        "id": client_id,
+        "source": source,
+        "destination": destination,
+        "size_gb": size_gb,
+        "deadline_slots": deadline,
+    }
+
+
+def error_response(op: str, error: str, message: str, **extra: Any) -> Dict[str, Any]:
+    """A failure line: ``{"ok": false, "op", "error", "message", ...}``."""
+    response = {"ok": False, "op": op, "error": error, "message": message}
+    response.update(extra)
+    return response

@@ -1,0 +1,298 @@
+"""The asyncio daemon: sockets, the slot clock, and response delivery.
+
+:class:`ServiceDaemon` wraps a :class:`~repro.service.slotloop.TransferBroker`
+with a TCP or unix-socket listener speaking the NDJSON protocol of
+:mod:`repro.service.protocol`.  Clients pipeline requests; ``submit``
+responses are parked on futures and delivered after the slot that
+batches them is processed (and, when due, checkpointed).  A background
+task fires :meth:`TransferBroker.process_slot` every
+``config.tick_seconds``; with ``tick_seconds=0`` the clock is manual
+and slots advance only on ``tick`` messages — the mode deterministic
+tests and the crash-resume harness use.
+
+``drain`` stops intake, flushes the queue slot by slot, writes a final
+snapshot, answers ``{"drained": true}``, and shuts the daemon down.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+from typing import Any, Dict, Optional
+
+from repro.errors import BackpressureError, ProtocolError, ReproError, ServiceError
+from repro.obs import registry as obs
+from repro.service import protocol
+from repro.service.config import ServiceConfig
+from repro.service.intake import PendingTransfer
+from repro.service.slotloop import TransferBroker
+
+
+class ServiceDaemon:
+    """One listening transfer broker; ``await serve(config)`` to run."""
+
+    def __init__(self, config: ServiceConfig):
+        self.config = config
+        self.broker = TransferBroker(config)
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._clock_task: Optional[asyncio.Task] = None
+        self._stopped = asyncio.Event()
+        self._draining = False
+
+    # -- lifecycle ---------------------------------------------------------
+
+    async def start(self) -> None:
+        """Bind the socket and start the slot clock (if automatic)."""
+        if self.config.socket_path:
+            self._server = await asyncio.start_unix_server(
+                self._handle_client, path=self.config.socket_path
+            )
+        else:
+            self._server = await asyncio.start_server(
+                self._handle_client, host=self.config.host, port=self.config.port
+            )
+        if self.config.tick_seconds > 0:
+            self._clock_task = asyncio.create_task(self._slot_clock())
+
+    async def run_until_stopped(self) -> None:
+        """Serve until ``drain`` (or ``stop``) completes."""
+        await self._stopped.wait()
+
+    async def stop(self) -> None:
+        """Tear the listener and clock down; idempotent."""
+        if self._clock_task is not None:
+            self._clock_task.cancel()
+            with contextlib.suppress(asyncio.CancelledError):
+                await self._clock_task
+            self._clock_task = None
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        self._stopped.set()
+
+    @property
+    def port(self) -> Optional[int]:
+        """The bound TCP port (for ``port=0`` ephemeral binds)."""
+        if self._server is None or self.config.socket_path:
+            return None
+        return self._server.sockets[0].getsockname()[1]
+
+    # -- the slot clock ----------------------------------------------------
+
+    async def _slot_clock(self) -> None:
+        while True:
+            await asyncio.sleep(self.config.tick_seconds)
+            self._run_slot()
+            if self.config.max_slots and (
+                self.broker.next_slot >= self.config.max_slots
+            ):
+                # Detach before stop() so it doesn't cancel this task.
+                self._clock_task = None
+                await self.stop()
+                return
+
+    def _run_slot(self) -> None:
+        """Process one slot and deliver its decisions to waiters."""
+        try:
+            resolutions = self.broker.process_slot()
+        except ReproError as exc:
+            # A scheduler/solver failure must not wedge clients forever:
+            # fail every waiter parked on this batch's (now-lost) slot.
+            self._fail_waiters(exc)
+            return
+        for pending, record in resolutions:
+            self._resolve(pending, {"ok": True, "op": "submit", **record})
+
+    def _fail_waiters(self, exc: Exception) -> None:
+        # process_slot requeues the failed batch before raising, so
+        # draining the queue reaches every stranded submission.
+        while self.broker.queue.depth:
+            for pending in self.broker.queue.drain():
+                self._resolve(
+                    pending,
+                    protocol.error_response(
+                        "submit", "internal", str(exc), id=pending.client_id
+                    ),
+                )
+
+    @staticmethod
+    def _resolve(pending: PendingTransfer, response: Dict[str, Any]) -> None:
+        waiter = pending.waiter
+        if waiter is not None and not waiter.done():
+            waiter.set_result(response)
+
+    # -- connection handling -----------------------------------------------
+
+    async def _handle_client(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        obs.counter("service.connections")
+        lock = asyncio.Lock()
+        deferred = set()
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                if not line.strip():
+                    continue
+                await self._dispatch(line, writer, lock, deferred)
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        except asyncio.CancelledError:
+            # Shutdown cancels in-flight handlers; the noise of letting
+            # this propagate is asyncio logging a spurious traceback.
+            pass
+        finally:
+            for task in deferred:
+                task.cancel()
+            writer.close()
+            # CancelledError included: stop() cancels handlers that are
+            # parked right here, and that must stay quiet too.
+            with contextlib.suppress(Exception, asyncio.CancelledError):
+                await writer.wait_closed()
+
+    async def _dispatch(self, line, writer, lock, deferred) -> None:
+        try:
+            message = protocol.decode_line(line)
+        except ProtocolError as exc:
+            await self._send(
+                writer, lock, protocol.error_response("?", "invalid", str(exc))
+            )
+            return
+        op = message["op"]
+        if op == "submit":
+            await self._handle_submit(message, writer, lock, deferred)
+        elif op == "status":
+            client_id = str(message.get("id", ""))
+            await self._send(
+                writer,
+                lock,
+                {"ok": True, "op": "status", "id": client_id,
+                 **self.broker.status(client_id)},
+            )
+        elif op == "stats":
+            await self._send(
+                writer, lock, {"ok": True, "op": "stats", **self.broker.stats()}
+            )
+        elif op == "ping":
+            await self._send(
+                writer,
+                lock,
+                {"ok": True, "op": "ping",
+                 "version": protocol.PROTOCOL_VERSION},
+            )
+        elif op == "tick":
+            await self._handle_tick(writer, lock)
+        elif op == "drain":
+            await self._handle_drain(writer, lock)
+
+    async def _handle_submit(self, message, writer, lock, deferred) -> None:
+        try:
+            fields = protocol.validate_submit(message, self.config.max_deadline)
+        except ProtocolError as exc:
+            await self._send(
+                writer,
+                lock,
+                protocol.error_response(
+                    "submit", "invalid", str(exc), id=message.get("id")
+                ),
+            )
+            return
+        waiter = asyncio.get_running_loop().create_future()
+        try:
+            outcome, value = self.broker.submit(fields, waiter)
+        except BackpressureError as exc:
+            await self._send(
+                writer,
+                lock,
+                protocol.error_response(
+                    "submit", "backpressure", str(exc),
+                    id=fields["id"], retry_after_s=exc.retry_after_s,
+                ),
+            )
+            return
+        except ServiceError as exc:
+            await self._send(
+                writer,
+                lock,
+                protocol.error_response(
+                    "submit", "refused", str(exc), id=fields["id"]
+                ),
+            )
+            return
+        if outcome == "decided":
+            await self._send(
+                writer, lock,
+                {"ok": True, "op": "submit", "cached": True, **value},
+            )
+            return
+
+        async def deliver() -> None:
+            response = await waiter
+            await self._send(writer, lock, response)
+
+        task = asyncio.create_task(deliver())
+        deferred.add(task)
+        task.add_done_callback(deferred.discard)
+
+    async def _handle_tick(self, writer, lock) -> None:
+        if self.config.tick_seconds > 0:
+            await self._send(
+                writer,
+                lock,
+                protocol.error_response(
+                    "tick", "refused",
+                    "slot clock is automatic; tick is only valid with "
+                    "tick_seconds=0",
+                ),
+            )
+            return
+        slot = self.broker.next_slot
+        self._run_slot()
+        await self._send(
+            writer, lock,
+            {"ok": True, "op": "tick", "slot": slot,
+             "next_slot": self.broker.next_slot},
+        )
+
+    async def _handle_drain(self, writer, lock) -> None:
+        self._draining = True
+        try:
+            resolutions = self.broker.drain_remaining()
+        except ReproError as exc:
+            await self._send(
+                writer, lock,
+                protocol.error_response("drain", "internal", str(exc)),
+            )
+            return
+        for pending, record in resolutions:
+            self._resolve(pending, {"ok": True, "op": "submit", **record})
+        # Give deferred submit-deliveries a chance to flush before the
+        # drain ack — clients treat the ack as "all decisions are out".
+        await asyncio.sleep(0)
+        await self._send(
+            writer, lock,
+            {"ok": True, "op": "drain", "drained": True,
+             **self.broker.stats()},
+        )
+        await self.stop()
+
+    @staticmethod
+    async def _send(writer, lock, message: Dict[str, Any]) -> None:
+        async with lock:
+            writer.write(protocol.encode(message))
+            with contextlib.suppress(ConnectionResetError, BrokenPipeError):
+                await writer.drain()
+
+
+async def serve(config: ServiceConfig) -> ServiceDaemon:
+    """Start a daemon and block until it drains; returns it (stopped)."""
+    daemon = ServiceDaemon(config)
+    await daemon.start()
+    try:
+        await daemon.run_until_stopped()
+    finally:
+        await daemon.stop()
+    return daemon

@@ -1,0 +1,279 @@
+"""The broker core: intake -> slot batch -> scheduler -> decisions.
+
+:class:`TransferBroker` is the synchronous heart of the daemon, kept
+free of sockets and event loops so tests (and the crash-resume harness)
+can drive it slot by slot deterministically.  Each
+:meth:`~TransferBroker.process_slot` call is one virtual slot ``t``:
+drain the intake queue into the batch ``K(t)``, hand it to the
+configured scheduler (hybrid by default — fast lane with LP
+escalation) over the broker's single :class:`NetworkState`, read the
+per-request outcomes back from the state's completion/rejection
+records, checkpoint if due, and return the decisions for the server to
+push to waiting clients.
+
+Durability contract: the snapshot (state + still-queued submissions +
+decision log) is written *before* decisions are handed back, so any
+response a client has seen from a checkpointed slot survives a crash.
+Slots after the last checkpoint roll back atomically with their ledger
+commitments — clients that resubmit get a fresh, consistent decision
+(see docs/SERVICE.md).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.errors import ServiceError
+from repro.obs import registry as obs
+from repro.registry import make_scheduler
+from repro.service.config import ServiceConfig
+from repro.service.intake import IntakeQueue, PendingTransfer
+from repro.service.store import SnapshotStore
+from repro.traffic.spec import TransferRequest
+
+DECISION_ADMITTED = "admitted"
+DECISION_REJECTED = "rejected"
+
+#: One resolved submission: the pending entry and its decision record.
+Resolution = Tuple[PendingTransfer, Dict[str, Any]]
+
+
+class TransferBroker:
+    """Request intake, slot batching, and decision bookkeeping.
+
+    Parameters
+    ----------
+    config:
+        The daemon's :class:`ServiceConfig`.  When it names a
+        ``checkpoint_dir`` holding a snapshot, the broker *resumes*:
+        billing state, queued submissions, the virtual clock, and the
+        decision log all pick up where the dead process stopped.
+    """
+
+    def __init__(self, config: ServiceConfig):
+        self.config = config
+        self.topology = config.topology()
+        self.queue = IntakeQueue(
+            config.max_queue, config.tick_seconds, config.max_batch
+        )
+        self.store = (
+            SnapshotStore(config.checkpoint_dir) if config.checkpoint_dir else None
+        )
+        self.scheduler = make_scheduler(
+            config.scheduler, self.topology, config.horizon, backend=config.backend
+        )
+        #: client id -> decision record (the idempotency/status log).
+        self.decisions: Dict[str, Dict[str, Any]] = {}
+        #: Next virtual slot to process.
+        self.next_slot = 0
+        self.draining = False
+        self.resumed = False
+        self.counts = {"submitted": 0, "admitted": 0, "rejected": 0,
+                       "backpressured": 0, "slots": 0, "batches": 0}
+        self._dirty = False
+
+        snapshot = self.store.load(self.topology) if self.store else None
+        if snapshot is not None:
+            self.scheduler.adopt_state(snapshot.state)
+            self.queue.requeue_front(
+                [PendingTransfer.from_payload(p) for p in snapshot.pending]
+            )
+            self.next_slot = snapshot.next_slot
+            self.decisions = dict(snapshot.meta.get("decisions", {}))
+            restored = snapshot.meta.get("counts", {})
+            for key in self.counts:
+                self.counts[key] = int(restored.get(key, 0))
+            self.resumed = True
+
+    @property
+    def state(self):
+        """The single NetworkState all slots commit into."""
+        return self.scheduler.state
+
+    # -- intake ------------------------------------------------------------
+
+    def submit(
+        self, fields: Dict[str, Any], waiter: Optional[Any] = None
+    ) -> Tuple[str, Any]:
+        """Accept one validated submission.
+
+        Returns ``("decided", record)`` for an id already decided (the
+        idempotent-retry path), or ``("pending", PendingTransfer)`` once
+        queued.  Raises :class:`BackpressureError` when the intake queue
+        is saturated and :class:`ServiceError` when the daemon is
+        draining or the transfer's deadline would cross the ledger
+        horizon.
+        """
+        client_id = fields["id"]
+        known = self.decisions.get(client_id)
+        if known is not None:
+            return "decided", known
+        if self.queue.contains(client_id):
+            raise ServiceError(f"submission {client_id!r} is already pending")
+        if self.draining:
+            raise ServiceError("service is draining; not accepting submissions")
+        if self.next_slot + fields["deadline_slots"] + 1 > self.config.horizon:
+            raise ServiceError(
+                f"deadline would cross the service horizon "
+                f"({self.config.horizon} slots); multi-period rollover is "
+                "not supported yet"
+            )
+        pending = PendingTransfer(
+            client_id=client_id,
+            source=fields["source"],
+            destination=fields["destination"],
+            size_gb=fields["size_gb"],
+            deadline_slots=fields["deadline_slots"],
+            waiter=waiter,
+        )
+        try:
+            self.queue.offer(pending)
+        except Exception:
+            self.counts["backpressured"] += 1
+            raise
+        self.counts["submitted"] += 1
+        obs.counter("service.submitted")
+        return "pending", pending
+
+    def status(self, client_id: str) -> Dict[str, Any]:
+        """The lifecycle state of one submission id."""
+        known = self.decisions.get(client_id)
+        if known is not None:
+            return {"state": known["decision"], "decision": known}
+        if self.queue.contains(client_id):
+            return {"state": "pending"}
+        return {"state": "unknown"}
+
+    # -- the slot loop -----------------------------------------------------
+
+    def process_slot(self) -> List[Resolution]:
+        """Run one virtual slot; returns the decisions it produced.
+
+        An empty queue still advances the clock (a slot with no
+        arrivals is a real, billable-by-silence interval), but skips
+        the scheduler and the checkpoint cadence check when nothing
+        changed.
+        """
+        slot = self.next_slot
+        batch = self.queue.drain()
+        if not batch:
+            self.next_slot = slot + 1
+            self.counts["slots"] += 1
+            return []
+
+        obs.gauge("service.batch_size", len(batch))
+        obs.gauge("service.queue_depth", self.queue.depth)
+        by_request_id: Dict[int, PendingTransfer] = {}
+        requests: List[TransferRequest] = []
+        for pending in batch:
+            request = TransferRequest(
+                pending.source,
+                pending.destination,
+                pending.size_gb,
+                pending.deadline_slots,
+                release_slot=slot,
+            )
+            by_request_id[request.request_id] = pending
+            requests.append(request)
+
+        escalations_before = getattr(self.scheduler, "escalations", 0)
+        try:
+            with obs.timed_span(
+                "service.slot", slot=slot, batch=len(batch)
+            ) as slot_span:
+                self.scheduler.on_slot(slot, requests)
+        except Exception:
+            # A failed slot must not strand its batch: put it back so
+            # the caller can fail (or retry) the parked waiters.
+            self.queue.requeue_front(batch)
+            raise
+        decision_s = slot_span.seconds
+        lane = (
+            "lp"
+            if getattr(self.scheduler, "escalations", 0) > escalations_before
+            else "fast"
+        )
+
+        now = time.perf_counter()
+        resolutions: List[Resolution] = []
+        for request in requests:
+            pending = by_request_id[request.request_id]
+            completion = self.state.completions.get(request.request_id)
+            admitted = completion is not None
+            record = {
+                "id": pending.client_id,
+                "decision": DECISION_ADMITTED if admitted else DECISION_REJECTED,
+                "slot": slot,
+                "release_slot": slot,
+                "deadline_slot": request.last_slot,
+                "completion_slot": completion,
+                "lane": lane,
+                "wait_s": round(now - pending.enqueued_at, 6),
+                "decision_s": round(decision_s, 6),
+            }
+            self.decisions[pending.client_id] = record
+            self.counts["admitted" if admitted else "rejected"] += 1
+            obs.counter("service.admitted" if admitted else "service.rejected")
+            resolutions.append((pending, record))
+        obs.gauge("service.admission_latency_s", decision_s)
+
+        self.counts["slots"] += 1
+        self.counts["batches"] += 1
+        self._dirty = True
+        self.next_slot = slot + 1
+        if self.store and (
+            self.draining or self.next_slot % self.config.checkpoint_every == 0
+        ):
+            self.checkpoint()
+        return resolutions
+
+    def drain_remaining(self) -> List[Resolution]:
+        """Refuse new intake, flush the queue slot by slot, checkpoint.
+
+        Returns every decision made while draining.  Always writes a
+        final snapshot (when a store is configured), even if the queue
+        was already empty — the shutdown must be resumable.
+        """
+        self.draining = True
+        resolved: List[Resolution] = []
+        while self.queue.depth > 0:
+            resolved.extend(self.process_slot())
+        if self.store:
+            self.checkpoint()
+        return resolved
+
+    # -- persistence -------------------------------------------------------
+
+    def checkpoint(self) -> None:
+        """Snapshot state + queue + clock + decision log (atomic)."""
+        if self.store is None:
+            raise ServiceError("no checkpoint directory configured")
+        self.store.save(
+            self.state,
+            self.queue.snapshot_payloads(),
+            self.next_slot,
+            meta={"decisions": self.decisions, "counts": self.counts},
+        )
+        self._dirty = False
+
+    # -- reporting ---------------------------------------------------------
+
+    def stats(self) -> Dict[str, Any]:
+        """The ``stats`` protocol response body."""
+        return {
+            "endpoint": self.config.endpoint,
+            "scheduler": self.config.scheduler,
+            "datacenters": self.config.datacenters,
+            "tick_seconds": self.config.tick_seconds,
+            "next_slot": self.next_slot,
+            "queue_depth": self.queue.depth,
+            "max_queue": self.config.max_queue,
+            "draining": self.draining,
+            "resumed": self.resumed,
+            "cost_per_slot": round(self.state.current_cost_per_slot(), 6),
+            "escalations": getattr(self.scheduler, "escalations", 0),
+            "fast_slots": getattr(self.scheduler, "fast_slots", 0),
+            "checkpoints": self.store.saves if self.store else 0,
+            **self.counts,
+        }

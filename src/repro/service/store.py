@@ -1,0 +1,56 @@
+"""Snapshot persistence for the daemon: save/load via core/checkpoint.
+
+The store owns one directory with one ``snapshot.json`` (written
+atomically by :func:`repro.core.checkpoint.save_snapshot`).  A snapshot
+captures the full resume set: the NetworkState's billing accounting,
+the pending intake queue, the next virtual slot, and the decision log —
+so a daemon killed between slots restarts mid-charging-period without
+losing billed-volume history or double-charging replayed work.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+from repro.core.checkpoint import ServiceSnapshot, load_snapshot, save_snapshot
+from repro.core.state import NetworkState
+from repro.net.topology import Topology
+from repro.obs import registry as obs
+
+SNAPSHOT_NAME = "snapshot.json"
+
+
+class SnapshotStore:
+    """Atomic snapshot files under one checkpoint directory."""
+
+    def __init__(self, directory: str):
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        #: Snapshots written by this process (stats surface this).
+        self.saves = 0
+
+    @property
+    def path(self) -> Path:
+        return self.directory / SNAPSHOT_NAME
+
+    def exists(self) -> bool:
+        return self.path.exists()
+
+    def save(
+        self,
+        state: NetworkState,
+        pending: List[Dict[str, Any]],
+        next_slot: int,
+        meta: Dict[str, Any],
+    ) -> None:
+        with obs.span("service.checkpoint", slot=next_slot, pending=len(pending)):
+            save_snapshot(state, self.path, pending, next_slot, meta)
+        self.saves += 1
+        obs.counter("service.checkpoints")
+
+    def load(self, topology: Topology) -> Optional[ServiceSnapshot]:
+        """The last snapshot, or ``None`` on a fresh checkpoint dir."""
+        if not self.exists():
+            return None
+        return load_snapshot(self.path, topology)

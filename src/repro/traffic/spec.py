@@ -17,6 +17,32 @@ from repro.errors import WorkloadError
 _request_ids = itertools.count()
 
 
+def peek_next_request_id() -> int:
+    """The id the next :class:`TransferRequest` will receive.
+
+    Consumes nothing: the counter is advanced and immediately re-seeded.
+    Checkpoint writers record this watermark so a restored process can
+    keep its ids disjoint from the ones already in the snapshot.
+    """
+    global _request_ids
+    value = next(_request_ids)
+    _request_ids = itertools.count(value)
+    return value
+
+
+def ensure_request_ids_above(minimum: int) -> None:
+    """Advance the process-local id counter to at least ``minimum``.
+
+    Request ids are process-local; a state checkpoint restored into a
+    fresh process carries completions keyed by the *old* process's ids.
+    Restoring must bump the counter past the snapshot's watermark, or
+    newly created requests would collide with restored accounting.
+    """
+    global _request_ids
+    if peek_next_request_id() < minimum:
+        _request_ids = itertools.count(minimum)
+
+
 @dataclass(frozen=True)
 class TransferRequest:
     """One inter-datacenter transfer: the paper's file ``k``.

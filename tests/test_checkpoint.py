@@ -156,6 +156,97 @@ def test_mid_run_resume_under_active_faults():
     assert second.deadline_misses == full.deadline_misses
 
 
+def test_mid_period_resume_with_in_flight_holdover():
+    """Checkpoint while store-and-forward volume is parked mid-path.
+
+    A 0->2 transfer on a line topology must hold over at datacenter 1:
+    hop 0->1 moves in slot 0, the file sits in storage across the slot
+    boundary, hop 1->2 moves later.  Snapshotting *between* the hops is
+    the case the service daemon lives or dies by — the restored state
+    must carry the future ledger commitment, the holdover storage, and
+    the charged volume, so the second hop happens (and bills) exactly
+    as if the process had never died.
+    """
+    topo = line_topology(3, capacity=10.0)
+    request = TransferRequest(0, 2, 6.0, 3, release_slot=0)
+    scheduler = PostcardScheduler(topo, horizon=10, on_infeasible="drop")
+    scheduler.on_slot(0, [request])
+    original = scheduler.state
+
+    # The plan really is in flight: hop 2 is committed beyond slot 0.
+    later_volume = sum(
+        original.ledger.volume(1, 2, slot) for slot in range(1, 10)
+    )
+    assert later_volume == pytest.approx(6.0)
+    assert original.completions[request.request_id] >= 1
+
+    restored = state_from_json(state_to_json(original), topo)
+    assert restored.charged_snapshot() == pytest.approx(
+        original.charged_snapshot()
+    )
+    assert restored.storage_used == pytest.approx(original.storage_used)
+    for slot in range(10):
+        assert restored.ledger.volume(1, 2, slot) == pytest.approx(
+            original.ledger.volume(1, 2, slot)
+        )
+    # The resumed process keeps scheduling on top of the in-flight
+    # volume with the same marginal costs as the uninterrupted one.
+    follow_up = TransferRequest(0, 2, 4.0, 3, release_slot=2)
+    resumed = PostcardScheduler(topo, horizon=10, on_infeasible="drop")
+    resumed.adopt_state(restored)
+    resumed.on_slot(2, [follow_up.with_release(2)])
+    reference = PostcardScheduler(topo, horizon=10, on_infeasible="drop")
+    reference.adopt_state(original)
+    reference.on_slot(2, [follow_up.with_release(2)])
+    assert resumed.state.charged_snapshot() == pytest.approx(
+        reference.state.charged_snapshot()
+    )
+    assert resumed.state.current_cost_per_slot() == pytest.approx(
+        reference.state.current_cost_per_slot()
+    )
+
+
+def test_service_snapshot_round_trip(tmp_path):
+    """The daemon's snapshot carries queue + clock + id watermark."""
+    from repro.core.checkpoint import load_snapshot, save_snapshot
+    from repro.traffic.spec import peek_next_request_id
+
+    topo = line_topology(3, capacity=10.0)
+    scheduler = PostcardScheduler(topo, horizon=10, on_infeasible="drop")
+    request = TransferRequest(0, 2, 6.0, 3, release_slot=0)
+    scheduler.on_slot(0, [request])
+    pending = [
+        {"id": "c-7", "source": 0, "destination": 2, "size_gb": 2.5,
+         "deadline_slots": 4}
+    ]
+    path = tmp_path / "snapshot.json"
+    save_snapshot(
+        scheduler.state, path, pending, next_slot=1, meta={"counts": {"slots": 1}}
+    )
+    snapshot = load_snapshot(path, topo)
+    assert snapshot.next_slot == 1
+    assert snapshot.pending == pending
+    assert snapshot.meta["counts"]["slots"] == 1
+    assert snapshot.state.charged_snapshot() == pytest.approx(
+        scheduler.state.charged_snapshot()
+    )
+    # Restore advanced the process-local id counter past every id the
+    # snapshot's completions reference — new requests cannot collide.
+    assert peek_next_request_id() > max(scheduler.state.completions)
+
+
+def test_snapshot_rejects_garbage(line3):
+    from repro.errors import SchedulingError
+    from repro.core.checkpoint import snapshot_from_json
+
+    with pytest.raises(SchedulingError, match="JSON"):
+        snapshot_from_json("{oops", line3)
+    with pytest.raises(SchedulingError, match="service snapshot"):
+        snapshot_from_json('{"kind": "postcard-state"}', line3)
+    with pytest.raises(SchedulingError, match="version"):
+        snapshot_from_json('{"kind": "postcard-snapshot", "version": 9}', line3)
+
+
 def test_rejections_survive_with_fresh_ids():
     topo = line_topology(3, capacity=10.0)
     state = NetworkState(topo, horizon=10)

@@ -223,6 +223,87 @@ def test_report_empty_events_file(tmp_path, capsys):
     assert "no records" in capsys.readouterr().err
 
 
+def test_serve_help_lists_service_options(capsys):
+    with pytest.raises(SystemExit) as exit_info:
+        main(["serve", "--help"])
+    assert exit_info.value.code == 0
+    out = capsys.readouterr().out
+    for flag in ("--tick-seconds", "--max-queue", "--checkpoint-dir",
+                 "--checkpoint-every", "--socket", "--obs-jsonl"):
+        assert flag in out
+
+
+def test_loadgen_help_lists_replay_options(capsys):
+    with pytest.raises(SystemExit) as exit_info:
+        main(["loadgen", "--help"])
+    assert exit_info.value.code == 0
+    out = capsys.readouterr().out
+    for flag in ("--rate", "--requests", "--trace", "--drain",
+                 "--expect-no-misses"):
+        assert flag in out
+
+
+def test_serve_rejects_bad_config(capsys):
+    assert main(["serve", "--datacenters", "1"]) == 1
+    assert "error:" in capsys.readouterr().err
+
+
+def test_loadgen_against_no_daemon(tmp_path, capsys):
+    code = main([
+        "loadgen", "--socket", str(tmp_path / "nowhere.sock"),
+        "--requests", "1",
+    ])
+    assert code == 1
+    assert "error:" in capsys.readouterr().err
+
+
+def test_serve_loadgen_round_trip(tmp_path, capsys):
+    """The two subcommands against each other: a short-lived daemon in a
+    thread, the loadgen CLI replaying a generated trace with --drain."""
+    import threading
+
+    sock = str(tmp_path / "cli.sock")
+    summary_path = tmp_path / "summary.json"
+    server_codes = []
+
+    def run_server():
+        server_codes.append(main([
+            "serve", "--socket", sock, "--datacenters", "4",
+            "--capacity", "60", "--max-deadline", "8",
+            "--tick-seconds", "0.05",
+            "--checkpoint-dir", str(tmp_path / "ckpt"),
+        ]))
+
+    thread = threading.Thread(target=run_server)
+    thread.start()
+    try:
+        import time
+
+        deadline = time.time() + 30
+        while not (tmp_path / "cli.sock").exists():
+            assert time.time() < deadline, "daemon never bound its socket"
+            time.sleep(0.05)
+        code = main([
+            "loadgen", "--socket", sock, "--requests", "20",
+            "--rate", "6000", "--datacenters", "4", "--capacity", "60",
+            "--max-deadline", "6", "--drain", "--expect-no-misses",
+            "--json", str(summary_path),
+        ])
+    finally:
+        thread.join(timeout=30)
+    assert code == 0
+    assert server_codes == [0]
+    assert not thread.is_alive()
+    out = capsys.readouterr().out
+    assert "drain: clean" in out and "latency:" in out
+    import json
+
+    summary = json.loads(summary_path.read_text())
+    assert summary["submitted"] == 20
+    assert summary["deadline_misses"] == 0
+    assert summary["drained"] is True
+
+
 def test_report_writes_output_file(tmp_path, capsys):
     events = tmp_path / "events.jsonl"
     assert main(_SMALL_SIM + ["--obs-jsonl", str(events)]) == 0

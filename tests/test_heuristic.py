@@ -9,6 +9,7 @@ integration with the simulation engine and registry.
 import pytest
 
 from repro.errors import InfeasibleError, SchedulingError
+from repro.core.schedule import TransferSchedule
 from repro.core.state import NetworkState
 from repro.heuristic import (
     CandidatePathIndex,
@@ -211,6 +212,60 @@ def test_unknown_policy_rejected():
 def test_empty_slot_returns_empty_schedule():
     scheduler = FastLaneScheduler(two_node_topology(), horizon=10)
     assert not scheduler.on_slot(0, [])
+
+
+class _StubTracker:
+    """Capacity views with hand-set per-link-slot values.
+
+    ``residual``/``headroom`` answer from the given dicts (with a
+    default), so a test can recreate an exact capacity landscape
+    without staging filler commits.
+    """
+
+    def __init__(self, residual, headroom, default_residual=100.0):
+        self._residual = residual
+        self._headroom = headroom
+        self._default = default_residual
+
+    def residual(self, src, dst, slot):
+        return self._residual.get((src, dst, slot), self._default)
+
+    def headroom(self, src, dst, slot):
+        return self._headroom.get((src, dst, slot), 0.0)
+
+
+def test_two_pass_placement_respects_every_due_cutoff():
+    # Regression: the ALAP sweep checks the lateness budget only at the
+    # slot being filled.  Within one descending pass that cutoff is the
+    # binding one, but when the *paid* pass (second) tops up a slot
+    # above volume the *free* pass (first) already parked, the budget
+    # at the lower cutoffs was partially spent — and the top-up used to
+    # overdraw it, producing a relay that sends volume before it
+    # arrives (conservation violation at the intermediate node).
+    topo = Topology(
+        [Datacenter(0), Datacenter(1), Datacenter(2)],
+        [
+            Link(0, 1, capacity=100.0, price=1.0),
+            Link(1, 2, capacity=100.0, price=1.0),
+        ],
+    )
+    scheduler = FastLaneScheduler(topo, horizon=20)
+    # Relay hop 1->2: mid-window slot nearly choked, late slot partial,
+    # early slot open — so its ALAP sends are early-heavy and hop 0->1
+    # owes {0: 3.88, 1: 0.33, 2: 5.27}.  Hop 0->1 then has 2.6 GB of
+    # free headroom per slot: the free pass parks 2.6 at slot 1 (far
+    # over the 0.33 due there), and the paid top-up at slot 2 must not
+    # pretend that budget is still available.
+    scheduler._tracker = _StubTracker(
+        residual={(1, 2, 2): 0.33, (1, 2, 3): 5.27},
+        headroom={(0, 1, n): 2.6 for n in range(3)},
+    )
+    request = TransferRequest(0, 2, 9.48, 4, release_slot=0)
+    entries = scheduler._plan_on_path([0, 1, 2], request, headroom_first=True)
+    assert entries is not None
+    schedule = TransferSchedule(entries)
+    schedule.validate([request])  # raised SchedulingError before the fix
+    assert schedule.delivered_volume(request) == pytest.approx(9.48)
 
 
 # -- tentative planning (plan_slot) ---------------------------------------

@@ -1,0 +1,299 @@
+"""Unit tests for the transfer-broker service (protocol, intake, broker)."""
+
+import json
+
+import pytest
+
+from repro.errors import BackpressureError, ProtocolError, ServiceError
+from repro.service import IntakeQueue, PendingTransfer, ServiceConfig, TransferBroker
+from repro.service import protocol
+
+
+# -- config ----------------------------------------------------------------
+
+
+def test_config_validation():
+    with pytest.raises(ServiceError, match="datacenters"):
+        ServiceConfig(datacenters=1)
+    with pytest.raises(ServiceError, match="max_queue"):
+        ServiceConfig(max_queue=0)
+    with pytest.raises(ServiceError, match="tick_seconds"):
+        ServiceConfig(tick_seconds=-1.0)
+    with pytest.raises(ServiceError, match="checkpoint_every"):
+        ServiceConfig(checkpoint_every=0)
+
+
+def test_config_endpoint():
+    assert ServiceConfig(port=7411).endpoint == "tcp:127.0.0.1:7411"
+    assert ServiceConfig(socket_path="/tmp/x.sock").endpoint == "unix:/tmp/x.sock"
+
+
+# -- protocol --------------------------------------------------------------
+
+
+def test_decode_rejects_garbage():
+    with pytest.raises(ProtocolError, match="JSON"):
+        protocol.decode_line(b"{oops\n")
+    with pytest.raises(ProtocolError, match="object"):
+        protocol.decode_line(b"[1, 2]\n")
+    with pytest.raises(ProtocolError, match="op"):
+        protocol.decode_line(b'{"id": "x"}\n')
+    with pytest.raises(ProtocolError, match="unknown op"):
+        protocol.decode_line(b'{"op": "launch"}\n')
+    with pytest.raises(ProtocolError, match="exceeds"):
+        protocol.decode_line(b"x" * (protocol.MAX_LINE_BYTES + 1))
+
+
+def test_encode_decode_round_trip():
+    line = protocol.encode({"op": "ping", "n": 1})
+    assert line.endswith(b"\n")
+    assert protocol.decode_line(line) == {"op": "ping", "n": 1}
+
+
+def test_validate_submit_normalizes():
+    fields = protocol.validate_submit(
+        {"op": "submit", "id": "a", "source": "0", "destination": 2,
+         "size_gb": "5.5", "deadline_slots": 3.0},
+        max_deadline=8,
+    )
+    assert fields == {"id": "a", "source": 0, "destination": 2,
+                      "size_gb": 5.5, "deadline_slots": 3}
+
+
+@pytest.mark.parametrize(
+    "patch, match",
+    [
+        ({"id": ""}, "id"),
+        ({"source": 1}, "destination"),  # src == dst
+        ({"size_gb": 0}, "size_gb"),
+        ({"size_gb": "lots"}, "malformed"),
+        ({"deadline_slots": 0}, "deadline_slots"),
+        ({"deadline_slots": 99}, "deadline_slots"),
+    ],
+)
+def test_validate_submit_rejects(patch, match):
+    message = {"op": "submit", "id": "a", "source": 0, "destination": 1,
+               "size_gb": 5.0, "deadline_slots": 3}
+    message.update(patch)
+    with pytest.raises(ProtocolError, match=match):
+        protocol.validate_submit(message, max_deadline=8)
+
+
+# -- intake queue ----------------------------------------------------------
+
+
+def _pending(i, **kw):
+    fields = dict(client_id=f"p{i}", source=0, destination=1,
+                  size_gb=1.0, deadline_slots=2)
+    fields.update(kw)
+    return PendingTransfer(**fields)
+
+
+def test_intake_backpressure_and_retry_after():
+    queue = IntakeQueue(max_depth=2, tick_seconds=0.5)
+    queue.offer(_pending(0))
+    queue.offer(_pending(1))
+    with pytest.raises(BackpressureError) as err:
+        queue.offer(_pending(2))
+    assert err.value.retry_after_s >= 0.5
+    assert queue.depth == 2
+
+
+def test_intake_fifo_and_batch_cap():
+    queue = IntakeQueue(max_depth=10, tick_seconds=0.1, max_batch=2)
+    for i in range(5):
+        queue.offer(_pending(i))
+    assert [p.client_id for p in queue.drain()] == ["p0", "p1"]
+    assert [p.client_id for p in queue.drain()] == ["p2", "p3"]
+    assert [p.client_id for p in queue.drain()] == ["p4"]
+    assert queue.drain() == []
+
+
+def test_intake_requeue_front_preserves_order():
+    queue = IntakeQueue(max_depth=10, tick_seconds=0.1)
+    queue.offer(_pending(9))
+    queue.requeue_front([_pending(0), _pending(1)])
+    assert [p.client_id for p in queue.drain()] == ["p0", "p1", "p9"]
+
+
+def test_pending_payload_round_trip():
+    pending = _pending(3, size_gb=7.25, deadline_slots=5)
+    restored = PendingTransfer.from_payload(pending.to_payload())
+    assert restored.client_id == "p3"
+    assert (restored.source, restored.destination) == (0, 1)
+    assert restored.size_gb == 7.25
+    assert restored.deadline_slots == 5
+    assert restored.waiter is None
+
+
+# -- broker ----------------------------------------------------------------
+
+
+def make_broker(tmp_path=None, **overrides):
+    kwargs = dict(datacenters=4, capacity=50.0, tick_seconds=0.0,
+                  max_deadline=8, seed=3)
+    if tmp_path is not None:
+        kwargs.update(checkpoint_dir=str(tmp_path / "ckpt"), checkpoint_every=1)
+    kwargs.update(overrides)
+    return TransferBroker(ServiceConfig(**kwargs))
+
+
+def submit_fields(i, **kw):
+    fields = {"id": f"c{i}", "source": 0, "destination": 1 + i % 3,
+              "size_gb": 5.0 + i, "deadline_slots": 3}
+    fields.update(kw)
+    return fields
+
+
+def test_broker_batches_and_decides():
+    broker = make_broker()
+    for i in range(4):
+        outcome, _ = broker.submit(submit_fields(i))
+        assert outcome == "pending"
+    resolutions = broker.process_slot()
+    assert len(resolutions) == 4
+    for pending, record in resolutions:
+        assert record["decision"] == "admitted"
+        assert record["slot"] == 0
+        assert record["completion_slot"] <= record["deadline_slot"]
+    assert broker.next_slot == 1
+    assert broker.status("c0")["state"] == "admitted"
+    assert broker.status("nope")["state"] == "unknown"
+
+
+def test_broker_empty_slot_advances_clock():
+    broker = make_broker()
+    assert broker.process_slot() == []
+    assert broker.next_slot == 1
+    assert broker.counts["batches"] == 0
+
+
+def test_broker_duplicate_submission_is_idempotent():
+    broker = make_broker()
+    broker.submit(submit_fields(0))
+    with pytest.raises(ServiceError, match="already pending"):
+        broker.submit(submit_fields(0))
+    broker.process_slot()
+    outcome, record = broker.submit(submit_fields(0))
+    assert outcome == "decided"
+    assert record["decision"] == "admitted"
+
+
+def test_broker_refuses_past_horizon():
+    broker = make_broker(horizon=16)
+    broker.next_slot = 14
+    with pytest.raises(ServiceError, match="horizon"):
+        broker.submit(submit_fields(0, deadline_slots=3))
+
+
+def test_broker_refuses_while_draining():
+    broker = make_broker()
+    broker.draining = True
+    with pytest.raises(ServiceError, match="draining"):
+        broker.submit(submit_fields(0))
+
+
+def test_broker_backpressure_counts(tmp_path):
+    broker = make_broker(max_queue=2)
+    broker.submit(submit_fields(0))
+    broker.submit(submit_fields(1))
+    with pytest.raises(BackpressureError):
+        broker.submit(submit_fields(2))
+    assert broker.counts["backpressured"] == 1
+    assert broker.counts["submitted"] == 2
+
+
+def test_broker_checkpoint_and_resume(tmp_path):
+    broker = make_broker(tmp_path)
+    for i in range(3):
+        broker.submit(submit_fields(i))
+    broker.process_slot()  # checkpoint_every=1 -> snapshot written
+    broker.submit(submit_fields(7))  # queued but NOT yet checkpointed
+
+    resumed = make_broker(tmp_path)
+    assert resumed.resumed
+    assert resumed.next_slot == 1
+    assert resumed.decisions == broker.decisions
+    # The checkpointed queue was empty at snapshot time: c7 is lost,
+    # exactly the at-least-once contract (the client resubmits).
+    assert resumed.queue.depth == 0
+    assert resumed.state.charged_snapshot() == pytest.approx(
+        broker.state.charged_snapshot()
+    )
+
+
+def test_broker_pending_queue_survives_checkpoint(tmp_path):
+    broker = make_broker(tmp_path, max_batch=2)
+    for i in range(5):
+        broker.submit(submit_fields(i))
+    broker.process_slot()  # decides c0,c1; c2..c4 still queued at snapshot
+
+    resumed = make_broker(tmp_path, max_batch=2)
+    assert resumed.queue.depth == 3
+    resolutions = resumed.process_slot()
+    assert [r[1]["id"] for r in resolutions] == ["c2", "c3"]
+
+
+def test_broker_drain_flushes_everything(tmp_path):
+    broker = make_broker(tmp_path, max_batch=2)
+    for i in range(5):
+        broker.submit(submit_fields(i))
+    resolved = broker.drain_remaining()
+    assert len(resolved) == 5
+    assert broker.queue.depth == 0
+    assert broker.draining
+    assert broker.store.exists()
+
+
+def test_crash_resume_matches_uninterrupted_run(tmp_path):
+    """The acceptance-criteria invariant, at the broker level: kill the
+    process between slots, restart from the checkpoint, finish the
+    workload — cumulative charged volume is identical to a run that was
+    never interrupted."""
+    first_batch = [submit_fields(i) for i in range(4)]
+    second_batch = [submit_fields(10 + i) for i in range(4)]
+
+    # Reference: one broker sees both batches, never dies.
+    reference = make_broker(tmp_path / "ref")
+    for fields in first_batch:
+        reference.submit(dict(fields))
+    reference.process_slot()
+    for fields in second_batch:
+        reference.submit(dict(fields))
+    reference.process_slot()
+
+    # Interrupted: first batch, checkpoint, "kill -9" (drop the object),
+    # restart, second batch.
+    broker = make_broker(tmp_path / "crash")
+    for fields in first_batch:
+        broker.submit(dict(fields))
+    broker.process_slot()
+    del broker
+
+    resumed = make_broker(tmp_path / "crash")
+    assert resumed.resumed and resumed.next_slot == 1
+    for fields in second_batch:
+        resumed.submit(dict(fields))
+    resumed.process_slot()
+
+    assert resumed.state.charged_snapshot() == pytest.approx(
+        reference.state.charged_snapshot()
+    )
+    assert resumed.state.current_cost_per_slot() == pytest.approx(
+        reference.state.current_cost_per_slot()
+    )
+    ref_decisions = {k: v["decision"] for k, v in reference.decisions.items()}
+    res_decisions = {k: v["decision"] for k, v in resumed.decisions.items()}
+    assert res_decisions == ref_decisions
+
+
+def test_broker_stats_shape(tmp_path):
+    broker = make_broker(tmp_path)
+    broker.submit(submit_fields(0))
+    broker.process_slot()
+    stats = broker.stats()
+    for key in ("endpoint", "scheduler", "next_slot", "queue_depth",
+                "cost_per_slot", "checkpoints", "submitted", "admitted"):
+        assert key in stats
+    assert stats["checkpoints"] == 1
+    json.dumps(stats)  # the stats body must be wire-serializable

@@ -1,0 +1,271 @@
+"""End-to-end tests: a live daemon, the wire protocol, and kill -9.
+
+The first group runs :class:`ServiceDaemon` in-process on a unix socket
+and drives it with the load generator.  The last test is the crash
+drill from the acceptance criteria: a daemon subprocess is SIGKILLed
+between slots and restarted, and the resumed run must end with exactly
+the cumulative charged volume (hence cost) of a never-interrupted run.
+"""
+
+import asyncio
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.service import ServiceConfig, ServiceDaemon, TransferBroker, run_loadgen
+from repro.service.loadgen import _Connection
+from repro.traffic.spec import TransferRequest
+
+pytestmark = pytest.mark.filterwarnings("ignore::DeprecationWarning")
+
+
+def sample_requests(count, seed=11, max_deadline=6):
+    """A deterministic request list (sized for the 6-DC test preset)."""
+    import numpy as np
+
+    rng = np.random.default_rng(seed)
+    out = []
+    for _ in range(count):
+        src, dst = rng.choice(6, size=2, replace=False)
+        out.append(
+            TransferRequest(
+                int(src),
+                int(dst),
+                float(rng.uniform(1.0, 20.0)),
+                int(rng.integers(2, max_deadline + 1)),
+            )
+        )
+    return out
+
+
+def test_daemon_serves_fifty_requests_by_deadline(tmp_path):
+    """~50 requests through the full stack: every submission answered,
+    every admitted transfer scheduled to complete by its deadline."""
+    sock = str(tmp_path / "svc.sock")
+    config = ServiceConfig(
+        socket_path=sock,
+        datacenters=6,
+        capacity=60.0,
+        tick_seconds=0.05,
+        max_deadline=8,
+        checkpoint_dir=str(tmp_path / "ckpt"),
+        checkpoint_every=3,
+    )
+
+    async def scenario():
+        daemon = ServiceDaemon(config)
+        await daemon.start()
+        try:
+            result = await run_loadgen(
+                sample_requests(50),
+                socket_path=sock,
+                rate_per_min=30000.0,
+                drain=True,
+            )
+        finally:
+            await daemon.stop()
+        return result, daemon
+
+    result, daemon = asyncio.run(scenario())
+    assert result.submitted == 50
+    assert result.failed == 0
+    assert result.deadline_misses == 0
+    assert result.admitted + result.rejected == 50
+    assert result.admitted > 0
+    assert result.drained
+    assert result.stats["checkpoints"] >= 1
+    # Decision latency (tick -> response) stays under one slot tick.
+    assert max(result.decisions_s) < config.tick_seconds
+
+
+def test_backpressure_over_the_wire(tmp_path):
+    sock = str(tmp_path / "bp.sock")
+    config = ServiceConfig(
+        socket_path=sock, datacenters=4, capacity=50.0,
+        tick_seconds=0.0, max_queue=2, max_deadline=8,
+    )
+
+    async def scenario():
+        daemon = ServiceDaemon(config)
+        await daemon.start()
+        conn = await _Connection.open("", 0, socket_path=sock)
+        try:
+            responses = []
+            waiters = []
+            for i in range(3):
+                waiters.append(conn.send({
+                    "op": "submit", "id": f"bp{i}", "source": 0,
+                    "destination": 1, "size_gb": 2.0, "deadline_slots": 2,
+                }))
+            # Only the overflow submission answers before the tick.
+            rejected = await asyncio.wait_for(waiters[2], timeout=2)
+            responses.append(rejected)
+            tick = await asyncio.wait_for(conn.call({"op": "tick"}), timeout=2)
+            first = await asyncio.wait_for(waiters[0], timeout=2)
+            second = await asyncio.wait_for(waiters[1], timeout=2)
+            return rejected, tick, first, second
+        finally:
+            await conn.close()
+            await daemon.stop()
+
+    rejected, tick, first, second = asyncio.run(scenario())
+    assert rejected["ok"] is False
+    assert rejected["error"] == "backpressure"
+    assert rejected["retry_after_s"] > 0
+    assert tick["ok"] and tick["slot"] == 0
+    assert first["decision"] == "admitted"
+    assert second["decision"] == "admitted"
+
+
+def test_invalid_messages_get_error_responses(tmp_path):
+    sock = str(tmp_path / "bad.sock")
+    config = ServiceConfig(
+        socket_path=sock, datacenters=4, capacity=50.0, tick_seconds=0.0,
+    )
+
+    async def scenario():
+        daemon = ServiceDaemon(config)
+        await daemon.start()
+        reader, writer = await asyncio.open_unix_connection(sock)
+        try:
+            out = []
+            for raw in (
+                b"{broken\n",
+                b'{"op": "warp"}\n',
+                b'{"op": "submit", "id": "x", "source": 0, '
+                b'"destination": 0, "size_gb": 1, "deadline_slots": 2}\n',
+            ):
+                writer.write(raw)
+                await writer.drain()
+                out.append(json.loads(await reader.readline()))
+            return out
+        finally:
+            writer.close()
+            await daemon.stop()
+
+    bad_json, bad_op, bad_submit = asyncio.run(scenario())
+    assert bad_json["error"] == "invalid"
+    assert bad_op["error"] == "invalid"
+    assert bad_submit["error"] == "invalid" and bad_submit["id"] == "x"
+
+
+# -- the crash drill -------------------------------------------------------
+
+SERVE_ARGS = [
+    "--datacenters", "4", "--capacity", "50", "--seed", "3",
+    "--max-deadline", "8", "--tick-seconds", "0",
+    "--checkpoint-every", "1",
+]
+
+
+def start_daemon(sock, ckpt_dir):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in ("src", env.get("PYTHONPATH")) if p
+    )
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--socket", sock,
+         "--checkpoint-dir", ckpt_dir, *SERVE_ARGS],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, env=env,
+        cwd=os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    )
+    deadline = time.time() + 30
+    while time.time() < deadline:
+        if os.path.exists(sock):
+            return proc
+        if proc.poll() is not None:
+            raise AssertionError(
+                f"daemon died on startup:\n{proc.stdout.read().decode()}"
+            )
+        time.sleep(0.05)
+    proc.kill()
+    raise AssertionError("daemon never bound its socket")
+
+
+def batch_fields(ids, sizes):
+    return [
+        {"id": name, "source": i % 3, "destination": 3 - (i % 3),
+         "size_gb": size, "deadline_slots": 3}
+        for i, (name, size) in enumerate(zip(ids, sizes))
+    ]
+
+
+async def submit_and_tick(sock, batch):
+    conn = await _Connection.open("", 0, socket_path=sock)
+    try:
+        waiters = [conn.send({"op": "submit", **fields}) for fields in batch]
+        tick = await asyncio.wait_for(conn.call({"op": "tick"}), timeout=30)
+        assert tick["ok"]
+        responses = await asyncio.wait_for(asyncio.gather(*waiters), timeout=30)
+        stats = await asyncio.wait_for(conn.call({"op": "stats"}), timeout=30)
+        return responses, stats
+    finally:
+        await conn.close()
+
+
+@pytest.mark.slow
+def test_kill9_resume_matches_uninterrupted_run(tmp_path):
+    """SIGKILL the daemon between slots; the restarted daemon finishes
+    the workload with cumulative charged volume (and per-request
+    decisions) identical to a run that never died."""
+    first = batch_fields([f"a{i}" for i in range(4)], [6.0, 9.0, 4.0, 11.0])
+    second = batch_fields([f"b{i}" for i in range(4)], [8.0, 3.0, 10.0, 5.0])
+
+    # Reference: the same workload through one uninterrupted broker.
+    reference = TransferBroker(ServiceConfig(
+        datacenters=4, capacity=50.0, seed=3, max_deadline=8,
+        tick_seconds=0.0,
+    ))
+    for fields in first:
+        reference.submit(dict(fields))
+    reference.process_slot()
+    for fields in second:
+        reference.submit(dict(fields))
+    reference.process_slot()
+    expected = {k: v["decision"] for k, v in reference.decisions.items()}
+
+    sock = str(tmp_path / "kill.sock")
+    ckpt = str(tmp_path / "ckpt")
+    proc = start_daemon(sock, ckpt)
+    try:
+        responses1, stats1 = asyncio.run(submit_and_tick(sock, first))
+        assert all(r["ok"] for r in responses1)
+        assert stats1["checkpoints"] >= 1
+        # kill -9 between slots: no flush, no goodbye.
+        os.kill(proc.pid, signal.SIGKILL)
+        proc.wait(timeout=10)
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+
+    os.unlink(sock)
+    proc2 = start_daemon(sock, ckpt)
+    try:
+        responses2, stats2 = asyncio.run(submit_and_tick(sock, second))
+        assert stats2["resumed"] is True
+        assert stats2["next_slot"] == 2
+        assert all(r["ok"] for r in responses2)
+        got = {r["id"]: r["decision"] for r in responses1 + responses2}
+        assert got == expected
+        assert stats2["cost_per_slot"] == pytest.approx(
+            round(reference.state.current_cost_per_slot(), 6)
+        )
+    finally:
+        proc2.kill()
+        proc2.wait(timeout=10)
+
+    # The snapshot on disk carries the same charged volume too.
+    from repro.core.checkpoint import load_snapshot
+
+    snapshot = load_snapshot(
+        os.path.join(ckpt, "snapshot.json"),
+        ServiceConfig(datacenters=4, capacity=50.0, seed=3).topology(),
+    )
+    assert snapshot.state.charged_snapshot() == pytest.approx(
+        reference.state.charged_snapshot()
+    )
