@@ -17,6 +17,8 @@ Usage (after ``pip install -e .``)::
     python -m repro report events.jsonl
     python -m repro serve --port 0 --checkpoint-dir ckpt/
     python -m repro loadgen --port 7411 --requests 200 --rate 1000 --drain
+    python -m repro loadgen --port 7411 --requests 500 --outstanding 16
+    python -m repro watch --port 7411 --interval 1
 
 ``--profile`` prints a per-stage timing/counter breakdown (graph build,
 LP compile/solve, audit) after the run; ``--obs-jsonl`` streams the raw
@@ -495,6 +497,7 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
                 rate_per_min=args.rate,
                 max_retries=args.max_retries,
                 drain=args.drain,
+                outstanding=args.outstanding,
             )
         )
     except (ServiceError, ConnectionError, OSError) as exc:
@@ -506,11 +509,18 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
         from pathlib import Path
 
         Path(args.json).write_text(_json.dumps(summary, indent=2) + "\n")
-    print(
-        f"replayed {summary['submitted']}/{len(requests)} requests at "
-        f"{summary['throughput_per_min']} req/min "
-        f"(target {args.rate:g} req/min)"
-    )
+    if summary["mode"] == "closed":
+        print(
+            f"closed loop: {summary['submitted']}/{len(requests)} requests "
+            f"at {summary['outstanding']} outstanding — capacity "
+            f"{summary['capacity_per_s']} req/s"
+        )
+    else:
+        print(
+            f"replayed {summary['submitted']}/{len(requests)} requests at "
+            f"{summary['throughput_per_min']} req/min "
+            f"(target {args.rate:g} req/min)"
+        )
     print(
         f"admitted={summary['admitted']} rejected={summary['rejected']} "
         f"failed={summary['failed']} "
@@ -533,6 +543,31 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
         print("gate failed: misses/failures detected", file=sys.stderr)
         return 1
     return 0
+
+
+def _cmd_watch(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.errors import ServiceError
+    from repro.service import run_watch
+
+    try:
+        frames = asyncio.run(
+            run_watch(
+                host=args.host,
+                port=args.port,
+                socket_path=args.socket,
+                interval_s=args.interval,
+                iterations=1 if args.once else args.iterations,
+                clear=not (args.no_clear or args.once),
+            )
+        )
+    except KeyboardInterrupt:
+        return 0
+    except (ServiceError, ConnectionError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    return 0 if frames else 1
 
 
 def _looks_like_obs_events(path: str) -> bool:
@@ -797,6 +832,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_lg.add_argument(
         "--rate", type=float, default=1000.0, help="submission rate, req/min"
     )
+    p_lg.add_argument(
+        "--outstanding", type=int, default=0,
+        help="closed-loop mode: keep N submissions in flight (submit on "
+        "response, ignoring --rate) and report capacity in req/s",
+    )
     p_lg.add_argument("--datacenters", type=int, default=10)
     p_lg.add_argument("--capacity", type=float, default=100.0)
     p_lg.add_argument("--max-deadline", type=int, default=8)
@@ -819,6 +859,33 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", metavar="PATH", help="also write the summary as JSON"
     )
     p_lg.set_defaults(func=_cmd_loadgen)
+
+    p_watch = sub.add_parser(
+        "watch", help="live telemetry dashboard over a running daemon"
+    )
+    p_watch.add_argument("--host", default="127.0.0.1")
+    p_watch.add_argument("--port", type=int, default=7411)
+    p_watch.add_argument(
+        "--socket", metavar="PATH", default=None,
+        help="connect over a unix socket instead of TCP",
+    )
+    p_watch.add_argument(
+        "--interval", type=float, default=1.0,
+        help="seconds between metrics polls",
+    )
+    p_watch.add_argument(
+        "--iterations", type=int, default=0,
+        help="stop after N frames (0 = run until the daemon drains)",
+    )
+    p_watch.add_argument(
+        "--once", action="store_true",
+        help="render a single frame without clearing the screen and exit",
+    )
+    p_watch.add_argument(
+        "--no-clear", action="store_true",
+        help="do not clear the screen between frames (pipe-friendly)",
+    )
+    p_watch.set_defaults(func=_cmd_watch)
 
     p_report = sub.add_parser(
         "report",

@@ -104,13 +104,24 @@ class NetworkState:
         if validate:
             schedule.validate(requests, capacity_fn=self.residual_capacity)
 
+        recorded_gb = 0.0
         for (src, dst, slot), volume in schedule.link_slot_volumes().items():
             self.ledger.record(src, dst, slot, volume)
+            recorded_gb += volume
             new_level = self.ledger.volume(src, dst, slot)
             if new_level > self._charged[(src, dst)]:
                 self._charged[(src, dst)] = new_level
 
         self.storage_used += schedule.total_storage_volume()
+
+        if obs.get_registry().enabled:
+            # The ledger-charge leg of a request trace: inside the slot
+            # loop's trace() context these events carry the batch's
+            # trace ids, closing the intake -> lane -> solve -> charge
+            # chain.
+            obs.counter("ledger.charged_gb", round(recorded_gb, 6),
+                        files=len(requests))
+            obs.gauge("ledger.cost_per_slot", self.current_cost_per_slot())
 
         for request in requests:
             completion = schedule.completion_slot(request)

@@ -165,4 +165,10 @@ class HybridScheduler(Scheduler):
                 return self._lp.on_slot(slot, requests)
         self.fast_slots += 1
         obs.counter("hybrid.fast_slots")
-        return self._fast.commit_plan(plan)
+        with obs.span(
+            "hybrid.fastpath",
+            slot=slot,
+            files=len(requests),
+            peak_utilization=round(plan.peak_utilization, 4),
+        ):
+            return self._fast.commit_plan(plan)

@@ -24,6 +24,8 @@ from __future__ import annotations
 from contextlib import contextmanager
 from typing import Iterator, Optional
 
+from repro.obs.metrics import Histogram, MetricsSnapshot
+from repro.obs.prom import render_prometheus, validate_prometheus
 from repro.obs.registry import (
     Registry,
     Span,
@@ -33,6 +35,7 @@ from repro.obs.registry import (
     set_registry,
     span,
     timed_span,
+    trace,
 )
 from repro.obs.report import render_events_report, render_report
 from repro.obs.sinks import (
@@ -43,6 +46,7 @@ from repro.obs.sinks import (
     SpanStat,
     load_events,
 )
+from repro.obs.slo import SloMonitor, SloThresholds
 
 __all__ = [
     "Registry",
@@ -53,12 +57,19 @@ __all__ = [
     "timed_span",
     "counter",
     "gauge",
+    "trace",
     "Collector",
     "SpanStat",
     "CounterStat",
     "GaugeStat",
     "JsonlSink",
+    "Histogram",
+    "MetricsSnapshot",
+    "SloMonitor",
+    "SloThresholds",
     "load_events",
+    "render_prometheus",
+    "validate_prometheus",
     "render_report",
     "render_events_report",
     "collecting",

@@ -1,0 +1,163 @@
+"""Prometheus text exposition for a :class:`MetricsSnapshot` snapshot.
+
+:func:`render_prometheus` turns the ``metrics`` op's snapshot dict into
+the Prometheus text format (version 0.0.4): counters as ``*_total``,
+gauges verbatim, histograms as cumulative ``_bucket{le=...}`` series
+with ``_sum``/``_count``.  Metric names are derived from event names by
+replacing every non-alphanumeric character with ``_`` and prefixing
+``postcard_``, so ``service.decision_s`` becomes
+``postcard_service_decision_s``.
+
+:func:`validate_prometheus` is the lint the CI smoke job runs against a
+live scrape: every line must parse, every samples run must sit under
+exactly one ``# TYPE`` header, and no metric family may be declared
+twice — the classic exposition bugs (duplicate families, interleaved
+samples, NaN-by-string) fail loudly instead of poisoning a scrape.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from typing import Any, Dict, List
+
+from repro.errors import ObservabilityError
+
+_NAME_RE = re.compile(r"[^a-zA-Z0-9_]")
+_LINE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?P<labels>\{[^{}]*\})?"
+    r" (?P<value>[^ ]+)$"
+)
+
+PREFIX = "postcard_"
+
+
+def metric_name(event_name: str) -> str:
+    """``service.decision_s`` -> ``postcard_service_decision_s``."""
+    return PREFIX + _NAME_RE.sub("_", event_name)
+
+
+def _fmt(value: float) -> str:
+    if value != value:  # NaN
+        return "NaN"
+    if value in (math.inf, -math.inf):
+        return "+Inf" if value > 0 else "-Inf"
+    return repr(float(value))
+
+
+def render_prometheus(snapshot: Dict[str, Any]) -> str:
+    """One scrape body for a :meth:`MetricsSnapshot.snapshot` dict.
+
+    Histogram entries carry only the estimated percentiles in the
+    snapshot (the full bucket vector stays internal), so they are
+    exposed as ``summary`` families with ``quantile`` labels plus
+    ``_sum``-free ``_count`` — the shape Prometheus expects for
+    client-side quantiles.
+    """
+    lines: List[str] = []
+    seen: set = set()
+
+    def family(name: str, kind: str) -> str:
+        if name in seen:
+            raise ObservabilityError(f"duplicate metric family {name}")
+        seen.add(name)
+        lines.append(f"# TYPE {name} {kind}")
+        return name
+
+    for event_name, stat in snapshot.get("counters", {}).items():
+        name = family(metric_name(event_name) + "_total", "counter")
+        lines.append(f"{name} {_fmt(stat['total'])}")
+    slo = snapshot.get("slo", {})
+    for event_name, stat in snapshot.get("gauges", {}).items():
+        if slo and event_name.startswith("slo."):
+            # The evaluated SLO section below is authoritative; the
+            # folded slo.* gauge mirrors would duplicate its families.
+            continue
+        name = family(metric_name(event_name), "gauge")
+        lines.append(f"{name} {_fmt(stat['last'])}")
+    for event_name, stat in snapshot.get("histograms", {}).items():
+        if not stat.get("count"):
+            continue
+        name = family(metric_name(event_name) + "_summary", "summary")
+        for quantile, key in ((0.5, "p50"), (0.9, "p90"), (0.99, "p99")):
+            lines.append(
+                f'{name}{{quantile="{quantile}"}} {_fmt(stat[key])}'
+            )
+        lines.append(f"{name}_sum {_fmt(stat['mean'] * stat['count'])}")
+        lines.append(f"{name}_count {_fmt(stat['count'])}")
+    for slo_name, state in slo.items():
+        name = family(metric_name("slo." + slo_name), "gauge")
+        lines.append(f"{name} {_fmt(state['value'])}")
+        ok_name = family(metric_name("slo." + slo_name) + "_ok", "gauge")
+        lines.append(f"{ok_name} {_fmt(1.0 if state['ok'] else 0.0)}")
+    if slo:
+        name = family(metric_name("slo.ok"), "gauge")
+        all_ok = all(state["ok"] for state in slo.values())
+        lines.append(f"{name} {_fmt(1.0 if all_ok else 0.0)}")
+    return "\n".join(lines) + "\n"
+
+
+def validate_prometheus(text: str) -> int:
+    """Lint an exposition body; returns the number of sample lines.
+
+    Raises :class:`~repro.errors.ObservabilityError` on: an unparseable
+    line, a sample with no preceding ``# TYPE`` for its family, a
+    family declared twice, or a non-numeric value.
+    """
+    declared: Dict[str, str] = {}
+    samples = 0
+    current_family = None
+    for line_number, line in enumerate(text.splitlines(), 1):
+        if not line.strip():
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split()
+            if len(parts) != 4 or parts[3] not in (
+                "counter", "gauge", "histogram", "summary", "untyped"
+            ):
+                raise ObservabilityError(
+                    f"line {line_number}: malformed TYPE header: {line!r}"
+                )
+            name = parts[2]
+            if name in declared:
+                raise ObservabilityError(
+                    f"line {line_number}: duplicate metric family {name}"
+                )
+            declared[name] = parts[3]
+            current_family = name
+            continue
+        if line.startswith("#"):
+            continue
+        match = _LINE_RE.match(line)
+        if match is None:
+            raise ObservabilityError(
+                f"line {line_number}: unparseable sample: {line!r}"
+            )
+        name = match.group("name")
+        base = name
+        for suffix in ("_bucket", "_sum", "_count"):
+            if name.endswith(suffix) and name[: -len(suffix)] in declared:
+                base = name[: -len(suffix)]
+                break
+        if base not in declared:
+            raise ObservabilityError(
+                f"line {line_number}: sample {name} has no TYPE header"
+            )
+        if current_family != base:
+            raise ObservabilityError(
+                f"line {line_number}: sample {name} interleaved outside "
+                f"its family block ({base} vs {current_family})"
+            )
+        value = match.group("value")
+        if value not in ("+Inf", "-Inf", "NaN"):
+            try:
+                float(value)
+            except ValueError as exc:
+                raise ObservabilityError(
+                    f"line {line_number}: non-numeric value {value!r}"
+                ) from exc
+        samples += 1
+    if samples == 0:
+        raise ObservabilityError("exposition contains no samples")
+    return samples

@@ -20,7 +20,8 @@ machinery live in :mod:`repro.obs.sinks`.
 from __future__ import annotations
 
 import time
-from typing import Any, Dict, List, Optional
+from contextlib import contextmanager
+from typing import Any, Dict, Iterator, List, Optional
 
 
 class _NullSpan:
@@ -108,6 +109,9 @@ class Registry:
     def __init__(self) -> None:
         self._sinks: List[Any] = []
         self._stack: List[Span] = []
+        #: Ambient attributes merged into every dispatched event (the
+        #: trace-propagation mechanism; see :meth:`trace`).
+        self._context: List[Dict[str, Any]] = []
 
     # -- sink management -------------------------------------------------
 
@@ -133,8 +137,32 @@ class Registry:
             pass
 
     def _dispatch(self, event: Dict[str, Any]) -> None:
+        if self._context:
+            merged: Dict[str, Any] = {}
+            for frame in self._context:
+                merged.update(frame)
+            merged.update(event.get("attrs", ()))
+            event["attrs"] = merged
         for sink in self._sinks:
             sink.emit(event)
+
+    @contextmanager
+    def trace(self, **attrs: Any) -> Iterator[None]:
+        """Attach ambient attrs to every event emitted in the block.
+
+        This is how a trace id crosses layers that know nothing about
+        it: the slot loop opens ``trace(trace_ids=[...])`` around the
+        scheduler call, and the hybrid lane choice, LP solve, and
+        ledger-charge events deep inside all carry the ids without any
+        plumbing through their signatures.  Frames nest; inner frames
+        win on key collisions, and an event's own attrs win over every
+        frame.  With no sink attached the cost is one list append/pop.
+        """
+        self._context.append(attrs)
+        try:
+            yield
+        finally:
+            self._context.pop()
 
     # -- instrumentation primitives -------------------------------------
 
@@ -210,6 +238,12 @@ def timed_span(name: str, **attrs: Any) -> Span:
 def counter(name: str, value: float = 1.0, **attrs: Any) -> None:
     """Increment a counter on the default registry."""
     _default_registry.counter(name, value, **attrs)
+
+
+def trace(**attrs: Any) -> Any:
+    """Ambient-attr context on the default registry (see
+    :meth:`Registry.trace`)."""
+    return _default_registry.trace(**attrs)
 
 
 def gauge(name: str, value: float, **attrs: Any) -> None:

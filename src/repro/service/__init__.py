@@ -14,6 +14,7 @@ from repro.service.loadgen import LoadGenResult, percentile, run_loadgen
 from repro.service.server import ServiceDaemon, serve
 from repro.service.slotloop import TransferBroker
 from repro.service.store import SnapshotStore
+from repro.service.watch import render_dashboard, run_watch
 
 __all__ = [
     "IntakeQueue",
@@ -24,6 +25,8 @@ __all__ = [
     "SnapshotStore",
     "TransferBroker",
     "percentile",
+    "render_dashboard",
     "run_loadgen",
+    "run_watch",
     "serve",
 ]

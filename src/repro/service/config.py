@@ -64,6 +64,36 @@ class ServiceConfig:
     #: Stop after this many processed slots (0 = run until drained).
     max_slots: int = 0
 
+    #: Attach the live telemetry plane (MetricsSnapshot sink + SLO
+    #: gauges + the ``metrics`` protocol op's data source).  Off, the
+    #: daemon emits nothing unless an external sink is attached.
+    telemetry: bool = True
+
+    #: Wall seconds one virtual slot *represents* for billing
+    #: reconciliation — the ISP charging interval, 5 minutes by
+    #: default.  This is deliberately decoupled from ``tick_seconds``
+    #: (how fast the daemon runs): a 0.25 s tick replaying a day of
+    #: 5-minute intervals still exports samples an invoice can be
+    #: matched against.
+    slot_wall_seconds: float = 300.0
+
+    #: Unix timestamp slot 0 maps to.  0.0 = stamp ``time.time()`` at
+    #: first start; the broker persists the stamp in its checkpoints so
+    #: a resumed daemon keeps the original alignment.
+    wall_epoch: float = 0.0
+
+    #: SLO rolling window, in processed slots.
+    slo_window: int = 64
+    #: Windowed admitted/decided ratio must stay >= this.
+    slo_admission_ratio: float = 0.95
+    #: p99 decision latency budget; 0.0 = the tick (or 0.25 s when the
+    #: clock is manual).
+    slo_decision_budget_s: float = 0.0
+    #: p99 checkpoint-write budget, seconds.
+    slo_checkpoint_budget_s: float = 1.0
+    #: Intake-depth objective as a fraction of ``max_queue``.
+    slo_depth_fraction: float = 0.8
+
     def __post_init__(self) -> None:
         if self.datacenters < 2:
             raise ServiceError("service needs at least 2 datacenters")
@@ -83,6 +113,51 @@ class ServiceConfig:
             raise ServiceError("max_batch must be non-negative")
         if self.checkpoint_every < 1:
             raise ServiceError("checkpoint_every must be >= 1")
+        if self.slot_wall_seconds <= 0:
+            raise ServiceError("slot_wall_seconds must be positive")
+        if self.wall_epoch < 0:
+            raise ServiceError("wall_epoch must be non-negative")
+        if self.slo_window < 1:
+            raise ServiceError("slo_window must be >= 1")
+        if not 0.0 < self.slo_admission_ratio <= 1.0:
+            raise ServiceError("slo_admission_ratio must be in (0, 1]")
+        if self.slo_decision_budget_s < 0:
+            raise ServiceError("slo_decision_budget_s must be non-negative")
+        if self.slo_checkpoint_budget_s <= 0:
+            raise ServiceError("slo_checkpoint_budget_s must be positive")
+        if not 0.0 < self.slo_depth_fraction <= 1.0:
+            raise ServiceError("slo_depth_fraction must be in (0, 1]")
+
+    def decision_budget_s(self) -> float:
+        """The p99 decision-latency SLO budget, resolved.
+
+        Explicit ``slo_decision_budget_s`` wins; otherwise the tick is
+        the budget (a decision slower than the tick means the slot
+        clock is falling behind), with :data:`DEFAULT_TICK_SECONDS`
+        standing in when the clock is manual.
+        """
+        if self.slo_decision_budget_s > 0:
+            return self.slo_decision_budget_s
+        if self.tick_seconds > 0:
+            return self.tick_seconds
+        return DEFAULT_TICK_SECONDS
+
+    def slo_thresholds(self):
+        """The :class:`~repro.obs.slo.SloThresholds` this config implies."""
+        from repro.obs.slo import SloThresholds
+
+        return SloThresholds(
+            min_admission_ratio=self.slo_admission_ratio,
+            decision_budget_s=self.decision_budget_s(),
+            checkpoint_budget_s=self.slo_checkpoint_budget_s,
+            max_intake_depth=max(
+                1, int(self.max_queue * self.slo_depth_fraction)
+            ),
+        )
+
+    def wall_time(self, slot: float, epoch: float) -> float:
+        """Unix timestamp the start of virtual ``slot`` maps to."""
+        return epoch + slot * self.slot_wall_seconds
 
     def topology(self) -> Topology:
         """The (deterministic) network this daemon brokers transfers on."""

@@ -36,6 +36,11 @@ class PendingTransfer:
     deadline_slots: int
     enqueued_at: float = field(default_factory=time.perf_counter)
     waiter: Optional[Any] = None
+    #: Trace id assigned at intake; every event on this submission's
+    #: decision path (intake -> batch -> lane -> solve -> charge)
+    #: carries it, and it survives checkpoints so a resumed daemon's
+    #: events still link up.
+    trace_id: str = ""
 
     def to_payload(self) -> Dict[str, Any]:
         """The checkpoint representation (waiters don't survive a crash)."""
@@ -45,6 +50,7 @@ class PendingTransfer:
             "destination": self.destination,
             "size_gb": self.size_gb,
             "deadline_slots": self.deadline_slots,
+            "trace": self.trace_id,
         }
 
     @classmethod
@@ -55,6 +61,7 @@ class PendingTransfer:
             destination=int(payload["destination"]),
             size_gb=float(payload["size_gb"]),
             deadline_slots=int(payload["deadline_slots"]),
+            trace_id=str(payload.get("trace", "")),
         )
 
 

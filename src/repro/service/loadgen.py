@@ -53,6 +53,10 @@ class LoadGenResult:
     decisions_s: List[float] = field(default_factory=list)
     drained: bool = False
     stats: Dict[str, Any] = field(default_factory=dict)
+    #: "open" (paced arrivals) or "closed" (fixed concurrency).
+    mode: str = "open"
+    #: Concurrency of a closed-loop run (0 in open-loop mode).
+    outstanding: int = 0
 
     @property
     def throughput_per_min(self) -> float:
@@ -60,9 +64,21 @@ class LoadGenResult:
             return 0.0
         return 60.0 * self.submitted / self.elapsed_s
 
+    @property
+    def capacity_per_s(self) -> float:
+        """Sustained decisions per second at fixed concurrency — the
+        capacity a closed-loop run measures (req/s; also defined, if
+        less meaningful, for open-loop runs)."""
+        if self.elapsed_s <= 0:
+            return 0.0
+        return self.submitted / self.elapsed_s
+
     def summary(self) -> Dict[str, Any]:
         """The flat record the CLI prints and the bench commits."""
         return {
+            "mode": self.mode,
+            "outstanding": self.outstanding,
+            "capacity_per_s": round(self.capacity_per_s, 2),
             "submitted": self.submitted,
             "admitted": self.admitted,
             "rejected": self.rejected,
@@ -165,17 +181,31 @@ async def run_loadgen(
     rate_per_min: float = 1000.0,
     max_retries: int = 8,
     drain: bool = False,
+    outstanding: int = 0,
 ) -> LoadGenResult:
-    """Replay ``requests`` against a daemon at ``rate_per_min``.
+    """Replay ``requests`` against a daemon.
 
-    Submissions are paced open-loop (fixed inter-arrival gap); each
-    response is awaited concurrently so slow slots don't stall the
-    arrival process.  Backpressure rejections sleep the advertised
-    ``retry_after_s`` and retry up to ``max_retries`` times before the
-    request counts as ``failed``.
+    Two modes:
+
+    * **Open loop** (default): submissions are paced at
+      ``rate_per_min`` (fixed inter-arrival gap); each response is
+      awaited concurrently so slow slots don't stall the arrival
+      process.  Measures latency at an offered rate.
+    * **Closed loop** (``outstanding=N > 0``): exactly N submissions
+      are kept in flight — each response immediately triggers the next
+      submission, ignoring ``rate_per_min``.  Measures *capacity*
+      (sustained req/s at fixed concurrency), the number the broker-
+      fabric exit criterion gates on.
+
+    Backpressure rejections sleep the advertised ``retry_after_s`` and
+    retry up to ``max_retries`` times before the request counts as
+    ``failed``.
     """
     conn = await _Connection.open(host, port, socket_path)
     result = LoadGenResult()
+    if outstanding > 0:
+        result.mode = "closed"
+        result.outstanding = outstanding
     gap = 60.0 / rate_per_min if rate_per_min > 0 else 0.0
 
     async def submit_one(index: int, request: TransferRequest) -> None:
@@ -219,13 +249,33 @@ async def run_loadgen(
             return
         result.failed += 1
 
+    next_index = 0
+
+    async def closed_loop_worker() -> None:
+        # One of N lanes: submit, await the decision, submit the next.
+        # next_index mutation is safe — workers only interleave at
+        # awaits, and the read-increment below has none.
+        nonlocal next_index
+        while next_index < len(requests):
+            index = next_index
+            next_index += 1
+            await submit_one(index, requests[index])
+
     started = time.perf_counter()
     in_flight: List[asyncio.Task] = []
     try:
-        for index, request in enumerate(requests):
-            in_flight.append(asyncio.create_task(submit_one(index, request)))
-            if gap > 0 and index + 1 < len(requests):
-                await asyncio.sleep(gap)
+        if outstanding > 0:
+            lanes = min(outstanding, len(requests))
+            in_flight = [
+                asyncio.create_task(closed_loop_worker()) for _ in range(lanes)
+            ]
+        else:
+            for index, request in enumerate(requests):
+                in_flight.append(
+                    asyncio.create_task(submit_one(index, request))
+                )
+                if gap > 0 and index + 1 < len(requests):
+                    await asyncio.sleep(gap)
         if in_flight:
             await asyncio.gather(*in_flight)
         result.elapsed_s = time.perf_counter() - started

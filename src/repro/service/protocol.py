@@ -11,6 +11,8 @@ Operations::
      "size_gb": 12.5, "deadline_slots": 4}
     {"op": "status", "id": "job-17"}
     {"op": "stats"}
+    {"op": "metrics"}                       # live telemetry snapshot
+    {"op": "metrics", "format": "prometheus"}
     {"op": "drain"}
     {"op": "tick"}          # only honored when the slot clock is manual
     {"op": "ping"}
@@ -30,10 +32,17 @@ from typing import Any, Dict
 
 from repro.errors import ProtocolError
 
-PROTOCOL_VERSION = 1
+#: Version 2 added the ``metrics`` op (live telemetry snapshot with an
+#: optional Prometheus-text rendering) and trace-summary fields on
+#: ``submit`` responses (``trace``, ``cost_delta``, ``headroom_gb``,
+#: ``wall_ts``).  Both are additive; version-1 clients are unaffected.
+PROTOCOL_VERSION = 2
 
 #: Operations a client may send.
-OPS = ("submit", "status", "stats", "drain", "tick", "ping")
+OPS = ("submit", "status", "stats", "metrics", "drain", "tick", "ping")
+
+#: Renderings the ``metrics`` op supports.
+METRICS_FORMATS = ("json", "prometheus")
 
 #: Maximum accepted line length (a parse bound, not a data-plane limit —
 #: the payload is a description of a transfer, not the transfer itself).

@@ -22,6 +22,8 @@ from typing import Any, Dict, Optional
 
 from repro.errors import BackpressureError, ProtocolError, ReproError, ServiceError
 from repro.obs import registry as obs
+from repro.obs.metrics import MetricsSnapshot
+from repro.obs.prom import render_prometheus
 from repro.service import protocol
 from repro.service.config import ServiceConfig
 from repro.service.intake import PendingTransfer
@@ -34,15 +36,24 @@ class ServiceDaemon:
     def __init__(self, config: ServiceConfig):
         self.config = config
         self.broker = TransferBroker(config)
+        #: The live telemetry fold the ``metrics`` op serves from
+        #: (attached to the default registry for the daemon's lifetime;
+        #: None when ``config.telemetry`` is off).
+        self.metrics: Optional[MetricsSnapshot] = (
+            MetricsSnapshot() if config.telemetry else None
+        )
         self._server: Optional[asyncio.base_events.Server] = None
         self._clock_task: Optional[asyncio.Task] = None
         self._stopped = asyncio.Event()
         self._draining = False
+        self._active_connections = 0
 
     # -- lifecycle ---------------------------------------------------------
 
     async def start(self) -> None:
         """Bind the socket and start the slot clock (if automatic)."""
+        if self.metrics is not None:
+            obs.get_registry().add_sink(self.metrics)
         if self.config.socket_path:
             self._server = await asyncio.start_unix_server(
                 self._handle_client, path=self.config.socket_path
@@ -69,6 +80,8 @@ class ServiceDaemon:
             self._server.close()
             await self._server.wait_closed()
             self._server = None
+        if self.metrics is not None:
+            obs.get_registry().remove_sink(self.metrics)
         self._stopped.set()
 
     @property
@@ -128,6 +141,8 @@ class ServiceDaemon:
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
         obs.counter("service.connections")
+        self._active_connections += 1
+        obs.gauge("service.connections.active", self._active_connections)
         lock = asyncio.Lock()
         deferred = set()
         try:
@@ -145,6 +160,8 @@ class ServiceDaemon:
             # this propagate is asyncio logging a spurious traceback.
             pass
         finally:
+            self._active_connections -= 1
+            obs.gauge("service.connections.active", self._active_connections)
             for task in deferred:
                 task.cancel()
             writer.close()
@@ -176,6 +193,8 @@ class ServiceDaemon:
             await self._send(
                 writer, lock, {"ok": True, "op": "stats", **self.broker.stats()}
             )
+        elif op == "metrics":
+            await self._handle_metrics(message, writer, lock)
         elif op == "ping":
             await self._send(
                 writer,
@@ -236,6 +255,42 @@ class ServiceDaemon:
         task = asyncio.create_task(deliver())
         deferred.add(task)
         task.add_done_callback(deferred.discard)
+
+    async def _handle_metrics(self, message, writer, lock) -> None:
+        """Serve the live telemetry snapshot (versioned, two formats).
+
+        ``format: "json"`` (default) answers the full structured body:
+        broker stats, SLO states, the metrics snapshot (histograms with
+        p50/p90/p99, counters, gauges), and the wall-clock mapping.
+        ``format: "prometheus"`` answers ``{"text": ...}`` holding the
+        exposition body instead.
+        """
+        fmt = message.get("format", "json")
+        if fmt not in protocol.METRICS_FORMATS:
+            known = ", ".join(protocol.METRICS_FORMATS)
+            await self._send(
+                writer, lock,
+                protocol.error_response(
+                    "metrics", "invalid",
+                    f"unknown format {fmt!r}; expected one of: {known}",
+                ),
+            )
+            return
+        body = self.broker.telemetry(self.metrics)
+        if fmt == "prometheus":
+            text = render_prometheus({**body["snapshot"], "slo": body["slo"]})
+            await self._send(
+                writer, lock,
+                {"ok": True, "op": "metrics",
+                 "version": protocol.PROTOCOL_VERSION,
+                 "format": "prometheus", "text": text},
+            )
+            return
+        await self._send(
+            writer, lock,
+            {"ok": True, "op": "metrics",
+             "version": protocol.PROTOCOL_VERSION, "format": "json", **body},
+        )
 
     async def _handle_tick(self, writer, lock) -> None:
         if self.config.tick_seconds > 0:

@@ -26,6 +26,7 @@ from typing import Any, Dict, List, Optional, Tuple
 
 from repro.errors import ServiceError
 from repro.obs import registry as obs
+from repro.obs.slo import SloMonitor
 from repro.registry import make_scheduler
 from repro.service.config import ServiceConfig
 from repro.service.intake import IntakeQueue, PendingTransfer
@@ -34,6 +35,14 @@ from repro.traffic.spec import TransferRequest
 
 DECISION_ADMITTED = "admitted"
 DECISION_REJECTED = "rejected"
+
+#: Cap on trace ids attached as ambient context to a slot's scheduler
+#: events.  The ambient attrs ride on *every* nested event (LP sizes,
+#: solver counters, ...), so an unbounded list makes a large batch's
+#: event stream quadratic-ish in batch size; past the cap, per-request
+#: events (``service.lane``, ``service.charge_delta``) still carry each
+#: request's own id and join the scheduler legs via the ``slot`` attr.
+TRACE_IDS_ATTR_CAP = 32
 
 #: One resolved submission: the pending entry and its decision record.
 Resolution = Tuple[PendingTransfer, Dict[str, Any]]
@@ -72,6 +81,11 @@ class TransferBroker:
         self.counts = {"submitted": 0, "admitted": 0, "rejected": 0,
                        "backpressured": 0, "slots": 0, "batches": 0}
         self._dirty = False
+        #: Rolling-window SLO evaluation over processed slots.
+        self.slo = SloMonitor(config.slo_thresholds(), window=config.slo_window)
+        #: Unix timestamp virtual slot 0 maps to (see ServiceConfig
+        #: wall-clock fields); checkpointed so resumes keep alignment.
+        self.wall_epoch = config.wall_epoch or time.time()
 
         snapshot = self.store.load(self.topology) if self.store else None
         if snapshot is not None:
@@ -84,6 +98,9 @@ class TransferBroker:
             restored = snapshot.meta.get("counts", {})
             for key in self.counts:
                 self.counts[key] = int(restored.get(key, 0))
+            self.wall_epoch = float(
+                snapshot.meta.get("wall_epoch", self.wall_epoch)
+            )
             self.resumed = True
 
     @property
@@ -133,7 +150,20 @@ class TransferBroker:
             self.counts["backpressured"] += 1
             raise
         self.counts["submitted"] += 1
+        # The submitted tally is monotone and checkpointed, so ids stay
+        # unique across crash-resume cycles.
+        pending.trace_id = f"t-{self.counts['submitted']:08d}"
         obs.counter("service.submitted")
+        obs.counter(
+            "service.intake",
+            trace=pending.trace_id,
+            id=client_id,
+            source=pending.source,
+            destination=pending.destination,
+            size_gb=pending.size_gb,
+            deadline_slots=pending.deadline_slots,
+            slot=self.next_slot,
+        )
         return "pending", pending
 
     def status(self, client_id: str) -> Dict[str, Any]:
@@ -166,6 +196,7 @@ class TransferBroker:
         obs.gauge("service.queue_depth", self.queue.depth)
         by_request_id: Dict[int, PendingTransfer] = {}
         requests: List[TransferRequest] = []
+        headroom: Dict[int, float] = {}
         for pending in batch:
             request = TransferRequest(
                 pending.source,
@@ -176,13 +207,22 @@ class TransferBroker:
             )
             by_request_id[request.request_id] = pending
             requests.append(request)
+            # Watermark headroom on the request's direct link *before*
+            # this batch commits: how much it could have sent at the
+            # release slot without raising the bill.
+            headroom[request.request_id] = self._admission_headroom(
+                request.source, request.destination, slot
+            )
 
+        trace_ids = [p.trace_id for p in batch[:TRACE_IDS_ATTR_CAP]]
+        cost_before = self.state.current_cost_per_slot()
         escalations_before = getattr(self.scheduler, "escalations", 0)
         try:
-            with obs.timed_span(
-                "service.slot", slot=slot, batch=len(batch)
-            ) as slot_span:
-                self.scheduler.on_slot(slot, requests)
+            with obs.trace(slot=slot, trace_ids=trace_ids):
+                with obs.timed_span(
+                    "service.slot", slot=slot, batch=len(batch)
+                ) as slot_span:
+                    self.scheduler.on_slot(slot, requests)
         except Exception:
             # A failed slot must not strand its batch: put it back so
             # the caller can fail (or retry) the parked waiters.
@@ -194,13 +234,22 @@ class TransferBroker:
             if getattr(self.scheduler, "escalations", 0) > escalations_before
             else "fast"
         )
+        # The slot's charged-cost delta: what this batch added to the
+        # per-interval bill.  A joint solve prices the batch as a
+        # whole, so the delta is attributed batch-level, not split.
+        cost_delta = round(
+            self.state.current_cost_per_slot() - cost_before, 9
+        )
 
         now = time.perf_counter()
+        wall_ts = round(self.wall_time(slot), 3)
+        admitted_count = 0
         resolutions: List[Resolution] = []
         for request in requests:
             pending = by_request_id[request.request_id]
             completion = self.state.completions.get(request.request_id)
             admitted = completion is not None
+            admitted_count += int(admitted)
             record = {
                 "id": pending.client_id,
                 "decision": DECISION_ADMITTED if admitted else DECISION_REJECTED,
@@ -209,24 +258,71 @@ class TransferBroker:
                 "deadline_slot": request.last_slot,
                 "completion_slot": completion,
                 "lane": lane,
+                "trace": pending.trace_id,
                 "wait_s": round(now - pending.enqueued_at, 6),
                 "decision_s": round(decision_s, 6),
+                "cost_delta": cost_delta,
+                "headroom_gb": headroom[request.request_id],
+                "wall_ts": wall_ts,
             }
             self.decisions[pending.client_id] = record
             self.counts["admitted" if admitted else "rejected"] += 1
-            obs.counter("service.admitted" if admitted else "service.rejected")
+            obs.counter(
+                "service.admitted" if admitted else "service.rejected",
+                lane=lane,
+            )
+            obs.counter(
+                "service.lane",
+                trace=pending.trace_id,
+                id=pending.client_id,
+                lane=lane,
+                slot=slot,
+            )
+            obs.gauge(
+                "service.charge_delta",
+                cost_delta,
+                trace=pending.trace_id,
+                id=pending.client_id,
+                lane=lane,
+                slot=slot,
+                batch=len(batch),
+                headroom_gb=headroom[request.request_id],
+            )
             resolutions.append((pending, record))
         obs.gauge("service.admission_latency_s", decision_s)
+        obs.gauge("service.decision_s", decision_s)
 
         self.counts["slots"] += 1
         self.counts["batches"] += 1
         self._dirty = True
         self.next_slot = slot + 1
+        self.slo.record_slot(
+            admitted_count, len(batch) - admitted_count, decision_s,
+            self.queue.depth,
+        )
         if self.store and (
             self.draining or self.next_slot % self.config.checkpoint_every == 0
         ):
             self.checkpoint()
+        self.slo.evaluate(emit=True)
         return resolutions
+
+    def _admission_headroom(self, source: int, destination: int, slot: int) -> float:
+        """Paid watermark headroom toward ``destination`` at ``slot``.
+
+        The direct link's headroom when one exists; otherwise the best
+        over the source's outgoing links (a relay would have to start
+        on one of them).
+        """
+        if self.topology.has_link(source, destination):
+            return round(self.state.paid_headroom(source, destination, slot), 6)
+        best = 0.0
+        for link in self.topology.links:
+            if link.src == source:
+                best = max(
+                    best, self.state.paid_headroom(link.src, link.dst, slot)
+                )
+        return round(best, 6)
 
     def drain_remaining(self) -> List[Resolution]:
         """Refuse new intake, flush the queue slot by slot, checkpoint.
@@ -249,15 +345,67 @@ class TransferBroker:
         """Snapshot state + queue + clock + decision log (atomic)."""
         if self.store is None:
             raise ServiceError("no checkpoint directory configured")
+        started = time.perf_counter()
         self.store.save(
             self.state,
             self.queue.snapshot_payloads(),
             self.next_slot,
-            meta={"decisions": self.decisions, "counts": self.counts},
+            meta={
+                "decisions": self.decisions,
+                "counts": self.counts,
+                "wall_epoch": self.wall_epoch,
+            },
         )
+        self.slo.record_checkpoint(time.perf_counter() - started)
         self._dirty = False
 
     # -- reporting ---------------------------------------------------------
+
+    def wall_time(self, slot: float) -> float:
+        """Unix timestamp virtual ``slot`` maps to (billing alignment)."""
+        return self.config.wall_time(slot, self.wall_epoch)
+
+    def stamped_usage(self, top: int = 0) -> List[Dict[str, Any]]:
+        """Per-link ledger samples stamped with wall-clock timestamps.
+
+        One entry per used link, busiest first, each with its charged
+        watermark and the wall-stamped per-slot samples — the export a
+        billing reconciliation matches against 5-minute ISP invoice
+        intervals.  ``top`` limits to the N busiest links (0 = all).
+        """
+        entries = []
+        for src, dst in self.state.ledger.used_links():
+            samples = self.state.ledger.stamped_samples(
+                src, dst, self.wall_time
+            )
+            entries.append({
+                "link": [src, dst],
+                "charged_gb": round(self.state.charged_volume(src, dst), 6),
+                "total_gb": round(sum(s["gb"] for s in samples), 6),
+                "samples": samples,
+            })
+        entries.sort(key=lambda e: e["total_gb"], reverse=True)
+        return entries[:top] if top else entries
+
+    def telemetry(self, metrics: Optional[Any] = None) -> Dict[str, Any]:
+        """The ``metrics`` protocol op's body (JSON-safe).
+
+        ``metrics`` is the daemon's attached
+        :class:`~repro.obs.metrics.MetricsSnapshot` (None when
+        telemetry is disabled — the broker-level sections still
+        answer).
+        """
+        return {
+            "stats": self.stats(),
+            "slo": self.slo.evaluate(emit=False),
+            "snapshot": metrics.snapshot() if metrics is not None else {},
+            "wall": {
+                "epoch": round(self.wall_epoch, 3),
+                "slot_wall_seconds": self.config.slot_wall_seconds,
+                "next_slot": self.next_slot,
+                "next_slot_wall_ts": round(self.wall_time(self.next_slot), 3),
+            },
+        }
 
     def stats(self) -> Dict[str, Any]:
         """The ``stats`` protocol response body."""

@@ -141,6 +141,100 @@ def test_set_registry_swaps_default():
         obs.set_registry(previous)
 
 
+# -- ambient trace context ------------------------------------------------
+
+
+def test_trace_context_attaches_to_every_event():
+    registry = Registry()
+    collector = registry.add_sink(obs.Collector(keep_events=True))
+    with registry.trace(trace_ids=["t-1"], slot=3):
+        registry.counter("inner.count", 1)
+        registry.gauge("inner.level", 0.5)
+        with registry.span("inner.span"):
+            pass
+    registry.counter("outside", 1)
+    by_name = {e["name"]: e for e in collector.events}
+    for name in ("inner.count", "inner.level", "inner.span"):
+        assert by_name[name]["attrs"]["trace_ids"] == ["t-1"]
+        assert by_name[name]["attrs"]["slot"] == 3
+    assert "attrs" not in by_name["outside"]
+
+
+def test_trace_frames_nest_inner_wins_event_wins():
+    registry = Registry()
+    collector = registry.add_sink(obs.Collector(keep_events=True))
+    with registry.trace(slot=1, lane="fast"):
+        with registry.trace(slot=2):
+            registry.counter("a", 1)
+            registry.counter("b", 1, lane="lp")
+    events = {e["name"]: e for e in collector.events}
+    # Inner frame wins on collisions; outer keys still apply.
+    assert events["a"]["attrs"] == {"slot": 2, "lane": "fast"}
+    # The event's own attrs win over every frame.
+    assert events["b"]["attrs"]["lane"] == "lp"
+
+
+def test_trace_context_unwinds_through_exceptions():
+    registry = Registry()
+    collector = registry.add_sink(obs.Collector(keep_events=True))
+    with pytest.raises(ValueError):
+        with registry.trace(trace_ids=["t-9"]):
+            raise ValueError("boom")
+    assert registry._context == []
+    registry.counter("after", 1)
+    assert "attrs" not in collector.events[-1]
+
+
+def test_trace_context_is_free_without_sinks():
+    """The no-sink fast path is preserved with a trace frame open: span()
+    still hands out the cached no-op singleton and counters return
+    before building an event (the micro-check the acceptance criteria
+    ask for in place of a bench suite)."""
+    registry = Registry()
+    with registry.trace(trace_ids=["t-1"]):
+        assert registry.span("anything") is _NULL_SPAN
+        registry.counter("free", 1)
+        registry.gauge("free.level", 1.0)
+    assert registry.span("after") is _NULL_SPAN
+
+
+# -- sink lifecycle mid-run ------------------------------------------------
+
+
+def test_sink_added_and_removed_mid_run():
+    """A sink attached mid-run sees only events from attachment to
+    detachment; the registry keeps serving other sinks throughout."""
+    registry = Registry()
+    early = registry.add_sink(obs.Collector(keep_events=True))
+    registry.counter("phase", 1)
+
+    late = registry.add_sink(obs.Collector(keep_events=True))
+    registry.counter("phase", 1)
+
+    registry.remove_sink(late)
+    registry.counter("phase", 1)
+
+    assert early.counter_total("phase") == 3
+    assert late.counter_total("phase") == 1
+    # Removing an already-removed sink is a no-op.
+    registry.remove_sink(late)
+    assert registry.enabled
+    registry.remove_sink(early)
+    assert not registry.enabled
+
+
+def test_sink_removed_inside_open_span_still_gets_no_event():
+    registry = Registry()
+    sink = registry.add_sink(obs.Collector(keep_events=True))
+    span = registry.span("stage")
+    with span:
+        registry.remove_sink(sink)
+    # The span completed after detachment: nothing reached the sink,
+    # and the registry's stack unwound cleanly.
+    assert sink.num_events == 0
+    assert registry._stack == []
+
+
 # -- JSONL sink round-trip ------------------------------------------------
 
 
