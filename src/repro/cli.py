@@ -36,6 +36,7 @@ paths the user names.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import Callable, Dict, List, Optional
 
@@ -405,8 +406,23 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             max_batch=args.max_batch,
             checkpoint_dir=args.checkpoint_dir,
             checkpoint_every=args.checkpoint_every,
+            wal=args.wal,
+            snapshot_retain=args.snapshot_retain,
+            read_timeout_s=args.read_timeout,
+            watchdog_timeout_s=args.watchdog_timeout,
             max_slots=args.max_slots,
         )
+    except ServiceError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+    # Subprocess fault drills arm crash/mangle points through the
+    # environment (REPRO_CHAOS=action:point[:at[:param]],...); a clean
+    # environment arms nothing and the taps are no-ops.
+    from repro.service import chaos as chaos_mod
+
+    try:
+        chaos_mod.MONKEY.configure_from_env()
     except ServiceError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
@@ -456,6 +472,62 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             registry.remove_sink(jsonl)
             jsonl.close()
     return 0
+
+
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    """Run the scripted fault drills and report pass/fail."""
+    import json as _json
+    import tempfile
+
+    from repro.service import chaos as chaos_mod
+
+    base = args.workdir or tempfile.mkdtemp(prefix="repro-chaos-")
+    os.makedirs(base, exist_ok=True)
+    wanted = (
+        ["crash-matrix", "corruption", "watchdog"]
+        if args.drill == "all"
+        else [args.drill]
+    )
+    drills = {}
+    if "crash-matrix" in wanted:
+        drills["crash_matrix"] = chaos_mod.run_crash_matrix(
+            os.path.join(base, "crash")
+        )
+    if "corruption" in wanted:
+        drills["corruption"] = chaos_mod.run_torn_and_corrupt_drill(
+            os.path.join(base, "corruption")
+        )
+    if "watchdog" in wanted:
+        drills["watchdog"] = chaos_mod.run_watchdog_drill(
+            os.path.join(base, "watchdog")
+        )
+    ok = all(report["ok"] for report in drills.values())
+    report = {"ok": ok, "workdir": base, "drills": drills}
+    if args.json:
+        with open(args.json, "w") as fh:
+            _json.dump(report, fh, indent=1)
+            fh.write("\n")
+
+    for name, drill in drills.items():
+        line = f"{name}: {'PASS' if drill['ok'] else 'FAIL'}"
+        if name == "crash_matrix":
+            passed = sum(
+                1 for e in drill["points"].values()
+                if e["crashed"] and e["books_equal"]
+            )
+            line += f" ({passed}/{len(drill['points'])} crash points recover exactly)"
+        elif name == "corruption":
+            passed = sum(1 for e in drill["cases"].values() if e["books_equal"])
+            line += f" ({passed}/{len(drill['cases'])} corruptions recover exactly)"
+        elif name == "watchdog":
+            line += (
+                f" (first slot {drill['first_slot_seconds']}s, "
+                f"degraded={drill['degraded_slots']}, "
+                f"rearmed={drill['rearmed']})"
+            )
+        print(line)
+    print(f"chaos drills: {'PASS' if ok else 'FAIL'} (workdir {base})")
+    return 0 if ok else 1
 
 
 def _cmd_loadgen(args: argparse.Namespace) -> int:
@@ -801,6 +873,26 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_serve.add_argument("--checkpoint-every", type=int, default=5)
     p_serve.add_argument(
+        "--wal", action="store_true",
+        help="write-ahead log every admission/commit (fsync'd before "
+        "the ack) and compact snapshots generationally; needs "
+        "--checkpoint-dir",
+    )
+    p_serve.add_argument(
+        "--snapshot-retain", type=int, default=3,
+        help="snapshot generations kept for checksum fallback (WAL mode)",
+    )
+    p_serve.add_argument(
+        "--read-timeout", type=float, default=0.0, metavar="S",
+        help="disconnect a connection idle (no line, nothing in flight) "
+        "for S seconds (0 = never)",
+    )
+    p_serve.add_argument(
+        "--watchdog-timeout", type=float, default=0.0, metavar="S",
+        help="degrade a slot to fast-lane-only when an LP escalation "
+        "exceeds S seconds (0 = off; hybrid scheduler only)",
+    )
+    p_serve.add_argument(
         "--max-slots", type=int, default=0,
         help="stop after N slots (0 = run until drained); automatic "
         "clock only",
@@ -810,6 +902,26 @@ def build_parser() -> argparse.ArgumentParser:
         help="stream service instrumentation events to PATH",
     )
     p_serve.set_defaults(func=_cmd_serve)
+
+    p_chaos = sub.add_parser(
+        "chaos",
+        help="run the crash/corruption/watchdog fault drills "
+        "(docs/ROBUSTNESS.md); exit 1 on any recovery mismatch",
+    )
+    p_chaos.add_argument(
+        "--drill", choices=["crash-matrix", "corruption", "watchdog", "all"],
+        default="all", help="which drill to run (default: all)",
+    )
+    p_chaos.add_argument(
+        "--workdir", metavar="DIR", default=None,
+        help="keep drill checkpoint dirs here (default: a temp dir)",
+    )
+    p_chaos.add_argument(
+        "--json", metavar="PATH", default=None,
+        help="write the full drill report (recovery info, verifier "
+        "checks per case) as JSON",
+    )
+    p_chaos.set_defaults(func=_cmd_chaos)
 
     p_lg = sub.add_parser(
         "loadgen", help="replay a traffic trace against a running daemon"

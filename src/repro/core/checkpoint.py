@@ -15,9 +15,11 @@ the network it was taken from, so restore requires the same topology
 from __future__ import annotations
 
 import json
+import os
+import zlib
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Dict, List, Optional, Union
+from typing import Any, Callable, Dict, List, Optional, Union
 
 from repro.errors import SchedulingError
 from repro.core.state import NetworkState
@@ -26,7 +28,64 @@ from repro.net.topology import Topology
 PathLike = Union[str, Path]
 
 _VERSION = 1
-_SNAPSHOT_VERSION = 1
+#: Version 2 added the ``checksum`` header field (CRC-32 over the
+#: canonical body); version-1 snapshots (no checksum) still load.
+_SNAPSHOT_VERSION = 2
+
+#: Snapshot versions :func:`snapshot_from_json` accepts.
+_SNAPSHOT_READABLE_VERSIONS = (1, 2)
+
+
+def _payload_checksum(payload: Dict[str, Any]) -> int:
+    """CRC-32 of a payload's canonical JSON form (checksum field aside)."""
+    body = {k: v for k, v in payload.items() if k != "checksum"}
+    canonical = json.dumps(body, sort_keys=True, separators=(",", ":"))
+    return zlib.crc32(canonical.encode("utf-8"))
+
+
+def fsync_directory(directory: PathLike) -> None:
+    """fsync a directory so a rename inside it survives power loss."""
+    fd = os.open(str(directory), os.O_RDONLY)
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+def atomic_write(
+    path: PathLike,
+    text: str,
+    fsync: bool = True,
+    crashpoint: Optional[Callable[[str], None]] = None,
+) -> int:
+    """Write ``text`` to ``path`` with the full durability dance.
+
+    tmp file -> flush -> fsync(tmp) -> rename -> fsync(directory).
+    A bare tmp-and-rename only survives *process* death; the two fsyncs
+    are what make the rename survive power loss (the data must be on
+    disk before the rename, and the rename itself lives in the
+    directory inode).  ``crashpoint`` is the chaos harness's hook — a
+    callable invoked with a stage name (``checkpoint.pre_write`` /
+    ``pre_fsync`` / ``pre_rename`` / ``post_rename``) at each boundary
+    a crash could land on.  Returns the number of bytes written.
+    """
+    target = Path(path)
+    tmp = target.with_name(target.name + ".tmp")
+    data = text.encode("utf-8")
+    hit = crashpoint or (lambda stage: None)
+    hit("checkpoint.pre_write")
+    with open(tmp, "wb") as fh:
+        fh.write(data)
+        if fsync:
+            fh.flush()
+            hit("checkpoint.pre_fsync")
+            os.fsync(fh.fileno())
+    hit("checkpoint.pre_rename")
+    os.replace(tmp, target)
+    if fsync:
+        fsync_directory(target.parent)
+    hit("checkpoint.post_rename")
+    return len(data)
 
 
 def state_to_json(state: NetworkState) -> str:
@@ -182,6 +241,7 @@ def snapshot_to_json(
         "request_id_watermark": peek_next_request_id(),
         "meta": dict(meta or {}),
     }
+    payload["checksum"] = _payload_checksum(payload)
     return json.dumps(payload, indent=1)
 
 
@@ -199,12 +259,23 @@ def snapshot_from_json(text: str, topology: Topology) -> ServiceSnapshot:
         payload = json.loads(text)
     except json.JSONDecodeError as exc:
         raise SchedulingError(f"snapshot is not valid JSON: {exc}") from exc
-    if payload.get("kind") != "postcard-snapshot":
+    if not isinstance(payload, dict) or payload.get("kind") != "postcard-snapshot":
         raise SchedulingError("not a postcard service snapshot")
-    if payload.get("version") != _SNAPSHOT_VERSION:
+    version = payload.get("version")
+    if version not in _SNAPSHOT_READABLE_VERSIONS:
         raise SchedulingError(
-            f"unsupported snapshot version {payload.get('version')!r}"
+            f"unsupported snapshot version {version!r} "
+            f"(this build reads versions {_SNAPSHOT_READABLE_VERSIONS})"
         )
+    if version >= 2:
+        recorded = payload.get("checksum")
+        expected = _payload_checksum(payload)
+        if recorded != expected:
+            raise SchedulingError(
+                f"snapshot checksum mismatch (recorded {recorded!r}, "
+                f"computed {expected}): the file is corrupt or was "
+                "hand-edited; recovery should fall back a generation"
+            )
     state = state_from_json(json.dumps(payload["state"]), topology)
     ensure_request_ids_above(int(payload.get("request_id_watermark", 0)))
     return ServiceSnapshot(
@@ -221,17 +292,24 @@ def save_snapshot(
     pending: Optional[List[Dict[str, Any]]] = None,
     next_slot: int = 0,
     meta: Optional[Dict[str, Any]] = None,
-) -> None:
-    """Write a daemon snapshot atomically (tmp file + rename).
+    fsync: bool = True,
+    crashpoint: Optional[Callable[[str], None]] = None,
+) -> int:
+    """Write a daemon snapshot atomically and durably.
 
-    Atomicity is what makes the crash-recovery story honest: a daemon
-    killed mid-write leaves either the previous snapshot or the new one,
-    never a torn file.
+    Atomicity (tmp file + rename) is what makes the crash-recovery
+    story honest: a daemon killed mid-write leaves either the previous
+    snapshot or the new one, never a torn file.  Durability (fsync of
+    the tmp file before the rename, fsync of the directory after) is
+    what extends that from process death to power loss.  Returns the
+    number of bytes written (the durability benchmark's raw metric).
     """
-    target = Path(path)
-    tmp = target.with_name(target.name + ".tmp")
-    tmp.write_text(snapshot_to_json(state, pending, next_slot, meta))
-    tmp.replace(target)
+    return atomic_write(
+        path,
+        snapshot_to_json(state, pending, next_slot, meta),
+        fsync=fsync,
+        crashpoint=crashpoint,
+    )
 
 
 def load_snapshot(path: PathLike, topology: Topology) -> ServiceSnapshot:

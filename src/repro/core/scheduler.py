@@ -17,6 +17,7 @@ unchanged as its escalation lane.
 
 from __future__ import annotations
 
+from dataclasses import dataclass, field
 from typing import List, Optional
 
 from repro.errors import InfeasibleError, SchedulingError
@@ -74,6 +75,34 @@ def shed_until_feasible(solve_fn, requests, state):
             accepted.remove(victim)
             state.reject(victim)
     return None, []
+
+
+@dataclass
+class LpPlan:
+    """A solved-but-uncommitted slot: the LP's output, state untouched.
+
+    Produced by :meth:`PostcardScheduler.plan_slot`, applied by
+    :meth:`PostcardScheduler.commit_plan`.  The split exists for the
+    solver watchdog (PR 7): the solve — the part that can hang — runs
+    with zero state mutation, so a timed-out solve can be abandoned
+    without leaving half a slot in the ledger; the commit is cheap and
+    runs only on the winning path.
+    """
+
+    slot: int
+    schedule: Optional[TransferSchedule]
+    accepted: List[TransferRequest] = field(default_factory=list)
+    rejected: List[TransferRequest] = field(default_factory=list)
+
+
+class _RejectRecorder:
+    """A ``state.reject``-shaped shim that only collects (plan phase)."""
+
+    def __init__(self) -> None:
+        self.rejected: List[TransferRequest] = []
+
+    def reject(self, request: TransferRequest) -> None:
+        self.rejected.append(request)
 
 
 class PostcardScheduler(Scheduler):
@@ -145,24 +174,41 @@ class PostcardScheduler(Scheduler):
     def on_slot(self, slot: int, requests: List[TransferRequest]) -> TransferSchedule:
         if not requests:
             return TransferSchedule()
+        return self.commit_plan(self.plan_slot(slot, requests))
+
+    def plan_slot(self, slot: int, requests: List[TransferRequest]) -> LpPlan:
+        """Solve the slot without committing anything.
+
+        Pure with respect to :class:`NetworkState`: rejections decided
+        by the shedding policy are *collected* on the plan, not
+        recorded.  (The warm-start hint and the incremental graph cache
+        do advance — they are performance state, rebuilt from scratch
+        at worst.)  Apply the result with :meth:`commit_plan`, or drop
+        it on the floor — e.g. when the solver watchdog times the slot
+        out — and the ledger never knows the solve happened.
+        """
         for request in requests:
             if request.release_slot != slot:
                 raise SchedulingError(
                     f"file {request.request_id} released at "
                     f"{request.release_slot}, scheduled at {slot}"
                 )
-
         if self.on_infeasible == ON_INFEASIBLE_RAISE:
-            schedule, accepted = self._solve(requests), list(requests)
-        else:
-            schedule, accepted = shed_until_feasible(
-                self._solve, requests, self._state
-            )
-            if schedule is None:
-                return TransferSchedule()
+            return LpPlan(slot, self._solve(requests), list(requests), [])
+        recorder = _RejectRecorder()
+        schedule, accepted = shed_until_feasible(
+            self._solve, requests, recorder
+        )
+        return LpPlan(slot, schedule, accepted, recorder.rejected)
 
-        self._state.commit(schedule, accepted)
-        return schedule
+    def commit_plan(self, plan: LpPlan) -> TransferSchedule:
+        """Apply an :class:`LpPlan`: record rejections, commit the rest."""
+        for request in plan.rejected:
+            self._state.reject(request)
+        if plan.schedule is None:
+            return TransferSchedule()
+        self._state.commit(plan.schedule, plan.accepted)
+        return plan.schedule
 
     def _solve(self, requests: List[TransferRequest]) -> TransferSchedule:
         with obs.span("scheduler.solve", scheduler=self.name,

@@ -79,6 +79,28 @@ class ServiceError(ReproError):
     """The transfer-broker daemon was used or configured incorrectly."""
 
 
+class WalError(ServiceError):
+    """The write-ahead log was used inconsistently (not corruption).
+
+    Corruption of the log *file* is never an error: a torn or
+    checksum-failed tail is expected after a crash and is silently
+    truncated during recovery.  This type covers programming mistakes —
+    appending to a closed log, replaying records against the wrong
+    snapshot generation, an unknown record type.
+    """
+
+
+class RecoveryVerifyError(ServiceError):
+    """A post-recovery invariant check failed.
+
+    Raised by :func:`repro.service.verify.verify_recovery` when a
+    resumed broker's books are inconsistent (ledger conservation,
+    double-charged ids, watermark regression, clock regression).  A
+    broker must refuse to serve from such a state — continuing would
+    silently corrupt every bill downstream.
+    """
+
+
 class ProtocolError(ServiceError):
     """A wire message violated the service's NDJSON protocol."""
 

@@ -29,7 +29,8 @@ onto :class:`~repro.sim.metrics.SimulationResult`.
 
 from __future__ import annotations
 
-from typing import List
+import threading
+from typing import Callable, List, Optional
 
 from repro.errors import SchedulingError
 from repro.core.formulation import STORAGE_FULL
@@ -70,6 +71,23 @@ class HybridScheduler(Scheduler):
         Fast-lane admission fan-out.
     incremental, warm_start:
         Forwarded to the LP lane (PR 3's fast scheduling path).
+    watchdog_timeout_s:
+        When positive, escalated solves run under a watchdog: the LP's
+        *plan* phase (pure — no state mutation) executes on a worker
+        thread, and if it has not answered within this budget the slot
+        **degrades** to fast-lane-only placement so clients still get
+        decisions within the tick.  0 (default) disables the watchdog
+        and escalation runs inline, exactly as before.
+    watchdog_backoff_slots, watchdog_backoff_max:
+        Bounded-backoff re-arm: after a degrade, this many subsequent
+        escalation-worthy slots skip the LP outright (doubling per
+        consecutive degrade up to the max), and the LP is additionally
+        skipped while an abandoned solve is still running — its thread
+        shares the warm-start/graph-cache scratch state, so a new solve
+        must not race it.  A successful escalation resets the backoff.
+    escalate_hook:
+        Called at the start of every escalated solve; the service's
+        chaos harness injects stalls here.  ``None`` in production.
     """
 
     name = "hybrid"
@@ -86,10 +104,23 @@ class HybridScheduler(Scheduler):
         num_candidate_paths: int = 4,
         incremental: bool = True,
         warm_start: bool = True,
+        watchdog_timeout_s: float = 0.0,
+        watchdog_backoff_slots: int = 2,
+        watchdog_backoff_max: int = 16,
+        escalate_hook: Optional[Callable[[], None]] = None,
     ):
         if escalate_utilization <= 0.0:
             raise SchedulingError(
                 f"escalate_utilization must be positive, got {escalate_utilization}"
+            )
+        if watchdog_timeout_s < 0.0:
+            raise SchedulingError(
+                f"watchdog_timeout_s must be non-negative, got {watchdog_timeout_s}"
+            )
+        if watchdog_backoff_slots < 1 or watchdog_backoff_max < watchdog_backoff_slots:
+            raise SchedulingError(
+                "need 1 <= watchdog_backoff_slots <= watchdog_backoff_max, "
+                f"got {watchdog_backoff_slots}/{watchdog_backoff_max}"
             )
         self._lp = PostcardScheduler(
             topology,
@@ -109,10 +140,24 @@ class HybridScheduler(Scheduler):
         )
         self.escalate_utilization = escalate_utilization
         self.escalate_on_rejection = escalate_on_rejection
+        self.watchdog_timeout_s = watchdog_timeout_s
+        self.watchdog_backoff_slots = watchdog_backoff_slots
+        self.watchdog_backoff_max = watchdog_backoff_max
+        self._escalate_hook = escalate_hook or (lambda: None)
         #: Slots handed to the LP because of admission pressure.
         self.escalations = 0
         #: Slots the fast lane handled end to end.
         self.fast_slots = 0
+        #: Escalation-worthy slots the watchdog degraded (LP timed out).
+        self.degraded = 0
+        #: Escalation-worthy slots forced fast-lane by backoff/zombie.
+        self.lp_skipped = 0
+        self._backoff_remaining = 0
+        self._backoff_next = watchdog_backoff_slots
+        #: An abandoned (timed-out) solve still running; while alive,
+        #: the LP lane is poisoned — its warm-start and graph-cache
+        #: scratch state may be mid-mutation on that thread.
+        self._zombie: Optional[threading.Thread] = None
 
     @property
     def state(self) -> NetworkState:
@@ -154,21 +199,115 @@ class HybridScheduler(Scheduler):
         rejected = bool(plan.rejected) and self.escalate_on_rejection
         pressured = plan.peak_utilization > self.escalate_utilization
         if rejected or pressured:
-            self.escalations += 1
-            obs.counter("hybrid.escalations")
-            with obs.span(
-                "hybrid.escalate",
-                slot=slot,
-                rejections=len(plan.rejected),
-                peak_utilization=round(plan.peak_utilization, 4),
-            ):
-                return self._lp.on_slot(slot, requests)
+            return self._escalate(slot, requests, plan)
         self.fast_slots += 1
         obs.counter("hybrid.fast_slots")
         with obs.span(
             "hybrid.fastpath",
             slot=slot,
             files=len(requests),
+            peak_utilization=round(plan.peak_utilization, 4),
+        ):
+            return self._fast.commit_plan(plan)
+
+    def replay_slot(
+        self, slot: int, requests: List[TransferRequest], lane: str
+    ) -> TransferSchedule:
+        """Re-run one slot on the lane the WAL commit record names.
+
+        Crash recovery must reproduce *placements*, not re-decide them:
+        a degraded slot was placed by the fast lane even though it was
+        escalation-worthy, and replaying it through the pressure test
+        would route it to the LP and diverge the ledger.  Forcing the
+        recorded lane keeps replay deterministic under any watchdog
+        history.
+        """
+        if not requests:
+            return TransferSchedule()
+        if lane == "lp":
+            self.escalations += 1
+            return self._lp.on_slot(slot, requests)
+        plan = self._fast.plan_slot(slot, requests)
+        if lane == "degraded":
+            self.degraded += 1
+        else:
+            self.fast_slots += 1
+        return self._fast.commit_plan(plan)
+
+    # -- escalation --------------------------------------------------------
+
+    def _escalate(self, slot, requests, plan) -> TransferSchedule:
+        """Hand an escalation-worthy slot to the LP — watchdog allowing."""
+        watchdog = self.watchdog_timeout_s > 0
+        if watchdog:
+            zombie = self._zombie is not None and self._zombie.is_alive()
+            if not zombie:
+                self._zombie = None
+            if self._backoff_remaining > 0 or zombie:
+                if self._backoff_remaining > 0:
+                    self._backoff_remaining -= 1
+                self.lp_skipped += 1
+                obs.counter("hybrid.lp_skipped", zombie=zombie)
+                return self._commit_degraded(slot, plan, reason="backoff")
+
+        self.escalations += 1
+        obs.counter("hybrid.escalations")
+        with obs.span(
+            "hybrid.escalate",
+            slot=slot,
+            rejections=len(plan.rejected),
+            peak_utilization=round(plan.peak_utilization, 4),
+        ):
+            if not watchdog:
+                self._escalate_hook()
+                return self._lp.on_slot(slot, requests)
+
+            outcome = {}
+
+            def solve() -> None:
+                try:
+                    self._escalate_hook()
+                    outcome["plan"] = self._lp.plan_slot(slot, requests)
+                except BaseException as exc:  # delivered to the caller
+                    outcome["error"] = exc
+
+            worker = threading.Thread(
+                target=solve, name=f"lp-escalate-{slot}", daemon=True
+            )
+            worker.start()
+            worker.join(self.watchdog_timeout_s)
+            if worker.is_alive():
+                # Abandon the solve: it has touched no ledger state and
+                # its eventual result is discarded.  Poison the LP lane
+                # until the thread is reaped, arm the backoff window.
+                self._zombie = worker
+                self.degraded += 1
+                self._backoff_remaining = self._backoff_next
+                self._backoff_next = min(
+                    self._backoff_next * 2, self.watchdog_backoff_max
+                )
+                obs.counter("service.degraded", slot=slot)
+                return self._commit_degraded(slot, plan, reason="timeout")
+            if "error" in outcome:
+                raise outcome["error"]
+            self._backoff_next = self.watchdog_backoff_slots
+            return self._lp.commit_plan(outcome["plan"])
+
+    def _commit_degraded(self, slot, plan, reason: str) -> TransferSchedule:
+        """Finish an escalation-worthy slot fast-lane-only.
+
+        The fast plan already exists (it is what flagged the pressure);
+        committing it keeps every admissible request's deadline
+        guarantee, and the requests the fast lane could not admit are
+        recorded as rejections — the price of degrading, paid visibly
+        (``service.degraded`` / the ``degraded_slots`` SLO) instead of
+        by missing every deadline in a stalled slot.
+        """
+        with obs.span(
+            "hybrid.degraded",
+            slot=slot,
+            reason=reason,
+            rejections=len(plan.rejected),
             peak_utilization=round(plan.peak_utilization, 4),
         ):
             return self._fast.commit_plan(plan)

@@ -55,6 +55,9 @@ class SloThresholds:
     checkpoint_budget_s: float = 1.0
     #: Intake depth must stay <= this many queued submissions.
     max_intake_depth: int = 1024
+    #: Watchdog-degraded slots per window must stay <= this (0 = any
+    #: degrade is a breach; degrading is a survival move, not routine).
+    max_degraded_slots: int = 0
 
 
 class SloMonitor:
@@ -77,6 +80,7 @@ class SloMonitor:
         self._decision_s: Deque[float] = deque(maxlen=window)
         self._checkpoint_s: Deque[float] = deque(maxlen=window)
         self._depth: Deque[int] = deque(maxlen=window)
+        self._degraded: Deque[int] = deque(maxlen=window)
         #: Last evaluated ok-state per objective (for breach edges).
         self._ok: Dict[str, bool] = {}
         #: Total ok->breach transitions since start.
@@ -85,13 +89,23 @@ class SloMonitor:
     # -- recording -------------------------------------------------------
 
     def record_slot(
-        self, admitted: int, rejected: int, decision_s: float, depth: int
+        self,
+        admitted: int,
+        rejected: int,
+        decision_s: float,
+        depth: int,
+        degraded: int = 0,
     ) -> None:
-        """Fold one processed slot's outcome into the window."""
+        """Fold one processed slot's outcome into the window.
+
+        ``degraded`` is 1 when the solver watchdog finished this slot
+        fast-lane-only (or skipped the LP during its backoff window).
+        """
         self._admitted.append(admitted)
         self._rejected.append(rejected)
         self._decision_s.append(decision_s)
         self._depth.append(depth)
+        self._degraded.append(degraded)
 
     def record_checkpoint(self, seconds: float) -> None:
         """Fold one snapshot write's duration into the window."""
@@ -135,6 +149,12 @@ class SloMonitor:
                 "ok": (self._depth[-1] if self._depth else 0)
                 <= t.max_intake_depth,
                 "window": len(self._depth),
+            },
+            "degraded_slots": {
+                "value": float(sum(self._degraded)),
+                "budget": float(t.max_degraded_slots),
+                "ok": sum(self._degraded) <= t.max_degraded_slots,
+                "window": len(self._degraded),
             },
         }
         if emit:

@@ -8,15 +8,20 @@ intake queue saturates, and checkpoints so a killed process resumes
 mid-charging-period.  See docs/SERVICE.md.
 """
 
+from repro.service.chaos import ChaosMonkey, InjectedCrash
 from repro.service.config import ServiceConfig
 from repro.service.intake import IntakeQueue, PendingTransfer
 from repro.service.loadgen import LoadGenResult, percentile, run_loadgen
 from repro.service.server import ServiceDaemon, serve
 from repro.service.slotloop import TransferBroker
 from repro.service.store import SnapshotStore
+from repro.service.verify import verify_recovery
+from repro.service.wal import WalScan, WriteAheadLog, scan_wal
 from repro.service.watch import render_dashboard, run_watch
 
 __all__ = [
+    "ChaosMonkey",
+    "InjectedCrash",
     "IntakeQueue",
     "LoadGenResult",
     "PendingTransfer",
@@ -24,9 +29,13 @@ __all__ = [
     "ServiceDaemon",
     "SnapshotStore",
     "TransferBroker",
+    "WalScan",
+    "WriteAheadLog",
     "percentile",
     "render_dashboard",
     "run_loadgen",
     "run_watch",
+    "scan_wal",
     "serve",
+    "verify_recovery",
 ]

@@ -61,6 +61,34 @@ class ServiceConfig:
     checkpoint_dir: Optional[str] = None
     checkpoint_every: int = 5
 
+    #: Write-ahead logging (PR 7): journal every admission and slot
+    #: commit (O(1) bytes, fsync'd before the ack) and turn the
+    #: ``checkpoint_every`` cadence into snapshot *compaction*.
+    #: Requires ``checkpoint_dir``.
+    wal: bool = False
+    #: fsync each WAL append / snapshot write.  Turning this off trades
+    #: power-loss durability for speed (process-crash durability
+    #: remains); drills and benchmarks flip it, production should not.
+    wal_fsync: bool = True
+    #: Snapshot generations kept on disk (WAL mode).  Recovery can fall
+    #: back up to ``snapshot_retain - 1`` generations past a corrupt
+    #: newest snapshot.
+    snapshot_retain: int = 3
+
+    #: Per-connection read timeout, seconds (0 = none).  A connection
+    #: with no complete line and no in-flight decisions for this long
+    #: is told off and disconnected — a slowloris guard.
+    read_timeout_s: float = 0.0
+
+    #: Solver watchdog budget, seconds (0 = off; hybrid scheduler
+    #: only).  An LP escalation that has not answered within this is
+    #: abandoned and the slot degrades to fast-lane-only placement.
+    watchdog_timeout_s: float = 0.0
+    #: Escalation-worthy slots that skip the LP after a degrade
+    #: (doubling per consecutive degrade, capped below).
+    watchdog_backoff_slots: int = 2
+    watchdog_backoff_max: int = 16
+
     #: Stop after this many processed slots (0 = run until drained).
     max_slots: int = 0
 
@@ -93,6 +121,9 @@ class ServiceConfig:
     slo_checkpoint_budget_s: float = 1.0
     #: Intake-depth objective as a fraction of ``max_queue``.
     slo_depth_fraction: float = 0.8
+    #: Watchdog-degraded slots allowed per SLO window (0 = any degrade
+    #: breaches).
+    slo_max_degraded: int = 0
 
     def __post_init__(self) -> None:
         if self.datacenters < 2:
@@ -113,6 +144,28 @@ class ServiceConfig:
             raise ServiceError("max_batch must be non-negative")
         if self.checkpoint_every < 1:
             raise ServiceError("checkpoint_every must be >= 1")
+        if self.wal and not self.checkpoint_dir:
+            raise ServiceError("wal=True requires a checkpoint_dir")
+        if self.snapshot_retain < 1:
+            raise ServiceError("snapshot_retain must be >= 1")
+        if self.read_timeout_s < 0:
+            raise ServiceError("read_timeout_s must be non-negative")
+        if self.watchdog_timeout_s < 0:
+            raise ServiceError("watchdog_timeout_s must be non-negative")
+        if self.watchdog_timeout_s > 0 and self.scheduler != "hybrid":
+            raise ServiceError(
+                "the solver watchdog guards the hybrid scheduler's LP "
+                f"escalation; scheduler {self.scheduler!r} has none"
+            )
+        if (
+            self.watchdog_backoff_slots < 1
+            or self.watchdog_backoff_max < self.watchdog_backoff_slots
+        ):
+            raise ServiceError(
+                "need 1 <= watchdog_backoff_slots <= watchdog_backoff_max"
+            )
+        if self.slo_max_degraded < 0:
+            raise ServiceError("slo_max_degraded must be non-negative")
         if self.slot_wall_seconds <= 0:
             raise ServiceError("slot_wall_seconds must be positive")
         if self.wall_epoch < 0:
@@ -153,6 +206,7 @@ class ServiceConfig:
             max_intake_depth=max(
                 1, int(self.max_queue * self.slo_depth_fraction)
             ),
+            max_degraded_slots=self.slo_max_degraded,
         )
 
     def wall_time(self, slot: float, epoch: float) -> float:

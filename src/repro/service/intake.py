@@ -123,6 +123,40 @@ class IntakeQueue:
         """True while a submission with this id is waiting for a slot."""
         return any(pending.client_id == client_id for pending in self._queue)
 
+    def pending_ids(self) -> List[str]:
+        """Client ids of everything still waiting, in arrival order."""
+        return [pending.client_id for pending in self._queue]
+
+    def remove(self, client_id: str) -> Optional[PendingTransfer]:
+        """Pull one waiting submission back out (journal-failure rollback)."""
+        for pending in self._queue:
+            if pending.client_id == client_id:
+                self._queue.remove(pending)
+                return pending
+        return None
+
+    def take_ids(self, client_ids: List[str]) -> List[PendingTransfer]:
+        """Remove and return the named submissions, in the given order.
+
+        The WAL replay path: a commit record names exactly which queued
+        ids its slot batched, and replay must rebuild that batch —
+        whatever else has been queued around them.  Raises ``KeyError``
+        on an id that is not waiting (a WAL/queue inconsistency the
+        caller escalates).
+        """
+        by_id: Dict[str, PendingTransfer] = {}
+        for pending in self._queue:
+            by_id.setdefault(pending.client_id, pending)
+        missing = [cid for cid in client_ids if cid not in by_id]
+        if missing:
+            raise KeyError(
+                f"ids named by a WAL commit are not in the queue: {missing}"
+            )
+        taken = [by_id[cid] for cid in client_ids]
+        for pending in taken:
+            self._queue.remove(pending)
+        return taken
+
     def snapshot_payloads(self) -> List[Dict[str, Any]]:
         """Checkpoint encoding of everything still waiting."""
         return [pending.to_payload() for pending in self._queue]

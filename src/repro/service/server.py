@@ -54,13 +54,17 @@ class ServiceDaemon:
         """Bind the socket and start the slot clock (if automatic)."""
         if self.metrics is not None:
             obs.get_registry().add_sink(self.metrics)
+        # The stream limit bounds readline() buffering: a client that
+        # never sends a newline cannot grow memory past one max line.
         if self.config.socket_path:
             self._server = await asyncio.start_unix_server(
-                self._handle_client, path=self.config.socket_path
+                self._handle_client, path=self.config.socket_path,
+                limit=protocol.MAX_LINE_BYTES,
             )
         else:
             self._server = await asyncio.start_server(
-                self._handle_client, host=self.config.host, port=self.config.port
+                self._handle_client, host=self.config.host, port=self.config.port,
+                limit=protocol.MAX_LINE_BYTES,
             )
         if self.config.tick_seconds > 0:
             self._clock_task = asyncio.create_task(self._slot_clock())
@@ -147,8 +151,8 @@ class ServiceDaemon:
         deferred = set()
         try:
             while True:
-                line = await reader.readline()
-                if not line:
+                line = await self._read_line(reader, writer, lock, deferred)
+                if line is None:
                     break
                 if not line.strip():
                     continue
@@ -169,6 +173,52 @@ class ServiceDaemon:
             # parked right here, and that must stay quiet too.
             with contextlib.suppress(Exception, asyncio.CancelledError):
                 await writer.wait_closed()
+
+    async def _read_line(self, reader, writer, lock, deferred):
+        """One guarded readline; ``None`` means close the connection.
+
+        Two abuse guards (config ``read_timeout_s`` + the stream's
+        ``MAX_LINE_BYTES`` limit): an idle connection with nothing
+        in flight is disconnected after the timeout, and a line that
+        exceeds the limit is answered with a protocol error and the
+        connection dropped — readline's internal buffer cannot be
+        grown past the limit by a newline-less client.  A client
+        parked on in-flight submit decisions is waiting, not
+        stalling, so the timeout does not count against it.
+        """
+        timeout = self.config.read_timeout_s
+        while True:
+            try:
+                if timeout > 0:
+                    line = await asyncio.wait_for(reader.readline(), timeout)
+                else:
+                    line = await reader.readline()
+            except asyncio.TimeoutError:
+                if deferred:
+                    continue
+                obs.counter("service.read_timeout")
+                await self._send(
+                    writer, lock,
+                    protocol.error_response(
+                        "?", "timeout",
+                        f"no complete request line within {timeout}s; "
+                        "closing connection",
+                    ),
+                )
+                return None
+            except ValueError:
+                # StreamReader.readline: the line outgrew the limit.
+                obs.counter("service.line_overflow")
+                await self._send(
+                    writer, lock,
+                    protocol.error_response(
+                        "?", "invalid",
+                        f"request line exceeds {protocol.MAX_LINE_BYTES} "
+                        "bytes; closing connection",
+                    ),
+                )
+                return None
+            return line if line else None
 
     async def _dispatch(self, line, writer, lock, deferred) -> None:
         try:

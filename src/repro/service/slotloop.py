@@ -17,6 +17,14 @@ response a client has seen from a checkpointed slot survives a crash.
 Slots after the last checkpoint roll back atomically with their ledger
 commitments — clients that resubmit get a fresh, consistent decision
 (see docs/SERVICE.md).
+
+With ``config.wal=True`` the contract tightens to per-record (PR 7):
+every admission is journaled before its ``pending`` ack, every slot
+commit before its decisions are released, each as one O(1)-sized
+fsync'd WAL record.  Recovery replays the log over the newest valid
+snapshot generation and re-runs the recorded slots through the
+scheduler on their *recorded lanes*, then refuses to serve unless the
+post-recovery invariant checks (:mod:`repro.service.verify`) pass.
 """
 
 from __future__ import annotations
@@ -24,13 +32,16 @@ from __future__ import annotations
 import time
 from typing import Any, Dict, List, Optional, Tuple
 
-from repro.errors import ServiceError
+from repro.errors import ServiceError, WalError
 from repro.obs import registry as obs
 from repro.obs.slo import SloMonitor
 from repro.registry import make_scheduler
+from repro.service import chaos
 from repro.service.config import ServiceConfig
 from repro.service.intake import IntakeQueue, PendingTransfer
 from repro.service.store import SnapshotStore
+from repro.service.verify import verify_recovery
+from repro.service.wal import REC_ADMIT, REC_COMMIT
 from repro.traffic.spec import TransferRequest
 
 DECISION_ADMITTED = "admitted"
@@ -67,10 +78,28 @@ class TransferBroker:
             config.max_queue, config.tick_seconds, config.max_batch
         )
         self.store = (
-            SnapshotStore(config.checkpoint_dir) if config.checkpoint_dir else None
+            SnapshotStore(
+                config.checkpoint_dir,
+                wal=config.wal,
+                retain=config.snapshot_retain,
+                fsync=config.wal_fsync,
+            )
+            if config.checkpoint_dir
+            else None
         )
+        scheduler_kwargs: Dict[str, Any] = {}
+        if config.scheduler == "hybrid":
+            # The chaos tap and the watchdog live on the hybrid lane
+            # boundary; other schedulers have no escalation to guard.
+            scheduler_kwargs.update(
+                watchdog_timeout_s=config.watchdog_timeout_s,
+                watchdog_backoff_slots=config.watchdog_backoff_slots,
+                watchdog_backoff_max=config.watchdog_backoff_max,
+                escalate_hook=lambda: chaos.crashpoint("lp.escalate"),
+            )
         self.scheduler = make_scheduler(
-            config.scheduler, self.topology, config.horizon, backend=config.backend
+            config.scheduler, self.topology, config.horizon,
+            backend=config.backend, **scheduler_kwargs,
         )
         #: client id -> decision record (the idempotency/status log).
         self.decisions: Dict[str, Dict[str, Any]] = {}
@@ -86,22 +115,105 @@ class TransferBroker:
         #: Unix timestamp virtual slot 0 maps to (see ServiceConfig
         #: wall-clock fields); checkpointed so resumes keep alignment.
         self.wall_epoch = config.wall_epoch or time.time()
+        #: What recovery found on disk (WAL mode): base generation,
+        #: fallbacks, torn bytes, replayed record count.
+        self.recovery_info: Dict[str, Any] = {}
+        #: The invariant report of the last verified resume.
+        self.verifier_report: Optional[Dict[str, Any]] = None
 
-        snapshot = self.store.load(self.topology) if self.store else None
-        if snapshot is not None:
-            self.scheduler.adopt_state(snapshot.state)
-            self.queue.requeue_front(
-                [PendingTransfer.from_payload(p) for p in snapshot.pending]
+        if self.store and self.store.wal_enabled:
+            snapshot, records, self.recovery_info = self.store.recover(
+                self.topology
             )
-            self.next_slot = snapshot.next_slot
-            self.decisions = dict(snapshot.meta.get("decisions", {}))
-            restored = snapshot.meta.get("counts", {})
-            for key in self.counts:
-                self.counts[key] = int(restored.get(key, 0))
-            self.wall_epoch = float(
-                snapshot.meta.get("wall_epoch", self.wall_epoch)
-            )
-            self.resumed = True
+            if snapshot is not None:
+                self._adopt_snapshot(snapshot)
+            if records:
+                self._replay_wal(records)
+            self.resumed = snapshot is not None or bool(records)
+            self.store.open_wal()
+            if self.resumed:
+                # Serving from inconsistent books is worse than not
+                # serving: strict mode raises before any client connects.
+                self.verifier_report = verify_recovery(self, strict=True)
+        elif self.store:
+            snapshot = self.store.load(self.topology)
+            if snapshot is not None:
+                self._adopt_snapshot(snapshot)
+                self.resumed = True
+
+    def _adopt_snapshot(self, snapshot) -> None:
+        """Restore state, queue, clock, and books from one snapshot."""
+        self.scheduler.adopt_state(snapshot.state)
+        self.queue.requeue_front(
+            [PendingTransfer.from_payload(p) for p in snapshot.pending]
+        )
+        self.next_slot = snapshot.next_slot
+        self.decisions = dict(snapshot.meta.get("decisions", {}))
+        restored = snapshot.meta.get("counts", {})
+        for key in self.counts:
+            self.counts[key] = int(restored.get(key, 0))
+        self.wall_epoch = float(
+            snapshot.meta.get("wall_epoch", self.wall_epoch)
+        )
+
+    def _replay_wal(self, records: List[Dict[str, Any]]) -> None:
+        """Re-apply journaled admissions and slot commits in order.
+
+        Admissions re-enter the intake queue; commits re-run their
+        recorded batch through the scheduler on the recorded *lane*
+        (see :meth:`~repro.heuristic.hybrid.HybridScheduler.replay_slot`
+        — a degraded slot must not replay through the LP) and then
+        restore the recorded decisions and tallies verbatim.  The
+        scheduler is deterministic, so the rebuilt ledger matches the
+        pre-crash one cell for cell — the recovery verifier checks.
+        """
+        with obs.span("service.wal.replay", records=len(records)):
+            for record in records:
+                kind = record.get("type")
+                if kind == REC_ADMIT:
+                    entry = PendingTransfer.from_payload(record["entry"])
+                    if (
+                        entry.client_id in self.decisions
+                        or self.queue.contains(entry.client_id)
+                    ):
+                        continue
+                    self.queue.offer(entry)
+                    self.counts["submitted"] = max(
+                        self.counts["submitted"], int(record.get("submitted", 0))
+                    )
+                elif kind == REC_COMMIT:
+                    self._replay_commit(record)
+                else:
+                    raise WalError(f"unknown WAL record type {kind!r}")
+
+    def _replay_commit(self, record: Dict[str, Any]) -> None:
+        slot = int(record["slot"])
+        batch_ids = list(record.get("batch", []))
+        if batch_ids:
+            try:
+                batch = self.queue.take_ids(batch_ids)
+            except KeyError as exc:
+                raise WalError(str(exc)) from exc
+            requests = [
+                TransferRequest(
+                    pending.source,
+                    pending.destination,
+                    pending.size_gb,
+                    pending.deadline_slots,
+                    release_slot=slot,
+                )
+                for pending in batch
+            ]
+            lane = record.get("lane", "fast")
+            if hasattr(self.scheduler, "replay_slot"):
+                self.scheduler.replay_slot(slot, requests, lane)
+            else:
+                self.scheduler.on_slot(slot, requests)
+        self.decisions.update(record.get("decisions", {}))
+        for key, value in record.get("counts", {}).items():
+            if key in self.counts:
+                self.counts[key] = int(value)
+        self.next_slot = slot + 1
 
     @property
     def state(self):
@@ -153,6 +265,24 @@ class TransferBroker:
         # The submitted tally is monotone and checkpointed, so ids stay
         # unique across crash-resume cycles.
         pending.trace_id = f"t-{self.counts['submitted']:08d}"
+        if self.store and self.store.wal_enabled:
+            # Journal-before-ack: the admission must be on disk before
+            # the client hears "pending".  A failed append (disk full)
+            # rolls the submission back — refusing it is honest, acking
+            # an unjournaled one is not.
+            try:
+                self.store.append_wal({
+                    "type": REC_ADMIT,
+                    "entry": pending.to_payload(),
+                    "submitted": self.counts["submitted"],
+                })
+            except OSError as exc:
+                self.queue.remove(client_id)
+                self.counts["submitted"] -= 1
+                obs.counter("service.wal.append_failed")
+                raise ServiceError(
+                    f"cannot journal submission {client_id!r}: {exc}"
+                ) from exc
         obs.counter("service.submitted")
         obs.counter(
             "service.intake",
@@ -190,6 +320,13 @@ class TransferBroker:
         if not batch:
             self.next_slot = slot + 1
             self.counts["slots"] += 1
+            if self.store and self.store.wal_enabled:
+                # Even an empty slot advances the billable clock; a
+                # resume must not rewind it.  One tiny record.
+                self.store.append_wal({
+                    "type": REC_COMMIT, "slot": slot, "batch": [],
+                    "counts": dict(self.counts),
+                })
             return []
 
         obs.gauge("service.batch_size", len(batch))
@@ -217,6 +354,9 @@ class TransferBroker:
         trace_ids = [p.trace_id for p in batch[:TRACE_IDS_ATTR_CAP]]
         cost_before = self.state.current_cost_per_slot()
         escalations_before = getattr(self.scheduler, "escalations", 0)
+        degraded_before = getattr(self.scheduler, "degraded", 0) + getattr(
+            self.scheduler, "lp_skipped", 0
+        )
         try:
             with obs.trace(slot=slot, trace_ids=trace_ids):
                 with obs.timed_span(
@@ -229,11 +369,17 @@ class TransferBroker:
             self.queue.requeue_front(batch)
             raise
         decision_s = slot_span.seconds
-        lane = (
-            "lp"
-            if getattr(self.scheduler, "escalations", 0) > escalations_before
-            else "fast"
+        degraded_now = getattr(self.scheduler, "degraded", 0) + getattr(
+            self.scheduler, "lp_skipped", 0
         )
+        if degraded_now > degraded_before:
+            # The watchdog finished (or skipped) this slot fast-lane-only;
+            # replay must take the same lane, so record it as its own.
+            lane = "degraded"
+        elif getattr(self.scheduler, "escalations", 0) > escalations_before:
+            lane = "lp"
+        else:
+            lane = "fast"
         # The slot's charged-cost delta: what this batch added to the
         # per-interval bill.  A joint solve prices the batch as a
         # whole, so the delta is attributed batch-level, not split.
@@ -298,12 +444,28 @@ class TransferBroker:
         self.next_slot = slot + 1
         self.slo.record_slot(
             admitted_count, len(batch) - admitted_count, decision_s,
-            self.queue.depth,
+            self.queue.depth, degraded=int(lane == "degraded"),
         )
+        if self.store and self.store.wal_enabled:
+            # Commit-before-ack at O(1) cost: the slot's batch, its
+            # decisions, the tallies, and the lane that placed it — on
+            # disk before any waiter sees a decision.
+            self.store.append_wal({
+                "type": REC_COMMIT,
+                "slot": slot,
+                "batch": [pending.client_id for pending in batch],
+                "decisions": {
+                    pending.client_id: record
+                    for pending, record in resolutions
+                },
+                "counts": dict(self.counts),
+                "lane": lane,
+            })
         if self.store and (
             self.draining or self.next_slot % self.config.checkpoint_every == 0
         ):
             self.checkpoint()
+        chaos.crashpoint("commit.pre_ack")
         self.slo.evaluate(emit=True)
         return resolutions
 
@@ -405,6 +567,11 @@ class TransferBroker:
                 "next_slot": self.next_slot,
                 "next_slot_wall_ts": round(self.wall_time(self.next_slot), 3),
             },
+            "recovery": {
+                "resumed": self.resumed,
+                "info": dict(self.recovery_info),
+                "verifier": self.verifier_report,
+            },
         }
 
     def stats(self) -> Dict[str, Any]:
@@ -422,6 +589,14 @@ class TransferBroker:
             "cost_per_slot": round(self.state.current_cost_per_slot(), 6),
             "escalations": getattr(self.scheduler, "escalations", 0),
             "fast_slots": getattr(self.scheduler, "fast_slots", 0),
-            "checkpoints": self.store.saves if self.store else 0,
+            "degraded": getattr(self.scheduler, "degraded", 0),
+            "lp_skipped": getattr(self.scheduler, "lp_skipped", 0),
+            "wal": bool(self.store and self.store.wal_enabled),
+            **(
+                self.store.stats()
+                if self.store
+                else {"checkpoints": 0, "generation": 0, "wal_records": 0,
+                      "wal_bytes": 0, "snapshot_bytes": 0}
+            ),
             **self.counts,
         }

@@ -1,41 +1,152 @@
-"""Snapshot persistence for the daemon: save/load via core/checkpoint.
+"""Snapshot + WAL persistence for the daemon.
 
-The store owns one directory with one ``snapshot.json`` (written
-atomically by :func:`repro.core.checkpoint.save_snapshot`).  A snapshot
-captures the full resume set: the NetworkState's billing accounting,
-the pending intake queue, the next virtual slot, and the decision log —
-so a daemon killed between slots restarts mid-charging-period without
-losing billed-volume history or double-charging replayed work.
+Two modes under one checkpoint directory:
+
+**Legacy snapshot mode** (``wal=False``) — one ``snapshot.json``
+rewritten atomically every ``checkpoint_every`` slots, exactly as
+introduced with the broker.  Cost: O(served requests) bytes per write,
+and slots after the last snapshot roll back on a crash.
+
+**WAL mode** (``wal=True``, PR 7) — the directory holds *generations*::
+
+    snapshot-00000001.json   wal-00000001.log
+    snapshot-00000002.json   wal-00000002.log      <- newest
+    wal-00000000.log                               <- genesis log
+
+Every admission and every slot commit is appended to the current
+generation's log (O(1) bytes, fsync'd before the ack) by
+:class:`~repro.service.wal.WriteAheadLog`; every ``checkpoint_every``
+slots the store *compacts*: writes ``snapshot-<g+1>.json`` with the
+full durability dance, switches appends to a fresh ``wal-<g+1>.log``,
+and prunes generations older than the retention window.  Log ``g``
+therefore covers exactly the interval between snapshot ``g`` and
+snapshot ``g+1`` — which is what makes checksum fallback work:
+:meth:`recover` loads the newest snapshot whose checksum verifies (a
+corrupt one costs a generation, not the history) and replays every
+retained log from that generation forward.  Torn log tails are
+truncated; stray ``*.tmp`` files from a mid-compaction death are swept.
 """
 
 from __future__ import annotations
 
 from pathlib import Path
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List, Optional, Tuple
 
-from repro.core.checkpoint import ServiceSnapshot, load_snapshot, save_snapshot
+from repro.core.checkpoint import (
+    ServiceSnapshot,
+    fsync_directory,
+    load_snapshot,
+    save_snapshot,
+)
 from repro.core.state import NetworkState
+from repro.errors import SchedulingError, WalError
 from repro.net.topology import Topology
 from repro.obs import registry as obs
+from repro.service import chaos
+from repro.service.wal import WriteAheadLog, scan_wal, truncate_torn_tail
 
 SNAPSHOT_NAME = "snapshot.json"
 
+#: Zero-padded generation width in file names (keeps lexicographic and
+#: numeric order identical for the curious shell user).
+_GEN_WIDTH = 8
+
 
 class SnapshotStore:
-    """Atomic snapshot files under one checkpoint directory."""
+    """Atomic snapshot files — generational + WAL'd when ``wal=True``."""
 
-    def __init__(self, directory: str):
+    def __init__(
+        self,
+        directory: str,
+        wal: bool = False,
+        retain: int = 3,
+        fsync: bool = True,
+    ):
+        if retain < 1:
+            raise WalError(f"snapshot retention must be >= 1, got {retain}")
         self.directory = Path(directory)
         self.directory.mkdir(parents=True, exist_ok=True)
+        self.wal_enabled = wal
+        self.retain = retain
+        self.fsync = fsync
         #: Snapshots written by this process (stats surface this).
         self.saves = 0
+        #: Snapshot bytes written by this process (durability benchmark).
+        self.snapshot_bytes = 0
+        #: The open append log (WAL mode, after :meth:`open_wal`).
+        self.wal: Optional[WriteAheadLog] = None
+        #: Lifetime WAL totals across log rotations (stats surface the
+        #: sum of these and the open log's own counters).
+        self._retired_wal_records = 0
+        self._retired_wal_bytes = 0
+        #: What the last :meth:`recover` found (fallbacks, torn bytes...).
+        self.last_recovery: Dict[str, Any] = {}
+        self._generation = 0
+
+    # -- file layout -------------------------------------------------------
 
     @property
     def path(self) -> Path:
+        """Legacy single-file snapshot path."""
         return self.directory / SNAPSHOT_NAME
 
+    @property
+    def generation(self) -> int:
+        """The generation currently receiving WAL appends."""
+        return self._generation
+
+    def snapshot_path(self, generation: int) -> Path:
+        return self.directory / f"snapshot-{generation:0{_GEN_WIDTH}d}.json"
+
+    def wal_path(self, generation: int) -> Path:
+        return self.directory / f"wal-{generation:0{_GEN_WIDTH}d}.log"
+
+    def _numbered(self, pattern: str, prefix: str, suffix: str) -> List[int]:
+        found = []
+        for entry in self.directory.glob(pattern):
+            stem = entry.name[len(prefix) : -len(suffix)]
+            if stem.isdigit():
+                found.append(int(stem))
+        return sorted(found)
+
+    def snapshot_generations(self) -> List[int]:
+        """Generations with a snapshot file on disk, ascending."""
+        return self._numbered("snapshot-*.json", "snapshot-", ".json")
+
+    def wal_generations(self) -> List[int]:
+        """Generations with a WAL file on disk, ascending."""
+        return self._numbered("wal-*.log", "wal-", ".log")
+
+    def newest_generation(self) -> int:
+        """Highest generation any on-disk file belongs to (0 if none)."""
+        gens = self.snapshot_generations() + self.wal_generations()
+        return max(gens) if gens else 0
+
     def exists(self) -> bool:
+        if self.wal_enabled:
+            return bool(self.snapshot_generations() or self.wal_generations())
         return self.path.exists()
+
+    # -- WAL appends -------------------------------------------------------
+
+    def open_wal(self) -> WriteAheadLog:
+        """Open (creating if needed) the current generation's append log."""
+        if not self.wal_enabled:
+            raise WalError("open_wal on a store without wal=True")
+        if self.wal is None or self.wal.closed:
+            self.wal = WriteAheadLog(
+                self.wal_path(self._generation),
+                fsync=self.fsync,
+                crashpoint=chaos.crashpoint,
+                mangle=chaos.mangle,
+            )
+        return self.wal
+
+    def append_wal(self, record: Dict[str, Any]) -> int:
+        """Durably append one record to the current generation's log."""
+        return self.open_wal().append(record)
+
+    # -- snapshots ---------------------------------------------------------
 
     def save(
         self,
@@ -44,13 +155,170 @@ class SnapshotStore:
         next_slot: int,
         meta: Dict[str, Any],
     ) -> None:
+        """Write a snapshot: a compaction in WAL mode, a rewrite otherwise."""
+        if self.wal_enabled:
+            self.compact(state, pending, next_slot, meta)
+            return
         with obs.span("service.checkpoint", slot=next_slot, pending=len(pending)):
-            save_snapshot(state, self.path, pending, next_slot, meta)
+            self.snapshot_bytes += save_snapshot(
+                state, self.path, pending, next_slot, meta,
+                fsync=self.fsync, crashpoint=chaos.crashpoint,
+            )
         self.saves += 1
         obs.counter("service.checkpoints")
 
+    def compact(
+        self,
+        state: NetworkState,
+        pending: List[Dict[str, Any]],
+        next_slot: int,
+        meta: Dict[str, Any],
+    ) -> int:
+        """Snapshot the full state as generation ``g+1``, rotate the log.
+
+        Ordering is the crash-safety argument: the new snapshot reaches
+        disk (tmp + fsync + rename + dir fsync) *before* appends switch
+        to the new log and *before* anything old is pruned.  A death at
+        any boundary leaves either (old snapshot + complete old log) or
+        (new snapshot [+ empty-or-partial new log]) — both recoverable.
+        Returns the new generation number.
+        """
+        generation = self._generation + 1
+        with obs.span(
+            "service.checkpoint", slot=next_slot,
+            pending=len(pending), generation=generation,
+        ):
+            self.snapshot_bytes += save_snapshot(
+                state, self.snapshot_path(generation), pending, next_slot,
+                meta, fsync=self.fsync, crashpoint=chaos.crashpoint,
+            )
+        self._retire_wal()
+        self._generation = generation
+        self.open_wal()
+        if self.fsync:
+            fsync_directory(self.directory)
+        self._prune(generation)
+        self.saves += 1
+        obs.counter("service.checkpoints", generation=generation)
+        return generation
+
+    def _prune(self, generation: int) -> None:
+        """Drop generations older than the retention window.
+
+        Keeps the last ``retain`` snapshot generations *and their logs*
+        — a fallback to the oldest retained snapshot still replays a
+        complete log chain to the head.
+        """
+        cutoff = generation - self.retain + 1
+        for gen in self.snapshot_generations():
+            if gen < cutoff:
+                self.snapshot_path(gen).unlink(missing_ok=True)
+        for gen in self.wal_generations():
+            if gen < cutoff:
+                self.wal_path(gen).unlink(missing_ok=True)
+
+    # -- recovery ----------------------------------------------------------
+
     def load(self, topology: Topology) -> Optional[ServiceSnapshot]:
-        """The last snapshot, or ``None`` on a fresh checkpoint dir."""
-        if not self.exists():
+        """Legacy mode: the last snapshot, or ``None`` on a fresh dir.
+
+        Refuses a corrupt snapshot loudly (version/checksum checks in
+        :func:`~repro.core.checkpoint.snapshot_from_json`) — serving
+        from silently-bad books is the one outcome worse than downtime.
+        """
+        if not self.path.exists():
             return None
         return load_snapshot(self.path, topology)
+
+    def recover(
+        self, topology: Topology
+    ) -> Tuple[Optional[ServiceSnapshot], List[Dict[str, Any]], Dict[str, Any]]:
+        """WAL mode: newest valid snapshot + the records to replay over it.
+
+        Walks snapshot generations newest-first until one passes its
+        checksum (each rejection is a counted *fallback*), truncates
+        torn log tails, sweeps stray ``*.tmp`` files, and returns
+        ``(snapshot_or_None, records, info)``.  The caller replays
+        ``records`` — every intact record from the chosen generation's
+        log through the newest log — on top of the snapshot.
+        """
+        info: Dict[str, Any] = {
+            "base_generation": None,
+            "fallbacks": 0,
+            "fallback_errors": [],
+            "replayed_records": 0,
+            "torn_bytes": 0,
+            "stray_tmp": 0,
+        }
+        for stray in sorted(self.directory.glob("*.tmp")):
+            stray.unlink(missing_ok=True)
+            info["stray_tmp"] += 1
+            obs.counter("service.recovery.stray_tmp")
+
+        snapshot: Optional[ServiceSnapshot] = None
+        base = 0
+        for gen in reversed(self.snapshot_generations()):
+            try:
+                snapshot = load_snapshot(self.snapshot_path(gen), topology)
+                base = gen
+                break
+            except (SchedulingError, OSError, ValueError) as exc:
+                # ValueError covers UnicodeDecodeError: a byte-level
+                # corruption can break the UTF-8 decode before the
+                # checksum ever gets a look.
+                info["fallbacks"] += 1
+                info["fallback_errors"].append(f"generation {gen}: {exc}")
+                obs.counter("service.snapshot.fallback", generation=gen)
+        if snapshot is None:
+            wal_gens = self.wal_generations()
+            if wal_gens and wal_gens[0] > 0:
+                raise WalError(
+                    "no readable snapshot generation and the retained WAL "
+                    f"chain starts at generation {wal_gens[0]}, not genesis; "
+                    "the history cannot be rebuilt"
+                )
+            base = 0
+
+        records: List[Dict[str, Any]] = []
+        newest = max([base] + self.wal_generations())
+        for gen in range(base, newest + 1):
+            scan = scan_wal(self.wal_path(gen))
+            if scan.torn:
+                info["torn_bytes"] += truncate_torn_tail(scan)
+            records.extend(scan.records)
+
+        self._generation = newest
+        info["base_generation"] = base if (snapshot or records) else None
+        info["replayed_records"] = len(records)
+        self.last_recovery = info
+        return snapshot, records, info
+
+    # -- reporting ---------------------------------------------------------
+
+    def _retire_wal(self) -> None:
+        """Fold the open log's counters into the lifetime totals, close it."""
+        if self.wal is not None:
+            self._retired_wal_records += self.wal.records_written
+            self._retired_wal_bytes += self.wal.bytes_written
+            self.wal.close()
+            self.wal = None
+
+    def stats(self) -> Dict[str, Any]:
+        """Persistence counters for the broker's ``stats`` op.
+
+        ``wal_records``/``wal_bytes`` are lifetime totals across log
+        rotations, not just the open generation's log — the durability
+        benchmark divides them by request count.
+        """
+        open_records = self.wal.records_written if self.wal else 0
+        open_bytes = self.wal.bytes_written if self.wal else 0
+        return {
+            "checkpoints": self.saves,
+            "generation": self._generation if self.wal_enabled else 0,
+            "wal_records": self._retired_wal_records + open_records,
+            "wal_bytes": self._retired_wal_bytes + open_bytes,
+            "snapshot_bytes": self.snapshot_bytes,
+        }
+
+    def close(self) -> None:
+        self._retire_wal()

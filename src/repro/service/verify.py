@@ -1,0 +1,131 @@
+"""Post-recovery invariant checks on a resumed broker.
+
+A recovery path that silently produces inconsistent books is worse
+than a crash — the cost model double-charges (or loses) traffic and
+nobody notices until the invoice.  :func:`verify_recovery` is run by
+the broker after every WAL resume and by every chaos drill; a failed
+check raises :class:`~repro.errors.RecoveryVerifyError` (strict mode),
+because serving from bad books must not happen.
+
+Checks:
+
+``ledger_conservation``
+    The charged watermark ``X_ij`` of every link equals the maximum
+    per-slot volume the ledger actually recorded over the current
+    charging period.  Replay that dropped or doubled a commit shows up
+    here first.
+``no_double_charge``
+    The decision log is consistent with the admission/rejection
+    tallies, and no client id is simultaneously decided *and* still
+    pending — a submission replayed into both states would be charged
+    twice.
+``watermark_monotonic``
+    The process-local request-id counter sits strictly above every
+    request id the restored completions reference, so post-resume
+    admissions can never collide with pre-crash ones.
+``next_slot_consistent``
+    The virtual clock is at or past every slot the decision log has
+    committed — a rewound clock would re-run (and re-bill) slots.
+``queue_bounded``
+    The restored intake queue respects the configured bound.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+from repro.errors import RecoveryVerifyError
+from repro.obs import registry as obs
+
+#: Ledger volumes are accumulated floats; equality up to this.
+_EPS = 1e-6
+
+
+def verify_recovery(broker, strict: bool = True) -> Dict[str, Any]:
+    """Run every invariant check against a (typically resumed) broker.
+
+    Returns ``{"ok": bool, "checks": {name: {"ok", "detail"}}}``.  With
+    ``strict=True`` (the default) a failed check raises
+    :class:`RecoveryVerifyError` naming every violated invariant.
+    """
+    from repro.traffic.spec import peek_next_request_id
+
+    state = broker.state
+    checks: Dict[str, Dict[str, Any]] = {}
+
+    # -- ledger conservation ----------------------------------------------
+    worst = ("", 0.0)
+    for link in state.topology.links:
+        charged = state.charged_volume(link.src, link.dst)
+        peak = state.ledger.peak_in_range(
+            link.src, link.dst, state.period_start, state.horizon
+        )
+        drift = abs(charged - peak)
+        if drift > worst[1]:
+            worst = (f"{link.src}->{link.dst}", drift)
+    checks["ledger_conservation"] = {
+        "ok": worst[1] <= _EPS,
+        "detail": (
+            "charged == period peak on every link"
+            if worst[1] <= _EPS
+            else f"link {worst[0]} drifts {worst[1]:.9f} GB from its period peak"
+        ),
+    }
+
+    # -- no double charge --------------------------------------------------
+    decided = broker.counts["admitted"] + broker.counts["rejected"]
+    tally_ok = decided == len(broker.decisions)
+    pending_ids = set(broker.queue.pending_ids())
+    overlap = pending_ids & set(broker.decisions)
+    checks["no_double_charge"] = {
+        "ok": tally_ok and not overlap,
+        "detail": (
+            f"{len(broker.decisions)} decisions, tallies admitted+rejected="
+            f"{decided}"
+            + (f", ids both decided and pending: {sorted(overlap)}" if overlap else "")
+        ),
+    }
+
+    # -- watermark monotonicity -------------------------------------------
+    highest = max(state.completions, default=0)
+    watermark = peek_next_request_id()
+    checks["watermark_monotonic"] = {
+        "ok": watermark > highest,
+        "detail": (
+            f"next request id {watermark} vs highest restored "
+            f"completion id {highest}"
+        ),
+    }
+
+    # -- next-slot consistency --------------------------------------------
+    last_committed = max(
+        (rec.get("slot", -1) for rec in broker.decisions.values()), default=-1
+    )
+    checks["next_slot_consistent"] = {
+        "ok": broker.next_slot > last_committed and broker.next_slot >= 0,
+        "detail": (
+            f"next_slot={broker.next_slot}, last committed decision "
+            f"slot={last_committed}"
+        ),
+    }
+
+    # -- queue bound -------------------------------------------------------
+    checks["queue_bounded"] = {
+        "ok": broker.queue.depth <= broker.config.max_queue,
+        "detail": (
+            f"depth {broker.queue.depth} <= max_queue "
+            f"{broker.config.max_queue}"
+        ),
+    }
+
+    ok = all(c["ok"] for c in checks.values())
+    report = {"ok": ok, "checks": checks}
+    obs.counter("service.recovery.verified" if ok else "service.recovery.failed")
+    if strict and not ok:
+        failed = ", ".join(
+            f"{name} ({c['detail']})" for name, c in checks.items() if not c["ok"]
+        )
+        raise RecoveryVerifyError(
+            f"post-recovery invariant checks failed: {failed}"
+        )
+    return report

@@ -255,3 +255,55 @@ def test_rejections_survive_with_fresh_ids():
     assert len(restored.rejected) == 1
     assert restored.rejected[0].source == 0
     assert restored.rejected[0].request_id != state.rejected[0].request_id
+
+
+def test_snapshot_header_carries_version_and_checksum():
+    """Version-2 snapshots self-describe and self-verify (PR 7)."""
+    import json
+
+    from repro.core.checkpoint import snapshot_to_json
+
+    topo = line_topology(3, capacity=10.0)
+    payload = json.loads(snapshot_to_json(NetworkState(topo, horizon=10)))
+    assert payload["version"] == 2
+    assert isinstance(payload["checksum"], int)
+
+
+def test_snapshot_checksum_mismatch_rejected(line3):
+    import json
+
+    from repro.core.checkpoint import snapshot_from_json, snapshot_to_json
+
+    payload = json.loads(snapshot_to_json(NetworkState(line3, horizon=10)))
+    payload["next_slot"] = 41  # tamper without re-checksumming
+    with pytest.raises(SchedulingError, match="checksum mismatch"):
+        snapshot_from_json(json.dumps(payload), line3)
+
+
+def test_version_1_snapshot_still_loads(line3):
+    """Pre-checksum snapshots (no ``checksum`` field) remain readable."""
+    import json
+
+    from repro.core.checkpoint import snapshot_from_json, snapshot_to_json
+
+    payload = json.loads(snapshot_to_json(NetworkState(line3, horizon=10)))
+    payload["version"] = 1
+    del payload["checksum"]
+    snapshot = snapshot_from_json(json.dumps(payload), line3)
+    assert snapshot.next_slot == 0
+
+
+def test_atomic_write_durability_hooks(tmp_path):
+    """atomic_write walks every crash boundary in order, then lands."""
+    from repro.core.checkpoint import atomic_write
+
+    stages = []
+    target = tmp_path / "out.json"
+    n = atomic_write(target, '{"x": 1}', crashpoint=stages.append)
+    assert stages == [
+        "checkpoint.pre_write", "checkpoint.pre_fsync",
+        "checkpoint.pre_rename", "checkpoint.post_rename",
+    ]
+    assert n == len('{"x": 1}')
+    assert target.read_text() == '{"x": 1}'
+    assert not target.with_name(target.name + ".tmp").exists()

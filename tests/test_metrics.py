@@ -229,7 +229,7 @@ def test_slo_all_ok_when_idle():
     states = SloMonitor(window=8).evaluate()
     assert set(states) == {
         "admission_ratio", "decision_p99_s", "checkpoint_p99_s",
-        "intake_depth",
+        "intake_depth", "degraded_slots",
     }
     assert all(state["ok"] for state in states.values())
 

@@ -269,3 +269,98 @@ def test_kill9_resume_matches_uninterrupted_run(tmp_path):
     assert snapshot.state.charged_snapshot() == pytest.approx(
         reference.state.charged_snapshot()
     )
+
+
+# -- connection guards (PR 7) ----------------------------------------------
+
+
+def test_read_timeout_disconnects_idle_connection(tmp_path):
+    """An idle connection (nothing in flight) is told off and dropped."""
+    sock = str(tmp_path / "rt.sock")
+    config = ServiceConfig(
+        socket_path=sock, datacenters=4, capacity=50.0,
+        tick_seconds=0.0, max_deadline=8, read_timeout_s=0.15,
+    )
+
+    async def scenario():
+        daemon = ServiceDaemon(config)
+        await daemon.start()
+        try:
+            reader, writer = await asyncio.open_unix_connection(sock)
+            line = await asyncio.wait_for(reader.readline(), timeout=2.0)
+            response = json.loads(line)
+            eof = await asyncio.wait_for(reader.readline(), timeout=2.0)
+            writer.close()
+            return response, eof
+        finally:
+            await daemon.stop()
+
+    response, eof = asyncio.run(scenario())
+    assert response["ok"] is False
+    assert response["error"] == "timeout"
+    assert eof == b""  # the server hung up after the notice
+
+
+def test_read_timeout_spares_inflight_submissions(tmp_path):
+    """A client waiting on a parked decision is waiting, not stalling."""
+    sock = str(tmp_path / "rtw.sock")
+    config = ServiceConfig(
+        socket_path=sock, datacenters=4, capacity=50.0,
+        tick_seconds=0.0, max_deadline=8, read_timeout_s=0.1,
+    )
+
+    async def scenario():
+        daemon = ServiceDaemon(config)
+        await daemon.start()
+        try:
+            conn = await _Connection.open("", 0, socket_path=sock)
+            pending = conn.send({
+                "op": "submit", "id": "w-1", "source": 0, "destination": 2,
+                "size_gb": 4.0, "deadline_slots": 3,
+            })
+            # Sit well past the read timeout before ticking the slot.
+            await asyncio.sleep(0.3)
+            ticker = await _Connection.open("", 0, socket_path=sock)
+            await ticker.call({"op": "tick"})
+            response = await asyncio.wait_for(pending, timeout=2.0)
+            await ticker.close()
+            await conn.close()
+            return response
+        finally:
+            await daemon.stop()
+
+    response = asyncio.run(scenario())
+    assert response["ok"] is True
+    assert response["decision"] in ("admitted", "rejected")
+
+
+def test_oversized_line_is_refused_and_disconnected(tmp_path):
+    """A newline-less flood is bounded by the stream limit, not memory."""
+    from repro.service import protocol as proto
+
+    sock = str(tmp_path / "big.sock")
+    config = ServiceConfig(
+        socket_path=sock, datacenters=4, capacity=50.0,
+        tick_seconds=0.0, max_deadline=8,
+    )
+
+    async def scenario():
+        daemon = ServiceDaemon(config)
+        await daemon.start()
+        try:
+            reader, writer = await asyncio.open_unix_connection(sock)
+            writer.write(b"x" * (proto.MAX_LINE_BYTES + 1024))
+            await writer.drain()
+            line = await asyncio.wait_for(reader.readline(), timeout=2.0)
+            response = json.loads(line)
+            eof = await asyncio.wait_for(reader.readline(), timeout=2.0)
+            writer.close()
+            return response, eof
+        finally:
+            await daemon.stop()
+
+    response, eof = asyncio.run(scenario())
+    assert response["ok"] is False
+    assert response["error"] == "invalid"
+    assert "exceeds" in response["message"]
+    assert eof == b""

@@ -218,7 +218,7 @@ def test_broker_telemetry_body_shape():
     assert body["stats"]["admitted"] == 1
     assert set(body["slo"]) == {
         "admission_ratio", "decision_p99_s", "checkpoint_p99_s",
-        "intake_depth",
+        "intake_depth", "degraded_slots",
     }
     assert body["wall"]["epoch"] == 1000.0
     assert body["wall"]["slot_wall_seconds"] == 300.0

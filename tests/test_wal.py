@@ -1,0 +1,261 @@
+"""Unit tests for the write-ahead log and the generational store."""
+
+import json
+import zlib
+
+import pytest
+
+from repro.errors import SchedulingError, WalError
+from repro.service.config import ServiceConfig
+from repro.service.slotloop import TransferBroker
+from repro.service.store import SnapshotStore
+from repro.service.wal import (
+    RECORD_HEADER,
+    WriteAheadLog,
+    encode_record,
+    scan_wal,
+    truncate_torn_tail,
+)
+
+
+# -- framing ---------------------------------------------------------------
+
+
+def test_append_scan_round_trip(tmp_path):
+    path = tmp_path / "wal.log"
+    wal = WriteAheadLog(path)
+    records = [
+        {"type": "admit", "entry": {"id": "a"}, "submitted": 1},
+        {"type": "commit", "slot": 0, "batch": ["a"], "lane": "fast"},
+    ]
+    for record in records:
+        wal.append(record)
+    wal.close()
+    scan = scan_wal(path)
+    assert scan.records == records
+    assert not scan.torn
+    assert scan.valid_bytes == path.stat().st_size
+
+
+def test_append_counts_and_close(tmp_path):
+    wal = WriteAheadLog(tmp_path / "wal.log")
+    n = wal.append({"type": "admit"})
+    assert wal.records_written == 1
+    assert wal.bytes_written == n
+    assert wal.size_bytes() == n
+    wal.close()
+    assert wal.closed
+    with pytest.raises(WalError, match="closed"):
+        wal.append({"type": "admit"})
+
+
+def test_oversized_record_refused():
+    with pytest.raises(WalError, match="exceeds"):
+        encode_record({"blob": "x" * (17 * 1024 * 1024)})
+
+
+def test_scan_missing_file_is_empty(tmp_path):
+    scan = scan_wal(tmp_path / "nope.log")
+    assert scan.records == [] and not scan.torn
+
+
+@pytest.mark.parametrize(
+    "mangler,reason",
+    [
+        (lambda frame: frame[: RECORD_HEADER.size - 2], "short header"),
+        (lambda frame: frame[:-3], "short payload"),
+        (
+            lambda frame: frame[: RECORD_HEADER.size]
+            + b"X" + frame[RECORD_HEADER.size + 1 :],
+            "checksum mismatch",
+        ),
+        (
+            lambda frame: RECORD_HEADER.pack(2**30, 0) + frame[RECORD_HEADER.size :],
+            "implausible record length",
+        ),
+    ],
+)
+def test_torn_tail_detected_and_truncated(tmp_path, mangler, reason):
+    path = tmp_path / "wal.log"
+    wal = WriteAheadLog(path)
+    wal.append({"type": "admit", "entry": {"id": "a"}})
+    wal.close()
+    intact = path.stat().st_size
+    frame = encode_record({"type": "commit", "slot": 1})
+    with open(path, "ab") as fh:
+        fh.write(mangler(frame))
+
+    scan = scan_wal(path)
+    assert scan.torn
+    assert reason in scan.torn_reason
+    assert len(scan.records) == 1  # the intact prefix survives
+    assert scan.valid_bytes == intact
+
+    cut = truncate_torn_tail(scan)
+    assert cut > 0
+    assert path.stat().st_size == intact
+    assert not scan_wal(path).torn
+
+
+def test_bad_json_payload_is_a_tear(tmp_path):
+    path = tmp_path / "wal.log"
+    payload = b"not json at all"
+    path.write_bytes(RECORD_HEADER.pack(len(payload), zlib.crc32(payload)) + payload)
+    scan = scan_wal(path)
+    assert scan.torn and "JSON" in scan.torn_reason
+
+
+# -- the generational store ------------------------------------------------
+
+
+def wal_config(tmp_path, **overrides):
+    defaults = dict(
+        datacenters=4, capacity=50.0, seed=3, max_deadline=8,
+        tick_seconds=0.0, checkpoint_dir=str(tmp_path / "ckpt"),
+        checkpoint_every=1, wal=True,
+    )
+    defaults.update(overrides)
+    return ServiceConfig(**defaults)
+
+
+def drive_slots(broker, slots, start=0):
+    for i in range(slots):
+        broker.submit({
+            "id": f"s{start + i}", "source": 0, "destination": 2,
+            "size_gb": 4.0, "deadline_slots": 3,
+        })
+        broker.process_slot()
+
+
+def test_compaction_rotates_generations_and_prunes(tmp_path):
+    config = wal_config(tmp_path, snapshot_retain=2)
+    broker = TransferBroker(config)
+    drive_slots(broker, 5)
+    store = broker.store
+    gens = store.snapshot_generations()
+    # checkpoint_every=1: one compaction per processed batch slot.
+    assert store.generation == 5
+    assert gens == [4, 5]  # retain=2 keeps exactly the newest two
+    assert store.wal_generations() == [4, 5]
+    # The current generation's log is empty (fresh after compaction).
+    assert scan_wal(store.wal_path(5)).records == []
+
+
+def test_recover_prefers_newest_valid_snapshot(tmp_path):
+    config = wal_config(tmp_path, checkpoint_every=2)
+    broker = TransferBroker(config)
+    drive_slots(broker, 4)
+    expected_slot = broker.next_slot
+    del broker
+
+    resumed = TransferBroker(wal_config(tmp_path, checkpoint_every=2))
+    assert resumed.resumed
+    assert resumed.next_slot == expected_slot
+    assert resumed.recovery_info["fallbacks"] == 0
+    assert resumed.verifier_report["ok"]
+
+
+def test_recover_falls_back_past_corrupt_snapshot(tmp_path):
+    config = wal_config(tmp_path)
+    broker = TransferBroker(config)
+    drive_slots(broker, 3)
+    books = {cid: rec["decision"] for cid, rec in broker.decisions.items()}
+    charged = broker.state.charged_snapshot()
+    del broker
+
+    store = SnapshotStore(str(tmp_path / "ckpt"), wal=True)
+    newest = store.snapshot_path(store.newest_generation())
+    data = bytearray(newest.read_bytes())
+    data[len(data) // 2] ^= 0xFF
+    newest.write_bytes(bytes(data))
+
+    resumed = TransferBroker(wal_config(tmp_path))
+    assert resumed.recovery_info["fallbacks"] == 1
+    assert resumed.recovery_info["base_generation"] == 2
+    assert {c: r["decision"] for c, r in resumed.decisions.items()} == books
+    assert resumed.state.charged_snapshot() == pytest.approx(charged)
+
+
+def test_recover_truncates_torn_wal_tail(tmp_path):
+    config = wal_config(tmp_path, checkpoint_every=100)  # never compacts
+    broker = TransferBroker(config)
+    drive_slots(broker, 2)
+    decided = dict(broker.decisions)
+    del broker
+
+    store = SnapshotStore(str(tmp_path / "ckpt"), wal=True)
+    with open(store.wal_path(0), "ab") as fh:
+        fh.write(b"\x40\x00\x00\x00\xde\xad\xbe\xefgarbage tail")
+
+    resumed = TransferBroker(wal_config(tmp_path, checkpoint_every=100))
+    assert resumed.recovery_info["torn_bytes"] > 0
+    assert resumed.recovery_info["base_generation"] == 0
+    assert set(resumed.decisions) == set(decided)
+    # The tail stays gone: a second resume sees a clean log.
+    again = TransferBroker(wal_config(tmp_path, checkpoint_every=100))
+    assert again.recovery_info["torn_bytes"] == 0
+
+
+def test_recover_sweeps_stray_tmp(tmp_path):
+    config = wal_config(tmp_path)
+    broker = TransferBroker(config)
+    drive_slots(broker, 2)
+    del broker
+    store = SnapshotStore(str(tmp_path / "ckpt"), wal=True)
+    stray = store.directory / "snapshot-00000009.json.tmp"
+    stray.write_text('{"version": 2, "kind": "pos')
+
+    resumed = TransferBroker(wal_config(tmp_path))
+    assert resumed.recovery_info["stray_tmp"] == 1
+    assert not stray.exists()
+
+
+def test_recover_refuses_broken_chain(tmp_path):
+    config = wal_config(tmp_path, snapshot_retain=1)
+    broker = TransferBroker(config)
+    drive_slots(broker, 3)
+    del broker
+    store = SnapshotStore(str(tmp_path / "ckpt"), wal=True)
+    # Kill the only retained snapshot: the WAL chain starts mid-history.
+    store.snapshot_path(store.newest_generation()).unlink()
+    with pytest.raises(WalError, match="genesis"):
+        TransferBroker(wal_config(tmp_path, snapshot_retain=1))
+
+
+def test_store_wal_requires_flag(tmp_path):
+    store = SnapshotStore(str(tmp_path), wal=False)
+    with pytest.raises(WalError, match="wal=True"):
+        store.open_wal()
+    with pytest.raises(WalError, match="retention"):
+        SnapshotStore(str(tmp_path), wal=True, retain=0)
+
+
+def test_legacy_load_refuses_corrupt_snapshot(tmp_path):
+    """Satellite: a corrupt snapshot.json fails loudly, not quietly."""
+    config = ServiceConfig(
+        datacenters=4, capacity=50.0, seed=3, max_deadline=8,
+        tick_seconds=0.0, checkpoint_dir=str(tmp_path / "ckpt"),
+        checkpoint_every=1,
+    )
+    broker = TransferBroker(config)
+    drive_slots(broker, 1)
+    del broker
+    path = tmp_path / "ckpt" / "snapshot.json"
+    payload = json.loads(path.read_text())
+    payload["next_slot"] = 99  # tamper without updating the checksum
+    path.write_text(json.dumps(payload))
+    with pytest.raises(SchedulingError, match="checksum mismatch"):
+        TransferBroker(config)
+
+
+def test_empty_slots_survive_resume(tmp_path):
+    """The virtual clock is journaled even when no batch is processed."""
+    config = wal_config(tmp_path, checkpoint_every=100)
+    broker = TransferBroker(config)
+    broker.process_slot()
+    broker.process_slot()
+    drive_slots(broker, 1)
+    assert broker.next_slot == 3
+    del broker
+    resumed = TransferBroker(wal_config(tmp_path, checkpoint_every=100))
+    assert resumed.next_slot == 3
