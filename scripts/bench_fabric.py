@@ -1,0 +1,266 @@
+#!/usr/bin/env python
+"""Sharded-fabric capacity sweep: closed-loop admission across shards.
+
+Spawns 1, 2, and 4 WAL-less shard daemons (each a full ``repro serve``
+subprocess on a unix socket with the real 250 ms slot clock), then
+drives a **closed loop** at fixed per-shard concurrency through
+:func:`~repro.service.loadgen.run_fleet_loadgen` — the client plays
+front-end router, partitioning requests by the same consistent-hash
+:class:`~repro.service.router.ShardMap` the :class:`FleetRouter` uses.
+Capacity is sustained decisions/second at that concurrency; scaling the
+shard count at constant per-shard concurrency should scale capacity
+near-linearly because shards share nothing (separate processes,
+ledgers, and clocks).
+
+Writes a ``BENCH_fabric.json`` record and gates the broker-fabric exit
+criteria:
+
+* ``linear_scaling`` — 4-shard fleet capacity is at least
+  ``--min-speedup`` (default 3.0) times the single-shard capacity;
+* ``decision_p99_under_tick`` — every shard at every point keeps p99
+  decision latency (slot-tick-to-decision, the admission latency)
+  under the 250 ms tick.
+
+Usage::
+
+    PYTHONPATH=src python scripts/bench_fabric.py \
+        [-o benchmarks/results/BENCH_fabric.json] \
+        [--shards 1 2 4] [--per-shard-requests 150] [--outstanding 8]
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import os
+import platform
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.service.loadgen import run_fleet_loadgen
+from repro.service.router import ShardMap
+from repro.traffic import TransferRequest
+
+NUM_DCS = 8
+CAPACITY = 100.0
+TOPOLOGY_SEED = 2012
+BATCH_SEED = 4012
+TICK_SECONDS = 0.25
+MAX_DEADLINE = 8
+MIN_SIZE = 1.0
+MAX_SIZE = 6.0
+SHARD_NAMES = ["ap", "eu", "sa", "us"]
+
+
+def make_requests(count: int, seed: int, shard_map: ShardMap):
+    """``count`` requests *per shard*, sources drawn from each shard's
+    owned datacenters.
+
+    Consistent hashing over a keyspace of 8 DCs skews (that is fine —
+    the router property tests bound balance only over dense keyspaces),
+    so a uniform source draw would load shards unevenly and the merged
+    capacity would be gated by the unluckiest shard's longer run, not
+    by per-shard throughput.  Equal per-shard streams keep the offered
+    pressure identical at every shard count; routing still goes through
+    the same shard map the fleet router uses.
+    """
+    rng = np.random.default_rng(seed)
+    owned = {name: [] for name in shard_map.shards}
+    for dc in range(NUM_DCS):
+        owned[shard_map.shard_for(dc)].append(dc)
+    requests = []
+    for name in sorted(owned):
+        sources = owned[name]
+        if not sources:
+            raise RuntimeError(f"shard {name} owns no datacenters")
+        for _ in range(count):
+            src = sources[int(rng.integers(0, len(sources)))]
+            dst = int(rng.integers(0, NUM_DCS - 1))
+            if dst >= src:
+                dst += 1
+            requests.append(TransferRequest(
+                src, dst, float(rng.uniform(MIN_SIZE, MAX_SIZE)),
+                int(rng.integers(2, MAX_DEADLINE + 1)), release_slot=0,
+            ))
+    return requests
+
+
+def start_shard(sock: str, tick_seconds: float) -> subprocess.Popen:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in ("src", env.get("PYTHONPATH")) if p
+    )
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--socket", sock,
+         "--datacenters", str(NUM_DCS), "--capacity", str(CAPACITY),
+         "--seed", str(TOPOLOGY_SEED), "--max-deadline", str(MAX_DEADLINE),
+         "--tick-seconds", str(tick_seconds)],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, env=env,
+        cwd=str(Path(__file__).resolve().parent.parent),
+    )
+    deadline = time.time() + 30
+    while time.time() < deadline:
+        if os.path.exists(sock):
+            return proc
+        if proc.poll() is not None:
+            raise RuntimeError(
+                f"shard died on startup:\n{proc.stdout.read().decode()}"
+            )
+        time.sleep(0.05)
+    proc.kill()
+    raise RuntimeError("shard never bound its socket")
+
+
+def run_point(num_shards: int, per_shard_requests: int, outstanding: int,
+              workdir: str, tick_seconds: float = TICK_SECONDS) -> dict:
+    """One sweep point: spawn ``num_shards`` daemons, closed-loop them.
+
+    ``outstanding`` is the *per-shard* concurrency; the fleet loadgen
+    receives ``outstanding * num_shards`` and splits it back evenly, so
+    every shard sees identical offered pressure at every point.
+    """
+    names = SHARD_NAMES[:num_shards]
+    socks = {
+        name: str(Path(workdir) / f"{name}-{num_shards}.sock")
+        for name in names
+    }
+    shard_map = ShardMap(names)
+    requests = make_requests(
+        per_shard_requests, BATCH_SEED + num_shards, shard_map
+    )
+    procs = [start_shard(sock, tick_seconds) for sock in socks.values()]
+    try:
+        merged, per_shard = asyncio.run(run_fleet_loadgen(
+            requests,
+            {name: f"unix:{sock}" for name, sock in socks.items()},
+            outstanding=outstanding * num_shards,
+            drain=True,
+            shard_map=shard_map,
+        ))
+    finally:
+        for proc in procs:
+            proc.kill()
+            proc.wait(timeout=10)
+    return {
+        "shards": num_shards,
+        "requests": len(requests),
+        "fleet": merged.summary(),
+        "per_shard": {name: per_shard[name].summary() for name in names},
+    }
+
+
+def evaluate_gates(points, min_speedup: float,
+                   tick_seconds: float = TICK_SECONDS) -> dict:
+    """Gate the sweep: near-linear scaling + per-shard p99 under a tick."""
+    by_shards = {p["shards"]: p for p in points}
+    base = by_shards[min(by_shards)]
+    widest = by_shards[max(by_shards)]
+    base_cap = base["fleet"]["capacity_per_s"]
+    wide_cap = widest["fleet"]["capacity_per_s"]
+    speedup = wide_cap / base_cap if base_cap > 0 else 0.0
+    worst_p99 = max(
+        (
+            (name, shard["decision_p99_s"])
+            for point in points
+            for name, shard in point["per_shard"].items()
+            if shard["submitted"]
+        ),
+        key=lambda pair: pair[1],
+    )
+    clean = all(
+        point["fleet"]["failed"] == 0 and point["fleet"]["drained"]
+        for point in points
+    )
+    gates = {
+        "linear_scaling": {
+            "base_shards": base["shards"],
+            "wide_shards": widest["shards"],
+            "base_capacity_per_s": base_cap,
+            "wide_capacity_per_s": wide_cap,
+            "speedup": round(speedup, 3),
+            "floor": min_speedup,
+            "ok": speedup >= min_speedup,
+        },
+        "decision_p99_under_tick": {
+            "worst_shard": worst_p99[0],
+            "value_s": worst_p99[1],
+            "limit_s": tick_seconds,
+            "ok": worst_p99[1] < tick_seconds,
+        },
+        "clean_run": {
+            "ok": clean,
+            "detail": "no failed submissions, every shard drained",
+        },
+    }
+    gates["ok"] = all(g["ok"] for g in gates.values() if isinstance(g, dict))
+    return gates
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "-o", "--output", default="benchmarks/results/BENCH_fabric.json"
+    )
+    parser.add_argument("--shards", type=int, nargs="+", default=[1, 2, 4])
+    parser.add_argument("--per-shard-requests", type=int, default=150)
+    parser.add_argument("--outstanding", type=int, default=8,
+                        help="closed-loop concurrency per shard")
+    parser.add_argument("--min-speedup", type=float, default=3.0,
+                        help="required 4-shard/1-shard capacity ratio")
+    args = parser.parse_args(argv)
+
+    points = []
+    with tempfile.TemporaryDirectory(prefix="repro-fabric-") as workdir:
+        for num_shards in args.shards:
+            point = run_point(
+                num_shards, args.per_shard_requests, args.outstanding, workdir
+            )
+            points.append(point)
+            fleet = point["fleet"]
+            print(
+                f"  shards={num_shards}  capacity {fleet['capacity_per_s']:7.1f}/s"
+                f"  admitted {fleet['admitted']}/{fleet['submitted']}"
+                f"  decision p99 "
+                f"{max(s['decision_p99_s'] for s in point['per_shard'].values())*1000:6.1f}ms"
+            )
+    gates = evaluate_gates(points, args.min_speedup)
+
+    record = {
+        "benchmark": "fabric-capacity",
+        "scenario": {
+            "datacenters": NUM_DCS,
+            "capacity": CAPACITY,
+            "topology_seed": TOPOLOGY_SEED,
+            "batch_seed": BATCH_SEED,
+            "tick_seconds": TICK_SECONDS,
+            "max_deadline": MAX_DEADLINE,
+            "size_gb": [MIN_SIZE, MAX_SIZE],
+            "per_shard_requests": args.per_shard_requests,
+            "outstanding_per_shard": args.outstanding,
+            "mode": "closed",
+        },
+        "sweep": points,
+        "gates": gates,
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+    }
+    out = Path(args.output)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(record, indent=1) + "\n")
+
+    for name, gate in gates.items():
+        if isinstance(gate, dict):
+            print(f"  gate {name}: {'PASS' if gate['ok'] else 'FAIL'} ({gate})")
+    print(f"wrote {out}  ok={gates['ok']}")
+    return 0 if gates["ok"] else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

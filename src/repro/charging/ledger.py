@@ -62,6 +62,19 @@ class LinkUsage:
     def total(self) -> float:
         return sum(self.volumes.values())
 
+    def prune_before(self, slot: int) -> int:
+        """Drop samples in slots ``< slot``; returns how many.
+
+        Billing rollover calls this after a period's bill is banked:
+        the closed period's samples can never change a future bill, and
+        an unbounded sample map is what would make a months-long broker
+        run grow without limit.
+        """
+        stale = [s for s in self.volumes if s < slot]
+        for s in stale:
+            del self.volumes[s]
+        return len(stale)
+
 
 class TrafficLedger:
     """Committed traffic volumes for every link of a topology.
@@ -187,6 +200,20 @@ class TrafficLedger:
         """Capacity left on (src, dst) during ``slot``."""
         cap = self.topology.link(src, dst).capacity
         return max(0.0, cap - self.volume(src, dst, slot))
+
+    def prune_before(self, slot: int) -> int:
+        """Drop every link's samples before ``slot`` (closed periods).
+
+        Returns the number of samples removed.  Only safe once no query
+        will ask about the pruned range — the broker prunes exactly at
+        banked period boundaries, where the bill has already been
+        computed and banked.
+        """
+        if slot < 0:
+            raise ChargingError(f"prune slot must be non-negative, got {slot}")
+        return sum(
+            usage.prune_before(slot) for usage in self._usage.values()
+        )
 
     def used_links(self) -> List[LinkKey]:
         """Links with any recorded traffic."""

@@ -411,6 +411,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             read_timeout_s=args.read_timeout,
             watchdog_timeout_s=args.watchdog_timeout,
             max_slots=args.max_slots,
+            period_slots=args.period_slots,
+            period_prune=args.period_prune,
         )
     except ServiceError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -559,24 +561,54 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
         print("nothing to replay", file=sys.stderr)
         return 1
 
+    per_shard = {}
     try:
-        result = asyncio.run(
-            run_loadgen(
-                requests,
-                host=args.host,
-                port=args.port,
-                socket_path=args.socket,
-                rate_per_min=args.rate,
-                max_retries=args.max_retries,
-                drain=args.drain,
-                outstanding=args.outstanding,
+        if args.endpoint:
+            from repro.service import ShardMap, run_fleet_loadgen
+
+            endpoints = _parse_shard_specs(args.endpoint)
+            shard_map = ShardMap(sorted(endpoints))
+            result, per_shard = asyncio.run(
+                run_fleet_loadgen(
+                    requests,
+                    endpoints,
+                    rate_per_min=args.rate,
+                    max_retries=args.max_retries,
+                    drain=args.drain,
+                    outstanding=args.outstanding,
+                    shard_map=shard_map,
+                )
             )
-        )
+        else:
+            result = asyncio.run(
+                run_loadgen(
+                    requests,
+                    host=args.host,
+                    port=args.port,
+                    socket_path=args.socket,
+                    rate_per_min=args.rate,
+                    max_retries=args.max_retries,
+                    drain=args.drain,
+                    outstanding=args.outstanding,
+                )
+            )
     except (ServiceError, ConnectionError, OSError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
 
     summary = result.summary()
+    if per_shard:
+        summary["shards"] = {
+            name: shard_result.summary()
+            for name, shard_result in per_shard.items()
+        }
+        for name in sorted(per_shard):
+            s = per_shard[name].summary()
+            print(
+                f"  shard {name}: submitted={s['submitted']} "
+                f"admitted={s['admitted']} rejected={s['rejected']} "
+                f"failed={s['failed']} capacity={s['capacity_per_s']} req/s"
+            )
     if args.json:
         from pathlib import Path
 
@@ -624,11 +656,13 @@ def _cmd_watch(args: argparse.Namespace) -> int:
     from repro.service import run_watch
 
     try:
+        endpoints = _parse_shard_specs(args.endpoint) if args.endpoint else None
         frames = asyncio.run(
             run_watch(
                 host=args.host,
                 port=args.port,
                 socket_path=args.socket,
+                endpoints=endpoints,
                 interval_s=args.interval,
                 iterations=1 if args.once else args.iterations,
                 clear=not (args.no_clear or args.once),
@@ -640,6 +674,211 @@ def _cmd_watch(args: argparse.Namespace) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return 1
     return 0 if frames else 1
+
+
+def _parse_shard_specs(specs) -> dict:
+    """``NAME=ENDPOINT`` pairs -> ordered shard dict (raises on junk)."""
+    from repro.errors import ServiceError
+
+    shards = {}
+    for spec in specs or ():
+        name, sep, endpoint = spec.partition("=")
+        if not sep or not name.strip() or not endpoint.strip():
+            raise ServiceError(
+                f"bad shard spec {spec!r}; expected NAME=ENDPOINT "
+                "(e.g. us=127.0.0.1:7411 or eu=unix:/tmp/eu.sock)"
+            )
+        if name.strip() in shards:
+            raise ServiceError(f"duplicate shard name {name.strip()!r}")
+        shards[name.strip()] = endpoint.strip()
+    return shards
+
+
+def _cmd_fleet_serve(args: argparse.Namespace) -> int:
+    import asyncio
+    import subprocess
+
+    from repro.errors import ServiceError
+    from repro.service import FleetConfig, FleetRouter
+    from repro.service.loadgen import _Connection, parse_endpoint
+
+    try:
+        shards = _parse_shard_specs(args.shard)
+        fleet = FleetConfig(
+            shards=shards,
+            gateway_dc=args.gateway,
+            datacenters=args.datacenters,
+            capacity=args.capacity,
+            seed=args.seed,
+            scheduler=args.scheduler,
+            max_deadline=args.max_deadline,
+            max_queue=args.max_queue,
+            tick_seconds=args.tick_seconds,
+            checkpoint_root=args.checkpoint_root,
+            wal=args.wal,
+            period_slots=args.period_slots,
+        )
+    except ServiceError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+    procs = []
+    if args.spawn:
+        for name in sorted(shards):
+            cfg = fleet.shard_config(name)
+            cmd = [
+                sys.executable, "-m", "repro", "serve",
+                "--datacenters", str(cfg.datacenters),
+                "--capacity", str(cfg.capacity),
+                "--seed", str(cfg.seed),
+                "--scheduler", cfg.scheduler,
+                "--max-deadline", str(cfg.max_deadline),
+                "--max-queue", str(cfg.max_queue),
+                "--tick-seconds", str(cfg.tick_seconds),
+            ]
+            if cfg.socket_path:
+                cmd += ["--socket", cfg.socket_path]
+            else:
+                cmd += ["--host", cfg.host, "--port", str(cfg.port)]
+            if cfg.checkpoint_dir:
+                os.makedirs(cfg.checkpoint_dir, exist_ok=True)
+                cmd += ["--checkpoint-dir", cfg.checkpoint_dir]
+                if cfg.wal:
+                    cmd += ["--wal"]
+            if cfg.period_slots:
+                cmd += ["--period-slots", str(cfg.period_slots)]
+            procs.append((name, subprocess.Popen(cmd)))
+
+    async def _run() -> None:
+        # Wait for every shard to answer a ping before opening the
+        # front door (spawned shards need a moment to bind).
+        for name in sorted(shards):
+            host, port, socket_path = parse_endpoint(shards[name])
+            deadline = asyncio.get_running_loop().time() + args.spawn_timeout
+            while True:
+                try:
+                    conn = await _Connection.open(host, port, socket_path)
+                    await conn.call({"op": "ping"})
+                    await conn.close()
+                    break
+                except (OSError, ConnectionError, ServiceError):
+                    if (
+                        not args.spawn
+                        or asyncio.get_running_loop().time() > deadline
+                    ):
+                        raise ServiceError(
+                            f"shard {name!r} at {shards[name]} is not "
+                            "answering"
+                        )
+                    await asyncio.sleep(0.1)
+        router = FleetRouter(
+            fleet, host=args.host, port=args.port, socket_path=args.socket
+        )
+        await router.start()
+        print(
+            f"fleet router on {router.endpoint} shards="
+            f"{','.join(sorted(shards))} gateway_dc={fleet.gateway_dc}",
+            flush=True,
+        )
+        try:
+            await router.run_until_stopped()
+        finally:
+            await router.stop()
+        print(
+            f"fleet drained: submitted={router.counts['submitted']} "
+            f"direct={router.counts['direct']} "
+            f"relayed={router.counts['relayed']}",
+            flush=True,
+        )
+
+    try:
+        asyncio.run(_run())
+    except KeyboardInterrupt:
+        print("interrupted")
+        return 130
+    except ServiceError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    finally:
+        for _, proc in procs:
+            if proc.poll() is None:
+                proc.terminate()
+        for _, proc in procs:
+            try:
+                proc.wait(timeout=10)
+            except subprocess.TimeoutExpired:
+                proc.kill()
+    return 0
+
+
+def _cmd_fleet_status(args: argparse.Namespace) -> int:
+    import asyncio
+    import json as _json
+
+    from repro.analysis import format_table
+    from repro.errors import ServiceError
+    from repro.service.loadgen import _Connection, parse_endpoint
+
+    async def _fetch():
+        host, port, socket_path = parse_endpoint(args.endpoint)
+        conn = await _Connection.open(host, port, socket_path)
+        try:
+            return await conn.call({"op": "stats"})
+        finally:
+            await conn.close()
+
+    try:
+        response = asyncio.run(_fetch())
+    except (ServiceError, ConnectionError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    if not response.get("ok"):
+        print(f"error: {response.get('message', response)}", file=sys.stderr)
+        return 1
+    if args.json:
+        print(_json.dumps(response, indent=2, sort_keys=True))
+        return 0
+    router = response.get("router", {})
+    fleet = response.get("fleet", {})
+    print(
+        f"fleet router {response.get('endpoint', '?')} — "
+        f"map v{router.get('map_version', '?')} "
+        f"submitted={router.get('submitted', 0)} "
+        f"direct={router.get('direct', 0)} relayed={router.get('relayed', 0)} "
+        f"relays_active={router.get('relays_active', 0)} "
+        f"parked={router.get('parked', 0)}"
+    )
+    rows = []
+    for name in sorted(response.get("shards", {})):
+        body = response["shards"][name]
+        if "down" in body and "next_slot" not in body:
+            rows.append([name, "DOWN", "-", "-", "-", "-", "-"])
+            continue
+        rows.append([
+            name,
+            body.get("next_slot", "?"),
+            f"{body.get('queue_depth', '?')}/{body.get('max_queue', '?')}",
+            body.get("submitted", 0),
+            body.get("admitted", 0),
+            body.get("rejected", 0),
+            body.get("cost_per_slot", 0.0),
+        ])
+    print(format_table(
+        ["shard", "slot", "queue", "submitted", "admitted", "rejected",
+         "cost/slot"],
+        rows,
+    ))
+    print(
+        f"fleet totals: submitted={fleet.get('submitted', 0)} "
+        f"admitted={fleet.get('admitted', 0)} "
+        f"rejected={fleet.get('rejected', 0)} "
+        f"cost/slot={fleet.get('cost_per_slot', 0.0)}"
+    )
+    down = router.get("down") or []
+    if down:
+        print(f"down shards: {', '.join(down)}")
+        return 1
+    return 0
 
 
 def _looks_like_obs_events(path: str) -> bool:
@@ -898,6 +1137,16 @@ def build_parser() -> argparse.ArgumentParser:
         "clock only",
     )
     p_serve.add_argument(
+        "--period-slots", type=int, default=0,
+        help="roll the charging period over every N slots (billing "
+        "rollover; 0 = single-period mode, refuse past the horizon)",
+    )
+    p_serve.add_argument(
+        "--period-prune", action="store_true",
+        help="drop ledger samples older than the last closed period "
+        "boundary (bounds memory on long runs; needs --period-slots)",
+    )
+    p_serve.add_argument(
         "--obs-jsonl", metavar="PATH",
         help="stream service instrumentation events to PATH",
     )
@@ -970,6 +1219,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_lg.add_argument(
         "--json", metavar="PATH", help="also write the summary as JSON"
     )
+    p_lg.add_argument(
+        "--endpoint", action="append", metavar="NAME=ENDPOINT",
+        help="fleet mode (repeatable): drive several shard daemons at "
+        "once, partitioning requests by consistent-hash on source; "
+        "overrides --host/--port/--socket",
+    )
     p_lg.set_defaults(func=_cmd_loadgen)
 
     p_watch = sub.add_parser(
@@ -997,7 +1252,86 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-clear", action="store_true",
         help="do not clear the screen between frames (pipe-friendly)",
     )
+    p_watch.add_argument(
+        "--endpoint", action="append", metavar="NAME=ENDPOINT",
+        help="fleet mode (repeatable): watch several shard daemons as "
+        "per-shard dashboard rows; overrides --host/--port/--socket",
+    )
     p_watch.set_defaults(func=_cmd_watch)
+
+    p_fleet = sub.add_parser(
+        "fleet",
+        help="run or inspect a sharded broker fleet (see docs/SERVICE.md)",
+    )
+    fleet_sub = p_fleet.add_subparsers(dest="fleet_command", required=True)
+    p_fs = fleet_sub.add_parser(
+        "serve",
+        help="run the front-end router over per-region shard daemons",
+    )
+    p_fs.add_argument(
+        "--shard", action="append", required=True, metavar="NAME=ENDPOINT",
+        help="one shard daemon (repeatable); endpoint is host:port or "
+        "unix:/path",
+    )
+    p_fs.add_argument(
+        "--spawn", action="store_true",
+        help="launch each shard as a `repro serve` subprocess on its "
+        "endpoint (otherwise shards must already be running)",
+    )
+    p_fs.add_argument(
+        "--spawn-timeout", type=float, default=15.0,
+        help="seconds to wait for spawned shards to answer ping",
+    )
+    p_fs.add_argument(
+        "--gateway", type=int, default=0, metavar="DC",
+        help="gateway datacenter cross-shard relays hop through",
+    )
+    p_fs.add_argument("--host", default="127.0.0.1")
+    p_fs.add_argument(
+        "--port", type=int, default=7410, help="router TCP port (0 = ephemeral)"
+    )
+    p_fs.add_argument(
+        "--socket", metavar="PATH", default=None,
+        help="serve the router on a unix socket instead of TCP",
+    )
+    p_fs.add_argument("--datacenters", type=int, default=10)
+    p_fs.add_argument("--capacity", type=float, default=100.0)
+    p_fs.add_argument("--seed", type=int, default=0)
+    p_fs.add_argument(
+        "--scheduler", choices=scheduler_names(), default="hybrid"
+    )
+    p_fs.add_argument("--max-deadline", type=int, default=16)
+    p_fs.add_argument("--max-queue", type=int, default=1024)
+    p_fs.add_argument(
+        "--tick-seconds", type=float, default=0.25,
+        help="per-shard virtual-slot tick (0 = manual ticks via the "
+        "router's tick op)",
+    )
+    p_fs.add_argument(
+        "--checkpoint-root", metavar="DIR", default=None,
+        help="per-shard checkpoint dirs are created under DIR/<shard>",
+    )
+    p_fs.add_argument(
+        "--wal", action="store_true",
+        help="run every shard with the write-ahead log (needs "
+        "--checkpoint-root)",
+    )
+    p_fs.add_argument(
+        "--period-slots", type=int, default=0,
+        help="per-shard billing rollover period (0 = single period)",
+    )
+    p_fs.set_defaults(func=_cmd_fleet_serve)
+    p_fstat = fleet_sub.add_parser(
+        "status", help="one-shot fleet stats from a running router"
+    )
+    p_fstat.add_argument(
+        "--endpoint", default="127.0.0.1:7410",
+        help="router endpoint (host:port or unix:/path)",
+    )
+    p_fstat.add_argument(
+        "--json", action="store_true", help="print the raw stats response"
+    )
+    p_fstat.set_defaults(func=_cmd_fleet_status)
 
     p_report = sub.add_parser(
         "report",

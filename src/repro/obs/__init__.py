@@ -24,7 +24,7 @@ from __future__ import annotations
 from contextlib import contextmanager
 from typing import Iterator, Optional
 
-from repro.obs.metrics import Histogram, MetricsSnapshot
+from repro.obs.metrics import Histogram, MetricsSnapshot, rollup_snapshots
 from repro.obs.prom import render_prometheus, validate_prometheus
 from repro.obs.registry import (
     Registry,
@@ -72,6 +72,7 @@ __all__ = [
     "validate_prometheus",
     "render_report",
     "render_events_report",
+    "rollup_snapshots",
     "collecting",
 ]
 

@@ -1,41 +1,85 @@
-"""repro.service: the async transfer-broker daemon (PR 5).
+"""repro.service: the async transfer-broker daemon and its fleet.
 
 A long-running front end over the scheduling stack: clients submit
 transfer requests over a newline-delimited-JSON socket protocol, the
 daemon batches arrivals per virtual slot into ``K(t)``, drives the
 hybrid scheduler over one shared ledger, applies backpressure when the
 intake queue saturates, and checkpoints so a killed process resumes
-mid-charging-period.  See docs/SERVICE.md.
+mid-charging-period.  PR 8 adds the sharded fabric: a consistent-hash
+:class:`ShardMap` routes submissions to per-region brokers behind one
+:class:`FleetRouter` front end, cross-shard transfers relay through a
+gateway datacenter, and ``period_slots`` lets a long-running shard roll
+its charging period over instead of dying at the horizon.  See
+docs/SERVICE.md.
 """
 
 from repro.service.chaos import ChaosMonkey, InjectedCrash
 from repro.service.config import ServiceConfig
+from repro.service.fabric import (
+    BrokerFabric,
+    FleetConfig,
+    FleetRouter,
+    Relay,
+    RelayLeg,
+    RelayTracker,
+    ShardDownError,
+    plan_relay,
+    rollup_stats,
+    serve_fleet,
+    split_deadline,
+)
 from repro.service.intake import IntakeQueue, PendingTransfer
-from repro.service.loadgen import LoadGenResult, percentile, run_loadgen
+from repro.service.loadgen import (
+    LoadGenResult,
+    parse_endpoint,
+    percentile,
+    run_fleet_loadgen,
+    run_loadgen,
+)
+from repro.service.router import ShardMap
 from repro.service.server import ServiceDaemon, serve
 from repro.service.slotloop import TransferBroker
 from repro.service.store import SnapshotStore
 from repro.service.verify import verify_recovery
 from repro.service.wal import WalScan, WriteAheadLog, scan_wal
-from repro.service.watch import render_dashboard, run_watch
+from repro.service.watch import (
+    render_dashboard,
+    render_fleet_dashboard,
+    run_watch,
+)
 
 __all__ = [
+    "BrokerFabric",
     "ChaosMonkey",
+    "FleetConfig",
+    "FleetRouter",
     "InjectedCrash",
     "IntakeQueue",
     "LoadGenResult",
     "PendingTransfer",
+    "Relay",
+    "RelayLeg",
+    "RelayTracker",
     "ServiceConfig",
     "ServiceDaemon",
+    "ShardDownError",
+    "ShardMap",
     "SnapshotStore",
     "TransferBroker",
     "WalScan",
     "WriteAheadLog",
+    "parse_endpoint",
     "percentile",
+    "plan_relay",
     "render_dashboard",
+    "render_fleet_dashboard",
+    "rollup_stats",
+    "run_fleet_loadgen",
     "run_loadgen",
     "run_watch",
     "scan_wal",
     "serve",
+    "serve_fleet",
+    "split_deadline",
     "verify_recovery",
 ]

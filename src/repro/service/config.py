@@ -33,8 +33,10 @@ class ServiceConfig:
     and the crash-resume harness rely on).
 
     ``horizon`` bounds the ledger window; submissions whose deadline
-    would cross it are refused (multi-period rollover is an open item,
-    see ROADMAP.md).  ``max_queue`` bounds the intake queue — the
+    would cross it are refused unless ``period_slots`` turns on billing
+    rollover (the broker then cycles charging periods forever, banking
+    each period's bill at the boundary).  ``max_queue`` bounds the
+    intake queue — the
     backpressure threshold.  ``max_batch=0`` drains the whole queue into
     each slot.  ``checkpoint_every=N`` snapshots state + pending queue
     every N processed slots into ``checkpoint_dir`` (no persistence when
@@ -60,6 +62,22 @@ class ServiceConfig:
 
     checkpoint_dir: Optional[str] = None
     checkpoint_every: int = 5
+
+    #: Charging-period length in slots (0 = single-period mode: the
+    #: broker refuses deadlines that would cross ``horizon``).  With a
+    #: positive value the broker *rolls over* instead of dying: at
+    #: every multiple of ``period_slots`` the closing period's bill is
+    #: banked (max-charging over that period's own samples), the paid
+    #: watermarks ``X_ij`` re-seed to the volume in-flight transfers
+    #: already committed past the boundary, and the clock keeps
+    #: running — indefinitely.  Boundaries are a pure function of the
+    #: slot index, so WAL replay reproduces them exactly.
+    period_slots: int = 0
+    #: With rollover on, drop ledger samples older than the just-closed
+    #: period boundary after banking its bill.  Bounds ledger (and
+    #: snapshot) memory for week-long runs at the cost of not being
+    #: able to re-audit closed periods from the live ledger.
+    period_prune: bool = False
 
     #: Write-ahead logging (PR 7): journal every admission and slot
     #: commit (O(1) bytes, fsync'd before the ack) and turn the
@@ -144,6 +162,18 @@ class ServiceConfig:
             raise ServiceError("max_batch must be non-negative")
         if self.checkpoint_every < 1:
             raise ServiceError("checkpoint_every must be >= 1")
+        if self.period_slots < 0:
+            raise ServiceError("period_slots must be non-negative")
+        if self.period_slots and self.period_slots <= self.max_deadline:
+            # A transfer may straddle at most one boundary; a period
+            # shorter than the deadline cap would let one submission
+            # span whole periods it was never billed in.
+            raise ServiceError(
+                f"period_slots ({self.period_slots}) must exceed "
+                f"max_deadline ({self.max_deadline})"
+            )
+        if self.period_prune and not self.period_slots:
+            raise ServiceError("period_prune requires period_slots > 0")
         if self.wal and not self.checkpoint_dir:
             raise ServiceError("wal=True requires a checkpoint_dir")
         if self.snapshot_retain < 1:

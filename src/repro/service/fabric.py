@@ -1,0 +1,1142 @@
+"""The broker fabric: a fleet of per-region shards behind one front end.
+
+One :class:`~repro.service.slotloop.TransferBroker` bounds admission
+throughput at a single slot loop and a single ledger.  The fabric goes
+planetary: a :class:`~repro.service.router.ShardMap` deterministically
+assigns every submission to the shard owning its *source* datacenter,
+each shard runs its own broker (own ledger, own checkpoint dir, own
+charging clock), and a transfer whose source and destination live on
+different shards is decomposed into a **relay** through a configured
+gateway datacenter — leg A (source -> gateway) on the source shard,
+leg B (gateway -> destination) chained onto the destination shard when
+leg A commits.
+
+Two drivers share the relay state machine:
+
+* :class:`BrokerFabric` — synchronous, in-process: a dict of brokers
+  ticked in sorted shard order.  The deterministic harness unit tests
+  and the conservation drills run against.
+* :class:`FleetRouter` — the asyncio front end: listens on the same
+  NDJSON protocol a single daemon speaks (clients cannot tell the
+  difference), forwards by shard map over per-shard client
+  connections, chains relay legs on decision, and *parks* legs whose
+  shard dies — a reconnect (lazy, or via the ``resume`` op) resubmits
+  them, and the shard's idempotent decision log guarantees each leg is
+  decided exactly once.
+
+Relay semantics (documented in docs/SERVICE.md): leg ids are
+``<id>#a`` / ``<id>#b``, the deadline budget is split
+ceil/floor between the legs, and each leg's deadline is guaranteed by
+its own shard's admission — the end-to-end latency additionally pays
+the chaining wait for leg A's decision.  A rejected leg A means leg B
+is never submitted; the relay's composite decision is ``rejected``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import os
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.errors import ServiceError
+from repro.service import protocol
+from repro.service.config import ServiceConfig
+from repro.service.loadgen import _Connection, parse_endpoint
+from repro.service.router import DEFAULT_VNODES, ShardMap
+from repro.service.slotloop import TransferBroker
+
+#: Relay leg lifecycle.
+LEG_WAITING = "waiting"      # planned, not yet submitted to its shard
+LEG_INFLIGHT = "inflight"    # submitted; decision pending
+LEG_PARKED = "parked"        # shard went down mid-flight; resume later
+LEG_DECIDED = "decided"
+
+#: Leg-id separator; a client id containing it is refused at the
+#: router so direct ids can never collide with relay leg ids.
+LEG_SEP = "#"
+
+#: Backpressure retries per relay leg before the relay fails.
+LEG_MAX_RETRIES = 8
+
+
+class ShardDownError(ServiceError):
+    """A shard's connection is gone; the caller parks or reports."""
+
+
+@dataclass
+class FleetConfig:
+    """Everything needed to (re)build one broker fleet.
+
+    ``shards`` maps shard name -> endpoint string (``unix:/path`` or
+    ``host:port``; empty for the in-process :class:`BrokerFabric`).
+    Every shard runs on the *same* topology (``datacenters`` /
+    ``capacity`` / ``seed``) — any shard must be able to schedule any
+    relay leg — but owns its own ledger, checkpoint dir, and charging
+    clock.  ``gateway_dc`` is the hop datacenter cross-shard relays
+    route through.
+    """
+
+    shards: Dict[str, str]
+    gateway_dc: int = 0
+
+    datacenters: int = 10
+    capacity: float = 100.0
+    seed: int = 0
+    scheduler: str = "hybrid"
+    backend: Optional[str] = None
+    horizon: int = 4096
+    max_deadline: int = 16
+    max_queue: int = 1024
+    max_batch: int = 0
+    tick_seconds: float = 0.0
+    checkpoint_root: Optional[str] = None
+    wal: bool = False
+    period_slots: int = 0
+
+    vnodes: int = DEFAULT_VNODES
+    map_version: int = 1
+
+    def __post_init__(self) -> None:
+        if not self.shards:
+            raise ServiceError("a fleet needs at least one shard")
+        # ShardMap validates names (unique, non-empty).
+        self.shard_map()
+        if not 0 <= self.gateway_dc < self.datacenters:
+            raise ServiceError(
+                f"gateway_dc {self.gateway_dc} is not one of the "
+                f"{self.datacenters} datacenters"
+            )
+
+    def shard_map(self) -> ShardMap:
+        return ShardMap(
+            sorted(self.shards), vnodes=self.vnodes, version=self.map_version
+        )
+
+    def shard_config(self, name: str) -> ServiceConfig:
+        """The :class:`ServiceConfig` shard ``name`` runs with."""
+        if name not in self.shards:
+            raise ServiceError(f"unknown shard {name!r}")
+        endpoint = self.shards[name]
+        host, port, socket_path = (
+            parse_endpoint(endpoint) if endpoint else ("127.0.0.1", 0, None)
+        )
+        checkpoint_dir = (
+            os.path.join(self.checkpoint_root, name)
+            if self.checkpoint_root
+            else None
+        )
+        return ServiceConfig(
+            host=host,
+            port=port,
+            socket_path=socket_path,
+            datacenters=self.datacenters,
+            capacity=self.capacity,
+            seed=self.seed,
+            scheduler=self.scheduler,
+            backend=self.backend,
+            horizon=self.horizon,
+            max_deadline=self.max_deadline,
+            tick_seconds=self.tick_seconds,
+            max_queue=self.max_queue,
+            max_batch=self.max_batch,
+            checkpoint_dir=checkpoint_dir,
+            wal=self.wal,
+            period_slots=self.period_slots,
+        )
+
+
+def split_deadline(deadline_slots: int) -> Tuple[int, int]:
+    """Per-leg deadline budgets for a two-leg relay (ceil/floor).
+
+    Both legs get at least one slot; for an odd budget the first leg
+    gets the extra slot (it also pays the chaining wait downstream).
+    """
+    first = max(1, (deadline_slots + 1) // 2)
+    second = max(1, deadline_slots - first)
+    return first, second
+
+
+@dataclass
+class RelayLeg:
+    """One hop of a decomposed cross-shard transfer."""
+
+    leg_id: str
+    shard: str
+    source: int
+    destination: int
+    size_gb: float
+    deadline_slots: int
+    state: str = LEG_WAITING
+    record: Optional[Dict[str, Any]] = None
+
+    def submit_fields(self) -> Dict[str, Any]:
+        return {
+            "id": self.leg_id,
+            "source": self.source,
+            "destination": self.destination,
+            "size_gb": self.size_gb,
+            "deadline_slots": self.deadline_slots,
+        }
+
+    def submit_message(self) -> Dict[str, Any]:
+        return {"op": "submit", **self.submit_fields()}
+
+
+def plan_relay(
+    fields: Dict[str, Any], shard_map: ShardMap, gateway_dc: int
+) -> Optional[List[RelayLeg]]:
+    """The legs a submission decomposes into, or None for a direct one.
+
+    A transfer is direct when one shard owns both endpoints' source
+    routing (i.e. the map sends source and destination to the same
+    shard).  Otherwise: leg A (source -> gateway) on the *source*
+    shard, leg B (gateway -> destination) on the *destination* shard —
+    the gateway hands traffic off between regions, and each region
+    bills the leg it carries.  When the gateway coincides with an
+    endpoint the relay degenerates to a single leg on the shard that
+    carries it.
+    """
+    source = int(fields["source"])
+    destination = int(fields["destination"])
+    src_shard = shard_map.shard_for(source)
+    dst_shard = shard_map.shard_for(destination)
+    if src_shard == dst_shard:
+        return None
+    cid = fields["id"]
+    size = float(fields["size_gb"])
+    deadline = int(fields["deadline_slots"])
+    if gateway_dc == source:
+        # The transfer already starts at the gateway: one ingress leg,
+        # billed by the destination's shard.
+        return [
+            RelayLeg(f"{cid}{LEG_SEP}b", dst_shard, source, destination,
+                     size, deadline)
+        ]
+    if gateway_dc == destination:
+        # The transfer ends at the gateway: one egress leg on the
+        # source's shard.
+        return [
+            RelayLeg(f"{cid}{LEG_SEP}a", src_shard, source, destination,
+                     size, deadline)
+        ]
+    first, second = split_deadline(deadline)
+    return [
+        RelayLeg(f"{cid}{LEG_SEP}a", src_shard, source, gateway_dc,
+                 size, first),
+        RelayLeg(f"{cid}{LEG_SEP}b", dst_shard, gateway_dc, destination,
+                 size, second),
+    ]
+
+
+class Relay:
+    """One cross-shard transfer's legs and composite outcome."""
+
+    def __init__(self, client_id: str, legs: List[RelayLeg], gateway_dc: int):
+        self.client_id = client_id
+        self.legs = legs
+        self.gateway_dc = gateway_dc
+        self.failure: Optional[Dict[str, Any]] = None
+        #: Router-side reply target ``(writer, lock)``; rebound when
+        #: the client reconnects.
+        self.reply: Optional[Tuple[Any, Any]] = None
+        #: True while a driver task owns this relay (prevents a resume
+        #: from double-driving).
+        self.driving = False
+
+    def next_leg(self) -> Optional[RelayLeg]:
+        """The first undecided leg, or None once settled."""
+        if self.failure is not None:
+            return None
+        for leg in self.legs:
+            if leg.state != LEG_DECIDED:
+                return leg
+            if leg.record and leg.record.get("decision") != "admitted":
+                # A rejected leg ends the relay; later legs are never
+                # submitted (nothing arrives at the gateway to forward).
+                return None
+        return None
+
+    def on_leg_decision(self, leg_id: str, record: Dict[str, Any]) -> None:
+        for leg in self.legs:
+            if leg.leg_id == leg_id:
+                leg.state = LEG_DECIDED
+                leg.record = dict(record)
+                return
+        raise ServiceError(f"relay {self.client_id!r} has no leg {leg_id!r}")
+
+    def fail(self, leg: RelayLeg, response: Dict[str, Any]) -> None:
+        self.failure = {
+            "leg": leg.leg_id,
+            "shard": leg.shard,
+            "error": response.get("error", "failed"),
+            "message": response.get("message", ""),
+        }
+
+    @property
+    def settled(self) -> bool:
+        return self.next_leg() is None
+
+    def leg_states(self) -> Dict[str, str]:
+        return {leg.leg_id: leg.state for leg in self.legs}
+
+    def compose(self) -> Dict[str, Any]:
+        """The fabric-level decision record for the whole relay.
+
+        ``admitted`` only when every leg was; latency fields compose
+        conservatively (waits add, the decision time is the slowest
+        leg's).  ``completion_slot``/``deadline_slot`` are the final
+        leg's — each shard's clock is its own, so these are
+        per-shard-slot values, meaningful leg by leg.
+        """
+        decided = [leg for leg in self.legs if leg.record is not None]
+        if self.failure is not None:
+            decision = "failed"
+        elif all(
+            leg.record.get("decision") == "admitted" for leg in decided
+        ) and len(decided) == len(self.legs):
+            decision = "admitted"
+        else:
+            decision = "rejected"
+        last = decided[-1].record if decided else {}
+        record: Dict[str, Any] = {
+            "id": self.client_id,
+            "decision": decision,
+            "relay": {
+                "gateway": self.gateway_dc,
+                "legs": [
+                    {
+                        "id": leg.leg_id,
+                        "shard": leg.shard,
+                        "source": leg.source,
+                        "destination": leg.destination,
+                        "deadline_slots": leg.deadline_slots,
+                        "state": leg.state,
+                        **(
+                            {
+                                "decision": leg.record.get("decision"),
+                                "slot": leg.record.get("slot"),
+                                "completion_slot": leg.record.get(
+                                    "completion_slot"
+                                ),
+                            }
+                            if leg.record
+                            else {}
+                        ),
+                    }
+                    for leg in self.legs
+                ],
+            },
+            "shards": sorted({leg.shard for leg in self.legs}),
+            "slot": last.get("slot"),
+            "release_slot": (decided[0].record or {}).get("release_slot")
+            if decided else None,
+            "completion_slot": last.get("completion_slot"),
+            "deadline_slot": last.get("deadline_slot"),
+            "wait_s": round(
+                sum(float(leg.record.get("wait_s", 0.0)) for leg in decided), 6
+            ),
+            "decision_s": round(
+                max(
+                    (float(leg.record.get("decision_s", 0.0)) for leg in decided),
+                    default=0.0,
+                ),
+                6,
+            ),
+            "cost_delta": round(
+                sum(float(leg.record.get("cost_delta", 0.0)) for leg in decided),
+                9,
+            ),
+        }
+        if self.failure is not None:
+            record["failure"] = dict(self.failure)
+        return record
+
+
+class RelayTracker:
+    """Every live (and settled) relay, indexed by transfer and leg id."""
+
+    def __init__(self) -> None:
+        self.relays: Dict[str, Relay] = {}
+        self._leg_owner: Dict[str, str] = {}
+
+    def register(self, relay: Relay) -> None:
+        if relay.client_id in self.relays:
+            raise ServiceError(
+                f"relay {relay.client_id!r} is already registered"
+            )
+        self.relays[relay.client_id] = relay
+        for leg in relay.legs:
+            self._leg_owner[leg.leg_id] = relay.client_id
+
+    def get(self, client_id: str) -> Optional[Relay]:
+        return self.relays.get(client_id)
+
+    def relay_for_leg(self, leg_id: str) -> Optional[Relay]:
+        owner = self._leg_owner.get(leg_id)
+        return self.relays.get(owner) if owner else None
+
+    def active(self) -> List[Relay]:
+        return [r for r in self.relays.values() if not r.settled]
+
+    def parked_on(self, shard: str) -> List[Tuple[Relay, RelayLeg]]:
+        """Parked (or stranded in-flight) legs owned by ``shard``."""
+        out = []
+        for relay in self.relays.values():
+            if relay.settled:
+                continue
+            for leg in relay.legs:
+                if leg.shard == shard and leg.state in (
+                    LEG_PARKED, LEG_INFLIGHT
+                ):
+                    out.append((relay, leg))
+        return out
+
+    def parked_count(self) -> int:
+        return sum(
+            1
+            for relay in self.relays.values()
+            if not relay.settled
+            for leg in relay.legs
+            if leg.state == LEG_PARKED
+        )
+
+
+#: broker.stats() keys that add across shards.
+_STAT_SUM_KEYS = (
+    "submitted", "admitted", "rejected", "backpressured", "slots",
+    "batches", "queue_depth", "escalations", "fast_slots", "degraded",
+    "lp_skipped", "checkpoints", "wal_records", "wal_bytes",
+    "snapshot_bytes", "cost_per_slot", "periods_banked",
+)
+#: Keys where the fleet figure is the furthest shard's.
+_STAT_MAX_KEYS = ("next_slot",)
+
+
+def rollup_stats(per_shard: Dict[str, Dict[str, Any]]) -> Dict[str, Any]:
+    """Fleet-level totals over per-shard ``stats`` bodies."""
+    fleet: Dict[str, Any] = {"shards": len(per_shard)}
+    for key in _STAT_SUM_KEYS:
+        fleet[key] = 0
+    for key in _STAT_MAX_KEYS:
+        fleet[key] = 0
+    fleet["draining"] = False
+    for stats in per_shard.values():
+        for key in _STAT_SUM_KEYS:
+            value = stats.get(key, 0)
+            if isinstance(value, (int, float)):
+                fleet[key] += value
+        for key in _STAT_MAX_KEYS:
+            value = stats.get(key, 0)
+            if isinstance(value, (int, float)):
+                fleet[key] = max(fleet[key], value)
+        fleet["draining"] = fleet["draining"] or bool(stats.get("draining"))
+    fleet["cost_per_slot"] = round(fleet["cost_per_slot"], 6)
+    return fleet
+
+
+class BrokerFabric:
+    """A synchronous in-process fleet: the deterministic test harness.
+
+    Owns one :class:`TransferBroker` per shard and ticks them in
+    sorted shard order; relay legs decided in one shard's tick are
+    chained onto the next shard immediately, so a relay whose
+    destination shard sorts later can complete within a single fabric
+    round.
+    """
+
+    def __init__(
+        self,
+        fleet: FleetConfig,
+        configs: Optional[Dict[str, ServiceConfig]] = None,
+    ):
+        self.fleet = fleet
+        self.map = fleet.shard_map()
+        self.brokers: Dict[str, TransferBroker] = {
+            name: TransferBroker(
+                configs[name] if configs else fleet.shard_config(name)
+            )
+            for name in self.map.shards
+        }
+        self.tracker = RelayTracker()
+        #: Fabric-level final records (direct + composed relays).
+        self.decisions: Dict[str, Dict[str, Any]] = {}
+        self.counts = {"submitted": 0, "direct": 0, "relayed": 0}
+
+    def shard_of(self, source: int) -> str:
+        return self.map.shard_for(source)
+
+    def submit(self, fields: Dict[str, Any]) -> Tuple[str, Any]:
+        """Route one validated submission; mirrors broker.submit."""
+        cid = fields["id"]
+        known = self.decisions.get(cid)
+        if known is not None:
+            return "decided", known
+        relay = self.tracker.get(cid)
+        if relay is not None:
+            return "pending", relay
+        legs = plan_relay(fields, self.map, self.fleet.gateway_dc)
+        self.counts["submitted"] += 1
+        if legs is None:
+            shard = self.map.shard_for(int(fields["source"]))
+            outcome, value = self.brokers[shard].submit(dict(fields))
+            self.counts["direct"] += 1
+            if outcome == "decided":
+                record = {**value, "shard": shard}
+                self.decisions[cid] = record
+                return "decided", record
+            return "pending", value
+        relay = Relay(cid, legs, self.fleet.gateway_dc)
+        self.tracker.register(relay)
+        self.counts["relayed"] += 1
+        self._advance(relay)
+        return "pending", relay
+
+    def _advance(self, relay: Relay) -> None:
+        """Submit the relay's next waiting leg(s) to their shards."""
+        leg = relay.next_leg()
+        while leg is not None and leg.state == LEG_WAITING:
+            outcome, value = self.brokers[leg.shard].submit(
+                leg.submit_fields()
+            )
+            if outcome == "decided":
+                relay.on_leg_decision(leg.leg_id, value)
+                leg = relay.next_leg()
+                continue
+            leg.state = LEG_INFLIGHT
+            break
+
+    def process_slot(self) -> List[Dict[str, Any]]:
+        """Tick every shard once; returns fabric-level final records."""
+        finals: List[Dict[str, Any]] = []
+        for name in self.map.shards:
+            for pending, record in self.brokers[name].process_slot():
+                finals.extend(self._absorb(name, pending.client_id, record))
+        return finals
+
+    def _absorb(
+        self, shard: str, rid: str, record: Dict[str, Any]
+    ) -> List[Dict[str, Any]]:
+        relay = self.tracker.relay_for_leg(rid)
+        if relay is None:
+            final = {**record, "shard": shard}
+            self.decisions[rid] = final
+            return [final]
+        relay.on_leg_decision(rid, record)
+        if relay.settled:
+            final = relay.compose()
+            self.decisions[relay.client_id] = final
+            return [final]
+        self._advance(relay)
+        return []
+
+    def run_until_settled(self, max_slots: int = 256) -> List[Dict[str, Any]]:
+        """Tick until every queue is empty and every relay settled."""
+        finals: List[Dict[str, Any]] = []
+        for _ in range(max_slots):
+            finals.extend(self.process_slot())
+            busy = any(b.queue.depth for b in self.brokers.values())
+            if not busy and not self.tracker.active():
+                return finals
+        raise ServiceError(
+            f"fabric did not settle within {max_slots} slots"
+        )
+
+    def status(self, client_id: str) -> Dict[str, Any]:
+        known = self.decisions.get(client_id)
+        if known is not None:
+            return {"state": known["decision"], "decision": known}
+        relay = self.tracker.get(client_id)
+        if relay is not None:
+            return {"state": "relaying", "legs": relay.leg_states()}
+        shard = None
+        for name, broker in self.brokers.items():
+            if broker.queue.contains(client_id):
+                shard = name
+                break
+        if shard is not None:
+            return {"state": "pending", "shard": shard}
+        return {"state": "unknown"}
+
+    def stats(self) -> Dict[str, Any]:
+        per_shard = {
+            name: broker.stats() for name, broker in self.brokers.items()
+        }
+        return {
+            "router": {
+                **self.counts,
+                "relays_active": len(self.tracker.active()),
+                "map_version": self.map.version,
+            },
+            "shard_map": self.map.to_payload(),
+            "shards": per_shard,
+            "fleet": rollup_stats(per_shard),
+        }
+
+
+class FleetRouter:
+    """The asyncio front end: one listener, N shard connections.
+
+    Speaks the same NDJSON protocol as a single daemon, so existing
+    clients (loadgen, watch, tests) work unchanged against a fleet.
+    Routing is by shard map on the submission's source datacenter;
+    cross-shard submissions become relays driven by background tasks.
+    A shard whose connection drops is marked *down*: direct
+    submissions for it are answered with a ``shard-down`` error (and a
+    retry-after), relay legs on it park.  Reconnection is lazy (next
+    use) or explicit (the ``resume`` op); either path resubmits parked
+    legs, and the shard's idempotent decision log makes the resume
+    exactly-once.
+    """
+
+    def __init__(
+        self,
+        fleet: FleetConfig,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        socket_path: Optional[str] = None,
+    ):
+        self.fleet = fleet
+        self.map = fleet.shard_map()
+        self.host = host
+        self.listen_port = port
+        self.socket_path = socket_path
+        self.tracker = RelayTracker()
+        self.decisions: Dict[str, Dict[str, Any]] = {}
+        #: Direct client id -> owning shard (for status forwarding).
+        self.routes: Dict[str, str] = {}
+        self.down: Dict[str, str] = {}
+        self.counts = {
+            "submitted": 0, "direct": 0, "relayed": 0,
+            "routed_errors": 0, "parked_legs": 0, "resumed_legs": 0,
+        }
+        self._conns: Dict[str, _Connection] = {}
+        self._conn_locks: Dict[str, asyncio.Lock] = {}
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._stopped = asyncio.Event()
+
+    # -- lifecycle ---------------------------------------------------------
+
+    async def start(self) -> None:
+        if self.socket_path:
+            self._server = await asyncio.start_unix_server(
+                self._handle_client, path=self.socket_path,
+                limit=protocol.MAX_LINE_BYTES,
+            )
+        else:
+            self._server = await asyncio.start_server(
+                self._handle_client, host=self.host, port=self.listen_port,
+                limit=protocol.MAX_LINE_BYTES,
+            )
+
+    async def run_until_stopped(self) -> None:
+        await self._stopped.wait()
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        for conn in list(self._conns.values()):
+            await conn.close()
+        self._conns.clear()
+        self._stopped.set()
+
+    @property
+    def port(self) -> Optional[int]:
+        if self._server is None or self.socket_path:
+            return None
+        return self._server.sockets[0].getsockname()[1]
+
+    @property
+    def endpoint(self) -> str:
+        if self.socket_path:
+            return f"unix:{self.socket_path}"
+        return f"tcp:{self.host}:{self.port or self.listen_port}"
+
+    # -- shard connections -------------------------------------------------
+
+    async def _conn(self, shard: str) -> _Connection:
+        conn = self._conns.get(shard)
+        if conn is not None and not conn.is_closed():
+            return conn
+        # Serialize setup per shard: a burst of concurrent submissions
+        # must share one connection, not open (and leak) one each.
+        lock = self._conn_locks.setdefault(shard, asyncio.Lock())
+        async with lock:
+            conn = self._conns.get(shard)
+            if conn is not None:
+                if not conn.is_closed():
+                    return conn
+                # The shard died with nothing in flight: the read loop
+                # saw EOF with no waiters to fail, so nothing marked it
+                # down.  Evict and reconnect — a still-dead shard makes
+                # the reconnect raise ShardDownError below.
+                self._conns.pop(shard, None)
+                await conn.close()
+            host, port, socket_path = parse_endpoint(self.fleet.shards[shard])
+            try:
+                conn = await _Connection.open(host, port, socket_path)
+            except (OSError, ConnectionError) as exc:
+                self.down[shard] = str(exc)
+                raise ShardDownError(
+                    f"shard {shard!r} is unreachable: {exc}"
+                ) from exc
+            self._conns[shard] = conn
+            if self.down.pop(shard, None) is not None:
+                self._resume_shard_legs(shard)
+            return conn
+
+    async def _shard_call(
+        self, shard: str, message: Dict[str, Any]
+    ) -> Dict[str, Any]:
+        conn = await self._conn(shard)
+        try:
+            return await conn.call(dict(message))
+        except (ServiceError, OSError, ConnectionError) as exc:
+            self._mark_down(shard, exc)
+            raise ShardDownError(f"shard {shard!r} dropped: {exc}") from exc
+
+    def _mark_down(self, shard: str, exc: Exception) -> None:
+        self.down[shard] = str(exc)
+        conn = self._conns.pop(shard, None)
+        if conn is not None:
+            asyncio.get_running_loop().create_task(conn.close())
+
+    def _resume_shard_legs(self, shard: str) -> None:
+        """Re-drive every relay with a parked/stranded leg on ``shard``.
+
+        The resubmit is exactly-once by construction: the shard either
+        still holds the leg queued (WAL-replayed admission — the
+        broker *attaches* our fresh waiter), already decided it
+        (cached record comes straight back), or never heard of it
+        (journal lost with the crash — a fresh submission).  All three
+        end in exactly one decision per leg.
+        """
+        for relay, leg in self.tracker.parked_on(shard):
+            leg.state = LEG_WAITING
+            self.counts["resumed_legs"] += 1
+            if not relay.driving:
+                asyncio.get_running_loop().create_task(
+                    self._drive_relay(relay)
+                )
+
+    # -- client handling ---------------------------------------------------
+
+    async def _handle_client(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        lock = asyncio.Lock()
+        tasks = set()
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except ValueError:
+                    await self._send(
+                        writer, lock,
+                        protocol.error_response(
+                            "?", "invalid",
+                            f"request line exceeds {protocol.MAX_LINE_BYTES} "
+                            "bytes; closing connection",
+                        ),
+                    )
+                    break
+                if not line:
+                    break
+                if not line.strip():
+                    continue
+                await self._dispatch(line, writer, lock, tasks)
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        except asyncio.CancelledError:
+            pass
+        finally:
+            for task in tasks:
+                task.cancel()
+            writer.close()
+            with contextlib.suppress(Exception, asyncio.CancelledError):
+                await writer.wait_closed()
+
+    async def _dispatch(self, line, writer, lock, tasks) -> None:
+        from repro.errors import ProtocolError
+
+        try:
+            message = protocol.decode_line(line)
+        except ProtocolError as exc:
+            await self._send(
+                writer, lock, protocol.error_response("?", "invalid", str(exc))
+            )
+            return
+        op = message["op"]
+        if op == "submit":
+            await self._handle_submit(message, writer, lock, tasks)
+        elif op == "status":
+            await self._handle_status(message, writer, lock)
+        elif op == "stats":
+            await self._handle_stats(writer, lock)
+        elif op == "metrics":
+            await self._handle_metrics(message, writer, lock)
+        elif op == "tick":
+            await self._handle_tick(writer, lock)
+        elif op == "drain":
+            await self._handle_drain(writer, lock)
+        elif op == "resume":
+            await self._handle_resume(message, writer, lock)
+        elif op == "ping":
+            await self._send(
+                writer, lock,
+                {"ok": True, "op": "ping",
+                 "version": protocol.PROTOCOL_VERSION, "role": "router",
+                 "shards": self.map.shards,
+                 "map_version": self.map.version},
+            )
+        else:
+            await self._send(
+                writer, lock,
+                protocol.error_response(
+                    op, "unsupported",
+                    f"op {op!r} is not served by the router",
+                ),
+            )
+
+    async def _handle_submit(self, message, writer, lock, tasks) -> None:
+        from repro.errors import ProtocolError
+
+        try:
+            fields = protocol.validate_submit(
+                message, self.fleet.max_deadline
+            )
+        except ProtocolError as exc:
+            await self._send(
+                writer, lock,
+                protocol.error_response(
+                    "submit", "invalid", str(exc), id=message.get("id")
+                ),
+            )
+            return
+        cid = fields["id"]
+        if LEG_SEP in cid:
+            await self._send(
+                writer, lock,
+                protocol.error_response(
+                    "submit", "invalid",
+                    f"id may not contain {LEG_SEP!r} (reserved for relay "
+                    "leg ids)", id=cid,
+                ),
+            )
+            return
+        known = self.decisions.get(cid)
+        if known is not None:
+            await self._send(
+                writer, lock,
+                {"ok": True, "op": "submit", "cached": True, **known},
+            )
+            return
+        relay = self.tracker.get(cid)
+        if relay is not None:
+            # A reconnecting client re-parks on its in-flight relay.
+            relay.reply = (writer, lock)
+            return
+        legs = plan_relay(fields, self.map, self.fleet.gateway_dc)
+        self.counts["submitted"] += 1
+        if legs is None:
+            shard = self.map.shard_for(fields["source"])
+            self.routes[cid] = shard
+            self.counts["direct"] += 1
+            task = asyncio.create_task(
+                self._forward_direct(shard, fields, writer, lock)
+            )
+        else:
+            relay = Relay(cid, legs, self.fleet.gateway_dc)
+            relay.reply = (writer, lock)
+            self.tracker.register(relay)
+            self.counts["relayed"] += 1
+            task = asyncio.create_task(self._drive_relay(relay))
+        tasks.add(task)
+        task.add_done_callback(tasks.discard)
+
+    async def _forward_direct(self, shard, fields, writer, lock) -> None:
+        try:
+            response = await self._shard_call(
+                shard, {"op": "submit", **fields}
+            )
+        except ShardDownError as exc:
+            self.counts["routed_errors"] += 1
+            await self._send(
+                writer, lock,
+                protocol.error_response(
+                    "submit", "shard-down", str(exc),
+                    id=fields["id"], shard=shard, retry_after_s=1.0,
+                ),
+            )
+            return
+        if response.get("ok") and "decision" in response:
+            record = {
+                k: v for k, v in response.items()
+                if k not in ("ok", "op", "cached")
+            }
+            record["shard"] = shard
+            self.decisions[fields["id"]] = record
+        await self._send(writer, lock, {**response, "shard": shard})
+
+    async def _drive_relay(self, relay: Relay) -> None:
+        """Submit legs in order until the relay settles or parks."""
+        relay.driving = True
+        retries = 0
+        try:
+            while True:
+                leg = relay.next_leg()
+                if leg is None:
+                    break
+                leg.state = LEG_INFLIGHT
+                try:
+                    response = await self._shard_call(
+                        leg.shard, leg.submit_message()
+                    )
+                except ShardDownError:
+                    leg.state = LEG_PARKED
+                    self.counts["parked_legs"] += 1
+                    return
+                if not response.get("ok"):
+                    if (
+                        response.get("error") == "backpressure"
+                        and retries < LEG_MAX_RETRIES
+                    ):
+                        retries += 1
+                        leg.state = LEG_WAITING
+                        await asyncio.sleep(
+                            float(response.get("retry_after_s", 0.1))
+                        )
+                        continue
+                    relay.fail(leg, response)
+                    break
+                record = {
+                    k: v for k, v in response.items()
+                    if k not in ("ok", "op", "cached")
+                }
+                relay.on_leg_decision(leg.leg_id, record)
+            final = relay.compose()
+            self.decisions[relay.client_id] = final
+            ok = final["decision"] != "failed"
+            if not ok:
+                self.counts["routed_errors"] += 1
+            await self._reply(
+                relay, {"ok": ok, "op": "submit", **final}
+            )
+        finally:
+            relay.driving = False
+
+    async def _reply(self, relay: Relay, message: Dict[str, Any]) -> None:
+        if relay.reply is None:
+            return
+        writer, lock = relay.reply
+        if writer.is_closing():
+            return
+        await self._send(writer, lock, message)
+
+    async def _handle_status(self, message, writer, lock) -> None:
+        cid = str(message.get("id", ""))
+        known = self.decisions.get(cid)
+        if known is not None:
+            await self._send(
+                writer, lock,
+                {"ok": True, "op": "status", "id": cid,
+                 "state": known["decision"], "decision": known},
+            )
+            return
+        relay = self.tracker.get(cid)
+        if relay is not None:
+            await self._send(
+                writer, lock,
+                {"ok": True, "op": "status", "id": cid, "state": "relaying",
+                 "legs": relay.leg_states()},
+            )
+            return
+        shard = self.routes.get(cid)
+        if shard is not None:
+            try:
+                response = await self._shard_call(
+                    shard, {"op": "status", "id": cid}
+                )
+            except ShardDownError as exc:
+                await self._send(
+                    writer, lock,
+                    protocol.error_response(
+                        "status", "shard-down", str(exc), id=cid, shard=shard
+                    ),
+                )
+                return
+            await self._send(writer, lock, {**response, "shard": shard})
+            return
+        await self._send(
+            writer, lock,
+            {"ok": True, "op": "status", "id": cid, "state": "unknown"},
+        )
+
+    async def _gather_shards(
+        self, message: Dict[str, Any]
+    ) -> Tuple[Dict[str, Dict[str, Any]], Dict[str, str]]:
+        """One op fanned out to every shard; returns (live, down)."""
+        live: Dict[str, Dict[str, Any]] = {}
+        failed: Dict[str, str] = {}
+        for name in self.map.shards:
+            try:
+                response = await self._shard_call(name, dict(message))
+            except ShardDownError as exc:
+                failed[name] = str(exc)
+                continue
+            live[name] = {
+                k: v for k, v in response.items() if k not in ("ok", "op")
+            }
+        return live, failed
+
+    def _router_stats(self) -> Dict[str, Any]:
+        return {
+            **self.counts,
+            "relays_active": len(self.tracker.active()),
+            "parked": self.tracker.parked_count(),
+            "map_version": self.map.version,
+            "down": sorted(self.down),
+        }
+
+    async def _handle_stats(self, writer, lock) -> None:
+        live, failed = await self._gather_shards({"op": "stats"})
+        shards: Dict[str, Any] = dict(live)
+        for name, reason in failed.items():
+            shards[name] = {"down": reason}
+        await self._send(
+            writer, lock,
+            {"ok": True, "op": "stats", "role": "router",
+             "endpoint": self.endpoint,
+             "router": self._router_stats(),
+             "shard_map": self.map.to_payload(),
+             "shards": shards,
+             "fleet": rollup_stats(live)},
+        )
+
+    async def _handle_metrics(self, message, writer, lock) -> None:
+        from repro.obs.metrics import rollup_snapshots
+
+        fmt = message.get("format", "json")
+        if fmt != "json":
+            await self._send(
+                writer, lock,
+                protocol.error_response(
+                    "metrics", "unsupported",
+                    "the router serves json only; scrape prometheus text "
+                    "from each shard's own metrics op",
+                ),
+            )
+            return
+        live, failed = await self._gather_shards({"op": "metrics"})
+        rollup = rollup_snapshots(
+            {name: body.get("snapshot", {}) for name, body in live.items()}
+        )
+        stats_live = {
+            name: body.get("stats", {}) for name, body in live.items()
+        }
+        await self._send(
+            writer, lock,
+            {"ok": True, "op": "metrics",
+             "version": protocol.PROTOCOL_VERSION, "format": "json",
+             "role": "router",
+             "router": self._router_stats(),
+             "shards": live,
+             "down": failed,
+             "stats": rollup_stats(stats_live),
+             "snapshot": rollup},
+        )
+
+    async def _handle_tick(self, writer, lock) -> None:
+        """Fan a manual tick out to every live shard (sorted order).
+
+        Relay chaining rides on decision responses delivered *after*
+        each shard's tick ack, so a tick's response does not imply the
+        chained legs have been submitted yet — poll ``status`` (tests)
+        or run automatic clocks (production).
+        """
+        slots: Dict[str, Any] = {}
+        for name in self.map.shards:
+            try:
+                response = await self._shard_call(name, {"op": "tick"})
+            except ShardDownError as exc:
+                slots[name] = {"down": str(exc)}
+                continue
+            if response.get("ok"):
+                slots[name] = response.get("next_slot")
+            else:
+                slots[name] = {"error": response.get("message")}
+        # Let decision deliveries and chain tasks interleave before the
+        # ack; chaining may still need further ticks to decide leg B.
+        for _ in range(3):
+            await asyncio.sleep(0)
+        await self._send(
+            writer, lock, {"ok": True, "op": "tick", "shards": slots}
+        )
+
+    async def _handle_resume(self, message, writer, lock) -> None:
+        wanted = message.get("shard")
+        targets = [wanted] if wanted else sorted(self.down)
+        resumed, still_down = [], []
+        for name in targets:
+            if name not in self.fleet.shards:
+                await self._send(
+                    writer, lock,
+                    protocol.error_response(
+                        "resume", "invalid", f"unknown shard {name!r}"
+                    ),
+                )
+                return
+            try:
+                await self._conn(name)
+                resumed.append(name)
+            except ShardDownError:
+                still_down.append(name)
+        await self._send(
+            writer, lock,
+            {"ok": True, "op": "resume", "resumed": resumed,
+             "still_down": still_down,
+             "parked": self.tracker.parked_count()},
+        )
+
+    async def _handle_drain(self, writer, lock) -> None:
+        live, failed = await self._gather_shards({"op": "drain"})
+        await self._send(
+            writer, lock,
+            {"ok": True, "op": "drain", "drained": not failed,
+             "shards": {
+                 **{name: body for name, body in live.items()},
+                 **{name: {"down": reason} for name, reason in failed.items()},
+             },
+             "fleet": rollup_stats(live)},
+        )
+        await self.stop()
+
+    @staticmethod
+    async def _send(writer, lock, message: Dict[str, Any]) -> None:
+        async with lock:
+            writer.write(protocol.encode(message))
+            with contextlib.suppress(ConnectionResetError, BrokenPipeError):
+                await writer.drain()
+
+
+async def serve_fleet(
+    fleet: FleetConfig,
+    *,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    socket_path: Optional[str] = None,
+) -> FleetRouter:
+    """Start a router and block until it drains; returns it (stopped)."""
+    router = FleetRouter(
+        fleet, host=host, port=port, socket_path=socket_path
+    )
+    await router.start()
+    try:
+        await router.run_until_stopped()
+    finally:
+        await router.stop()
+    return router

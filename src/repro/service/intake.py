@@ -123,6 +123,17 @@ class IntakeQueue:
         """True while a submission with this id is waiting for a slot."""
         return any(pending.client_id == client_id for pending in self._queue)
 
+    def find(self, client_id: str) -> Optional[PendingTransfer]:
+        """The waiting entry with this id, or None.
+
+        The duplicate-submit attach path reads (and re-parks a waiter
+        on) the live entry without disturbing its queue position.
+        """
+        for pending in self._queue:
+            if pending.client_id == client_id:
+                return pending
+        return None
+
     def pending_ids(self) -> List[str]:
         """Client ids of everything still waiting, in arrival order."""
         return [pending.client_id for pending in self._queue]

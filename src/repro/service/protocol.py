@@ -35,11 +35,19 @@ from repro.errors import ProtocolError
 #: Version 2 added the ``metrics`` op (live telemetry snapshot with an
 #: optional Prometheus-text rendering) and trace-summary fields on
 #: ``submit`` responses (``trace``, ``cost_delta``, ``headroom_gb``,
-#: ``wall_ts``).  Both are additive; version-1 clients are unaffected.
-PROTOCOL_VERSION = 2
+#: ``wall_ts``).  Version 3 added the fleet front end: the ``resume``
+#: op (router: reconnect to down shards and replay parked relay legs)
+#: and relay/shard fields on router responses.  All additive;
+#: version-1 clients are unaffected.  An op a given server does not
+#: serve (e.g. ``resume`` sent to a plain shard daemon) is answered
+#: with an ``unsupported`` error rather than dropped.
+PROTOCOL_VERSION = 3
 
 #: Operations a client may send.
-OPS = ("submit", "status", "stats", "metrics", "drain", "tick", "ping")
+OPS = (
+    "submit", "status", "stats", "metrics", "drain", "tick", "ping",
+    "resume",
+)
 
 #: Renderings the ``metrics`` op supports.
 METRICS_FORMATS = ("json", "prometheus")

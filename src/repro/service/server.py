@@ -256,6 +256,18 @@ class ServiceDaemon:
             await self._handle_tick(writer, lock)
         elif op == "drain":
             await self._handle_drain(writer, lock)
+        else:
+            # Decodable (it's in protocol.OPS) but not served here —
+            # e.g. the fleet router's "resume" sent to a plain shard.
+            # Answer instead of dropping: a silent drop wedges callers
+            # that await a response line.
+            await self._send(
+                writer, lock,
+                protocol.error_response(
+                    op, "unsupported",
+                    f"op {op!r} is not served by this daemon",
+                ),
+            )
 
     async def _handle_submit(self, message, writer, lock, deferred) -> None:
         try:

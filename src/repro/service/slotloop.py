@@ -188,6 +188,11 @@ class TransferBroker:
 
     def _replay_commit(self, record: Dict[str, Any]) -> None:
         slot = int(record["slot"])
+        # Period boundaries are a pure function of the slot index, so
+        # replay re-crosses them exactly where the live run did — empty
+        # commits included; skipping one would leave the rebuilt
+        # watermarks a period behind the pre-crash books.
+        self._maybe_rollover(slot)
         batch_ids = list(record.get("batch", []))
         if batch_ids:
             try:
@@ -220,6 +225,38 @@ class TransferBroker:
         """The single NetworkState all slots commit into."""
         return self.scheduler.state
 
+    # -- billing rollover --------------------------------------------------
+
+    def _maybe_rollover(self, slot: int) -> None:
+        """Cycle the charging period before processing ``slot``.
+
+        With ``config.period_slots = P`` the boundaries sit at every
+        multiple of P: once ``slot`` reaches the end of the current
+        period, the closing period's bill is banked
+        (:meth:`NetworkState.start_new_period`), the paid watermarks
+        re-seed to the in-flight volume already committed past the
+        boundary, and both scheduler lanes re-adopt the state so the
+        fast lane's tracker drops the expired headroom.  Deterministic
+        in the slot index — live runs and WAL replay cross boundaries
+        identically.
+        """
+        period = self.config.period_slots
+        if not period:
+            return
+        while slot >= self.state.period_start + period:
+            boundary = self.state.period_start + period
+            bill = self.state.start_new_period(boundary)
+            # Paid headroom the fast lane cached is no longer paid for;
+            # re-adopting rebuilds its tracker from the rolled state.
+            self.scheduler.adopt_state(self.state)
+            if self.config.period_prune:
+                self.state.ledger.prune_before(boundary)
+            obs.counter("service.period_rollover")
+            obs.gauge(
+                "service.period_bill", round(bill, 6),
+                boundary=boundary, periods=len(self.state.banked_period_bills),
+            )
+
     # -- intake ------------------------------------------------------------
 
     def submit(
@@ -228,25 +265,42 @@ class TransferBroker:
         """Accept one validated submission.
 
         Returns ``("decided", record)`` for an id already decided (the
-        idempotent-retry path), or ``("pending", PendingTransfer)`` once
-        queued.  Raises :class:`BackpressureError` when the intake queue
-        is saturated and :class:`ServiceError` when the daemon is
-        draining or the transfer's deadline would cross the ledger
-        horizon.
+        idempotent-retry path), ``("attached", PendingTransfer)`` for an
+        id still queued whose waiter slot is free — the caller's waiter
+        is parked on the existing entry, which is what lets a fabric
+        router reconnect after a crash and hear the original decision
+        exactly once — or ``("pending", PendingTransfer)`` once queued.
+        Raises :class:`BackpressureError` when the intake queue is
+        saturated and :class:`ServiceError` when the daemon is draining,
+        a live waiter already holds the id, or the transfer's deadline
+        would cross the ledger horizon (single-period mode only; with
+        ``config.period_slots`` the broker rolls the charging period
+        over instead).
         """
         client_id = fields["id"]
         known = self.decisions.get(client_id)
         if known is not None:
             return "decided", known
-        if self.queue.contains(client_id):
-            raise ServiceError(f"submission {client_id!r} is already pending")
+        queued = self.queue.find(client_id)
+        if queued is not None:
+            if queued.waiter is not None and not queued.waiter.done():
+                raise ServiceError(
+                    f"submission {client_id!r} is already pending"
+                )
+            queued.waiter = waiter
+            obs.counter("service.attached")
+            return "attached", queued
         if self.draining:
             raise ServiceError("service is draining; not accepting submissions")
-        if self.next_slot + fields["deadline_slots"] + 1 > self.config.horizon:
+        if (
+            not self.config.period_slots
+            and self.next_slot + fields["deadline_slots"] + 1
+            > self.config.horizon
+        ):
             raise ServiceError(
                 f"deadline would cross the service horizon "
-                f"({self.config.horizon} slots); multi-period rollover is "
-                "not supported yet"
+                f"({self.config.horizon} slots); run with period_slots to "
+                "roll the charging period over instead"
             )
         pending = PendingTransfer(
             client_id=client_id,
@@ -316,6 +370,7 @@ class TransferBroker:
         changed.
         """
         slot = self.next_slot
+        self._maybe_rollover(slot)
         batch = self.queue.drain()
         if not batch:
             self.next_slot = slot + 1
@@ -592,6 +647,12 @@ class TransferBroker:
             "degraded": getattr(self.scheduler, "degraded", 0),
             "lp_skipped": getattr(self.scheduler, "lp_skipped", 0),
             "wal": bool(self.store and self.store.wal_enabled),
+            "period_slots": self.config.period_slots,
+            "period_start": self.state.period_start,
+            "periods_banked": len(self.state.banked_period_bills),
+            "last_period_bill": round(
+                self.state.banked_period_bills[-1], 6
+            ) if self.state.banked_period_bills else 0.0,
             **(
                 self.store.stats()
                 if self.store

@@ -1,0 +1,247 @@
+"""Unit tests for the sharded broker fabric (relay planner + harness).
+
+Everything here runs against the synchronous in-process
+:class:`~repro.service.fabric.BrokerFabric` — deterministic, no
+sockets — which shares the relay state machine with the asyncio
+:class:`FleetRouter` (exercised end-to-end in test_fleet_e2e.py).
+"""
+
+import pytest
+
+from repro.errors import ServiceError
+from repro.service.fabric import (
+    BrokerFabric,
+    FleetConfig,
+    plan_relay,
+    rollup_stats,
+    split_deadline,
+)
+
+DCS = 6
+
+
+def make_fleet(**overrides) -> FleetConfig:
+    base = dict(
+        shards={"eu": "", "us": ""},
+        gateway_dc=0,
+        datacenters=DCS,
+        capacity=100.0,
+        max_queue=64,
+        max_deadline=8,
+    )
+    base.update(overrides)
+    return FleetConfig(**base)
+
+
+def fields(cid, source, destination, size=2.0, deadline=4):
+    return {
+        "id": cid,
+        "source": source,
+        "destination": destination,
+        "size_gb": size,
+        "deadline_slots": deadline,
+    }
+
+
+def shard_pair(shard_map, same=True, exclude=()):
+    """A (source, destination) pair on the same / different shards."""
+    for src in range(DCS):
+        for dst in range(DCS):
+            if src == dst or src in exclude or dst in exclude:
+                continue
+            matches = shard_map.shard_for(src) == shard_map.shard_for(dst)
+            if matches == same:
+                return src, dst
+    raise AssertionError("no such pair in this topology")
+
+
+# -- config ----------------------------------------------------------------
+
+
+def test_fleet_config_validates():
+    with pytest.raises(ServiceError, match="at least one shard"):
+        make_fleet(shards={})
+    with pytest.raises(ServiceError, match="gateway_dc"):
+        make_fleet(gateway_dc=DCS)
+    fleet = make_fleet(checkpoint_root="/tmp/fleet-x")
+    cfg = fleet.shard_config("eu")
+    assert cfg.checkpoint_dir == "/tmp/fleet-x/eu"
+    assert cfg.datacenters == DCS
+    with pytest.raises(ServiceError, match="unknown shard"):
+        fleet.shard_config("mars")
+
+
+# -- relay planning --------------------------------------------------------
+
+
+def test_split_deadline_ceil_floor():
+    assert split_deadline(4) == (2, 2)
+    assert split_deadline(5) == (3, 2)
+    assert split_deadline(1) == (1, 1)  # both legs keep a slot of slack
+
+
+def test_plan_relay_same_shard_is_direct():
+    fleet = make_fleet()
+    shard_map = fleet.shard_map()
+    src, dst = shard_pair(shard_map, same=True)
+    assert plan_relay(fields("t", src, dst), shard_map, 0) is None
+
+
+def test_plan_relay_cross_shard_two_legs():
+    fleet = make_fleet()
+    shard_map = fleet.shard_map()
+    src, dst = shard_pair(shard_map, same=False)
+    gateway = next(
+        g for g in range(DCS) if g not in (src, dst)
+    )
+    legs = plan_relay(fields("t", src, dst, deadline=5), shard_map, gateway)
+    assert [leg.leg_id for leg in legs] == ["t#a", "t#b"]
+    leg_a, leg_b = legs
+    assert (leg_a.source, leg_a.destination) == (src, gateway)
+    assert (leg_b.source, leg_b.destination) == (gateway, dst)
+    assert leg_a.shard == shard_map.shard_for(src)
+    assert leg_b.shard == shard_map.shard_for(dst)
+    assert (leg_a.deadline_slots, leg_b.deadline_slots) == (3, 2)
+
+
+def test_plan_relay_degenerate_gateways():
+    fleet = make_fleet()
+    shard_map = fleet.shard_map()
+    src, dst = shard_pair(shard_map, same=False)
+    # Gateway at the source: a single ingress leg on the destination's
+    # shard, full deadline.
+    legs = plan_relay(fields("t", src, dst, deadline=4), shard_map, src)
+    assert [leg.leg_id for leg in legs] == ["t#b"]
+    assert legs[0].shard == shard_map.shard_for(dst)
+    assert legs[0].deadline_slots == 4
+    # Gateway at the destination: a single egress leg on the source's.
+    legs = plan_relay(fields("t", src, dst, deadline=4), shard_map, dst)
+    assert [leg.leg_id for leg in legs] == ["t#a"]
+    assert legs[0].shard == shard_map.shard_for(src)
+
+
+# -- the in-process fabric -------------------------------------------------
+
+
+def test_fabric_direct_submission_routes_to_owner():
+    fleet = make_fleet()
+    fabric = BrokerFabric(fleet)
+    src, dst = shard_pair(fabric.map, same=True)
+    owner = fabric.map.shard_for(src)
+    other = next(n for n in fabric.map.shards if n != owner)
+    outcome, _ = fabric.submit(fields("d1", src, dst))
+    assert outcome == "pending"
+    assert fabric.brokers[owner].queue.depth == 1
+    assert fabric.brokers[other].queue.depth == 0
+    finals = fabric.run_until_settled()
+    assert [f["id"] for f in finals] == ["d1"]
+    assert finals[0]["decision"] == "admitted"
+    assert finals[0]["shard"] == owner
+    assert fabric.counts == {"submitted": 1, "direct": 1, "relayed": 0}
+
+
+def test_fabric_relay_chains_on_commit():
+    fleet = make_fleet()
+    fabric = BrokerFabric(fleet)
+    src, dst = shard_pair(fabric.map, same=False, exclude=(fleet.gateway_dc,))
+    fabric.submit(fields("x1", src, dst, deadline=6))
+    assert fabric.counts["relayed"] == 1
+    # Leg B must not exist anywhere until leg A commits.
+    dst_shard = fabric.map.shard_for(dst)
+    relay = fabric.tracker.get("x1")
+    assert relay.leg_states()["x1#b"] == "waiting"
+    finals = fabric.run_until_settled()
+    assert len(finals) == 1
+    final = finals[0]
+    assert final["id"] == "x1"
+    assert final["decision"] == "admitted"
+    leg_records = final["relay"]["legs"]
+    assert [leg["id"] for leg in leg_records] == ["x1#a", "x1#b"]
+    assert all(leg["decision"] == "admitted" for leg in leg_records)
+    # Leg B was submitted only after leg A's decision slot.
+    assert leg_records[1]["slot"] >= leg_records[0]["slot"]
+    assert final["completion_slot"] == leg_records[1]["completion_slot"]
+    # The gateway hop's volume is billed once per carrying shard.
+    assert fabric.brokers[dst_shard].counts["admitted"] >= 1
+
+
+def test_fabric_rejected_leg_short_circuits():
+    # A tiny capacity with an oversized transfer: leg A is rejected,
+    # so leg B must never reach the destination shard's broker.
+    fleet = make_fleet(capacity=1.0)
+    fabric = BrokerFabric(fleet)
+    src, dst = shard_pair(fabric.map, same=False, exclude=(fleet.gateway_dc,))
+    gateway = fleet.gateway_dc
+    if gateway in (src, dst):
+        pytest.skip("need a two-leg relay for this topology")
+    fabric.submit(fields("big", src, dst, size=500.0, deadline=4))
+    finals = fabric.run_until_settled()
+    assert len(finals) == 1
+    assert finals[0]["decision"] == "rejected"
+    states = {leg["id"]: leg["state"] for leg in finals[0]["relay"]["legs"]}
+    assert states["big#a"] == "decided"
+    assert states["big#b"] == "waiting"
+    dst_shard = fabric.map.shard_for(dst)
+    assert fabric.brokers[dst_shard].counts["submitted"] == 0
+
+
+def test_fabric_submission_is_idempotent():
+    fleet = make_fleet()
+    fabric = BrokerFabric(fleet)
+    src, dst = shard_pair(fabric.map, same=False, exclude=(fleet.gateway_dc,))
+    fabric.submit(fields("x1", src, dst))
+    outcome, value = fabric.submit(fields("x1", src, dst))
+    assert outcome == "pending"
+    assert value is fabric.tracker.get("x1")
+    assert fabric.counts["submitted"] == 1
+    fabric.run_until_settled()
+    outcome, record = fabric.submit(fields("x1", src, dst))
+    assert outcome == "decided"
+    assert record["decision"] == "admitted"
+
+
+def test_fabric_shard_ledgers_are_isolated():
+    fleet = make_fleet()
+    fabric = BrokerFabric(fleet)
+    src, dst = shard_pair(fabric.map, same=True)
+    owner = fabric.map.shard_for(src)
+    other = next(n for n in fabric.map.shards if n != owner)
+    fabric.submit(fields("d1", src, dst, size=8.0))
+    fabric.run_until_settled()
+    assert fabric.brokers[owner].state.ledger.total_volume() > 0.0
+    assert fabric.brokers[other].state.ledger.total_volume() == 0.0
+
+
+def test_fabric_status_and_stats_rollup():
+    fleet = make_fleet()
+    fabric = BrokerFabric(fleet)
+    src, dst = shard_pair(fabric.map, same=False, exclude=(fleet.gateway_dc,))
+    fabric.submit(fields("x1", src, dst))
+    assert fabric.status("x1")["state"] == "relaying"
+    assert fabric.status("ghost")["state"] == "unknown"
+    fabric.run_until_settled()
+    assert fabric.status("x1")["state"] == "admitted"
+    stats = fabric.stats()
+    assert stats["router"]["relayed"] == 1
+    assert stats["shard_map"]["version"] == 1
+    fleet_totals = stats["fleet"]
+    assert fleet_totals["shards"] == 2
+    # Two legs, one per shard.
+    assert fleet_totals["submitted"] == 2
+    assert fleet_totals["admitted"] == 2
+    per_shard = [stats["shards"][name]["submitted"] for name in stats["shards"]]
+    assert sum(per_shard) == 2
+
+
+def test_rollup_stats_sums_and_maxes():
+    fleet_totals = rollup_stats({
+        "a": {"submitted": 3, "admitted": 2, "next_slot": 5,
+              "cost_per_slot": 1.5, "draining": False},
+        "b": {"submitted": 1, "admitted": 1, "next_slot": 9,
+              "cost_per_slot": 0.25, "draining": True},
+    })
+    assert fleet_totals["submitted"] == 4
+    assert fleet_totals["admitted"] == 3
+    assert fleet_totals["next_slot"] == 9
+    assert fleet_totals["cost_per_slot"] == 1.75
+    assert fleet_totals["draining"] is True

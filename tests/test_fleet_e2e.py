@@ -1,0 +1,355 @@
+"""Fleet-level end-to-end drills: router + shard daemons over sockets.
+
+The headline test is the crash drill from the PR's acceptance criteria:
+two WAL-enabled shard subprocesses behind an in-process
+:class:`FleetRouter`, a relay mid-flight, ``kill -9`` on the shard
+holding its second leg.  The surviving shard must keep admitting, the
+killed shard must come back via WAL replay with a strict-clean recovery
+verifier, and the parked relay leg must resume and decide **exactly
+once** (the shard's idempotent decision log is what makes the
+resubmission safe).
+"""
+
+import asyncio
+import os
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.service import FleetConfig, FleetRouter
+from repro.service.loadgen import _Connection
+
+pytestmark = pytest.mark.filterwarnings("ignore::DeprecationWarning")
+
+DCS = 6
+SHARD_ARGS = [
+    "--datacenters", str(DCS), "--capacity", "60", "--seed", "3",
+    "--max-deadline", "8", "--tick-seconds", "0", "--wal",
+]
+
+
+def start_shard(sock, ckpt_dir):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in ("src", env.get("PYTHONPATH")) if p
+    )
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--socket", sock,
+         "--checkpoint-dir", ckpt_dir, *SHARD_ARGS],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, env=env,
+        cwd=os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    )
+    deadline = time.time() + 30
+    while time.time() < deadline:
+        if os.path.exists(sock):
+            return proc
+        if proc.poll() is not None:
+            raise AssertionError(
+                f"shard died on startup:\n{proc.stdout.read().decode()}"
+            )
+        time.sleep(0.05)
+    proc.kill()
+    raise AssertionError("shard never bound its socket")
+
+
+def make_fleet(tmp_path):
+    # Over 6 DCs these two names split ownership 3/3 ("ap" owns
+    # 0-2 incl. the gateway, "east" owns 3-5), so both shards have a
+    # same-shard pair — the crash drill needs one on each side.
+    socks = {
+        "east": str(tmp_path / "east.sock"),
+        "ap": str(tmp_path / "ap.sock"),
+    }
+    fleet = FleetConfig(
+        shards={name: f"unix:{sock}" for name, sock in socks.items()},
+        gateway_dc=0,
+        datacenters=DCS,
+        capacity=60.0,
+        seed=3,
+        max_deadline=8,
+        wal=True,
+        checkpoint_root=str(tmp_path / "ckpt"),
+    )
+    return fleet, socks
+
+
+def pick_pair(shard_map, same, exclude=()):
+    for src in range(DCS):
+        for dst in range(DCS):
+            if src == dst or src in exclude or dst in exclude:
+                continue
+            if (shard_map.shard_for(src) == shard_map.shard_for(dst)) == same:
+                return src, dst
+    raise AssertionError("no such pair")
+
+
+def submit_message(cid, source, destination, size=5.0, deadline=6):
+    return {"op": "submit", "id": cid, "source": source,
+            "destination": destination, "size_gb": size,
+            "deadline_slots": deadline}
+
+
+async def poll_relay_state(conn, cid, want, timeout=10.0):
+    """Poll router status until leg states satisfy ``want(legs)``."""
+    deadline = asyncio.get_running_loop().time() + timeout
+    while True:
+        status = await conn.call({"op": "status", "id": cid})
+        legs = status.get("legs", {})
+        if status.get("state") != "relaying" or want(legs):
+            return status
+        if asyncio.get_running_loop().time() > deadline:
+            raise AssertionError(f"relay never reached {want}: {status}")
+        await asyncio.sleep(0.05)
+
+
+@pytest.mark.slow
+def test_fleet_router_round_trip(tmp_path):
+    """Direct + cross-shard submissions through a live 2-shard fleet
+    with manual ticks; per-shard metrics roll up at the router."""
+    fleet, socks = make_fleet(tmp_path)
+    shard_map = fleet.shard_map()
+    direct_pair = pick_pair(shard_map, same=True)
+    relay_pair = pick_pair(shard_map, same=False, exclude=(fleet.gateway_dc,))
+    procs = [start_shard(sock, str(tmp_path / "ckpt" / name))
+             for name, sock in socks.items()]
+
+    async def scenario():
+        router = FleetRouter(fleet, socket_path=str(tmp_path / "router.sock"))
+        await router.start()
+        conn = await _Connection.open("", 0, str(tmp_path / "router.sock"))
+        try:
+            w_direct = conn.send(submit_message("d1", *direct_pair))
+            w_relay = conn.send(submit_message("x1", *relay_pair))
+            for _ in range(4):
+                tick = await asyncio.wait_for(
+                    conn.call({"op": "tick"}), timeout=10
+                )
+                assert tick["ok"]
+                await asyncio.sleep(0.05)
+            direct = await asyncio.wait_for(w_direct, timeout=10)
+            relayed = await asyncio.wait_for(w_relay, timeout=10)
+            stats = await asyncio.wait_for(conn.call({"op": "stats"}), 10)
+            metrics = await asyncio.wait_for(conn.call({"op": "metrics"}), 10)
+            return direct, relayed, stats, metrics
+        finally:
+            await conn.close()
+            await router.stop()
+
+    try:
+        direct, relayed, stats, metrics = asyncio.run(scenario())
+    finally:
+        for proc in procs:
+            proc.kill()
+            proc.wait(timeout=10)
+
+    assert direct["ok"] and direct["decision"] == "admitted"
+    assert direct["shard"] == fleet.shard_map().shard_for(direct_pair[0])
+    assert relayed["ok"] and relayed["decision"] == "admitted"
+    leg_ids = [leg["id"] for leg in relayed["relay"]["legs"]]
+    assert leg_ids == ["x1#a", "x1#b"]
+    assert stats["router"]["direct"] == 1
+    assert stats["router"]["relayed"] == 1
+    assert stats["fleet"]["shards"] == 2
+    # 1 direct + 2 legs across the fleet.
+    assert stats["fleet"]["submitted"] == 3
+    rollup = metrics["snapshot"]
+    assert rollup["shards"] == ["ap", "east"]
+    assert rollup["counters"]["service.submitted"]["total"] == 3
+
+
+@pytest.mark.slow
+def test_idle_shard_death_is_refused_not_hung(tmp_path):
+    """A shard killed with NOTHING in flight must still be refused
+    loudly on the next submission.  The router's cached connection sees
+    EOF with no waiters to fail, so nothing marks the shard down at
+    kill time — the stale connection must be evicted on next use, not
+    left to swallow the new submission's waiter forever."""
+    fleet, socks = make_fleet(tmp_path)
+    shard_map = fleet.shard_map()
+    src, dst = pick_pair(shard_map, same=True)
+    victim = shard_map.shard_for(src)
+    procs = {name: start_shard(sock, str(tmp_path / "ckpt" / name))
+             for name, sock in socks.items()}
+
+    async def scenario():
+        router = FleetRouter(fleet, socket_path=str(tmp_path / "router.sock"))
+        await router.start()
+        conn = await _Connection.open("", 0, str(tmp_path / "router.sock"))
+        try:
+            # Establish the router's cached connection to the victim
+            # and drain the decision so nothing is in flight.
+            w = conn.send(submit_message("d1", src, dst))
+            for _ in range(40):
+                await asyncio.wait_for(conn.call({"op": "tick"}), 10)
+                if w.done():
+                    break
+                await asyncio.sleep(0.05)
+            first = await asyncio.wait_for(w, timeout=10)
+            os.kill(procs[victim].pid, signal.SIGKILL)
+            procs[victim].wait(timeout=10)
+            await asyncio.sleep(0.2)  # let the EOF reach the read loop
+            refused = await asyncio.wait_for(
+                conn.call(submit_message("d2", src, dst)), timeout=10
+            )
+            return first, refused
+        finally:
+            await conn.close()
+            await router.stop()
+
+    try:
+        first, refused = asyncio.run(scenario())
+    finally:
+        for proc in procs.values():
+            proc.kill()
+            proc.wait(timeout=10)
+
+    assert first["ok"]
+    assert refused["ok"] is False
+    assert refused["error"] == "shard-down"
+
+
+@pytest.mark.slow
+def test_fleet_kill9_survivors_admit_and_parked_leg_resumes(tmp_path):
+    fleet, socks = make_fleet(tmp_path)
+    shard_map = fleet.shard_map()
+    relay_src, relay_dst = pick_pair(
+        shard_map, same=False, exclude=(fleet.gateway_dc,)
+    )
+    victim = shard_map.shard_for(relay_dst)       # owns leg B
+    survivor = next(n for n in shard_map.shards if n != victim)
+    survivor_dc = next(
+        dc for dc in range(DCS) if shard_map.shard_for(dc) == survivor
+    )
+    survivor_dst = next(
+        dc for dc in range(DCS)
+        if dc != survivor_dc and shard_map.shard_for(dc) == survivor
+    )
+    victim_dc = next(
+        dc for dc in range(DCS) if shard_map.shard_for(dc) == victim
+    )
+    victim_dst = next(
+        dc for dc in range(DCS)
+        if dc != victim_dc and shard_map.shard_for(dc) == victim
+    )
+    procs = {name: start_shard(sock, str(tmp_path / "ckpt" / name))
+             for name, sock in socks.items()}
+
+    async def scenario():
+        router = FleetRouter(fleet, socket_path=str(tmp_path / "router.sock"))
+        await router.start()
+        conn = await _Connection.open("", 0, str(tmp_path / "router.sock"))
+        # Status polls ride a second connection: on one _Connection a
+        # status waiter for "x1" would clobber the pending submit
+        # waiter for the same id.
+        poll = await _Connection.open("", 0, str(tmp_path / "router.sock"))
+        out = {}
+        try:
+            # 1. Launch the relay; once leg A is in flight on its
+            #    shard, one tick decides it and the router chains
+            #    leg B onto the victim shard (no second tick yet, so
+            #    leg B stays undecided in the victim's queue).
+            w_relay = conn.send(submit_message("x1", relay_src, relay_dst))
+            await poll_relay_state(
+                poll, "x1", lambda legs: legs.get("x1#a") == "inflight"
+            )
+            await asyncio.wait_for(conn.call({"op": "tick"}), 10)
+            await poll_relay_state(
+                poll, "x1",
+                lambda legs: legs.get("x1#a") == "decided"
+                and legs.get("x1#b") == "inflight",
+            )
+
+            # 2. kill -9 the shard holding leg B.
+            os.kill(procs[victim].pid, signal.SIGKILL)
+            procs[victim].wait(timeout=10)
+            # The drive task parks the leg as soon as the socket dies.
+            await poll_relay_state(
+                poll, "x1", lambda legs: legs.get("x1#b") == "parked"
+            )
+
+            # 3. Survivor keeps admitting; victim-bound traffic is
+            #    refused loudly, not hung.  Manual clocks mean the
+            #    submit and the tick race, so tick until decided.
+            w_ok = conn.send(submit_message("s1", survivor_dc, survivor_dst))
+            for _ in range(40):
+                tick = await asyncio.wait_for(conn.call({"op": "tick"}), 10)
+                out["tick_victim"] = str(tick["shards"][victim])
+                if w_ok.done():
+                    break
+                await asyncio.sleep(0.1)
+            out["survivor"] = await asyncio.wait_for(w_ok, timeout=10)
+            out["refused"] = await asyncio.wait_for(
+                conn.call(submit_message("v1", victim_dc, victim_dst)),
+                timeout=10,
+            )
+
+            # 4. Restart the victim; WAL replay must come back strict-
+            #    clean, and the resume op re-drives the parked leg.
+            os.unlink(socks[victim])
+            procs[victim] = start_shard(
+                socks[victim], str(tmp_path / "ckpt" / victim)
+            )
+            resume = await asyncio.wait_for(conn.call({"op": "resume"}), 10)
+            assert resume["ok"] and victim in resume["resumed"]
+            for _ in range(40):
+                await asyncio.wait_for(conn.call({"op": "tick"}), 10)
+                if w_relay.done():
+                    break
+                await asyncio.sleep(0.1)
+            out["final"] = await asyncio.wait_for(w_relay, timeout=15)
+
+            shard_conn = await _Connection.open("", 0, socks[victim])
+            try:
+                out["victim_stats"] = await shard_conn.call({"op": "stats"})
+                out["victim_metrics"] = await shard_conn.call(
+                    {"op": "metrics"}
+                )
+                out["leg_status"] = await shard_conn.call(
+                    {"op": "status", "id": "x1#b"}
+                )
+            finally:
+                await shard_conn.close()
+            out["router_stats"] = await conn.call({"op": "stats"})
+            return out
+        finally:
+            await poll.close()
+            await conn.close()
+            await router.stop()
+
+    try:
+        out = asyncio.run(scenario())
+    finally:
+        for proc in procs.values():
+            proc.kill()
+            proc.wait(timeout=10)
+
+    # Survivors kept admitting while the victim was down (and its
+    # death was loud on the tick fan-out).
+    assert victim in out["tick_victim"]
+    assert out["survivor"]["ok"]
+    assert out["survivor"]["decision"] in ("admitted", "rejected")
+    assert out["refused"]["ok"] is False
+    assert out["refused"]["error"] == "shard-down"
+
+    # The killed shard recovered via WAL replay, strict-clean.
+    assert out["victim_stats"]["resumed"] is True
+    recovery = out["victim_metrics"]["recovery"]
+    assert recovery["resumed"] is True
+    verifier = recovery["verifier"]
+    assert verifier is not None and verifier["ok"], verifier
+
+    # The parked leg resumed and decided exactly once: the relay's
+    # composite decision arrived, the victim shard holds exactly one
+    # decision for the leg id, and the router resumed exactly one leg.
+    final = out["final"]
+    assert final["ok"] and final["decision"] == "admitted"
+    assert {leg["id"]: leg["decision"] for leg in final["relay"]["legs"]} == {
+        "x1#a": "admitted", "x1#b": "admitted"
+    }
+    assert out["leg_status"]["state"] == "admitted"
+    assert out["router_stats"]["router"]["resumed_legs"] == 1
+    assert out["router_stats"]["router"]["parked"] == 0
+    assert out["router_stats"]["shards"][victim]["submitted"] == 1

@@ -171,8 +171,21 @@ def test_broker_empty_slot_advances_clock():
 def test_broker_duplicate_submission_is_idempotent():
     broker = make_broker()
     broker.submit(submit_fields(0))
+    # A duplicate with no live waiter attaches to the queued entry
+    # (the fleet router's exactly-once resume path); with a live
+    # waiter it is refused below.
+    outcome, entry = broker.submit(submit_fields(0))
+    assert outcome == "attached"
+    assert entry.client_id == "c0"
+
+    class LiveWaiter:
+        def done(self):
+            return False
+
+    entry.waiter = LiveWaiter()
     with pytest.raises(ServiceError, match="already pending"):
         broker.submit(submit_fields(0))
+    entry.waiter = None
     broker.process_slot()
     outcome, record = broker.submit(submit_fields(0))
     assert outcome == "decided"

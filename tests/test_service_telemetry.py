@@ -15,6 +15,7 @@ from repro.service import (
     ServiceDaemon,
     TransferBroker,
     render_dashboard,
+    render_fleet_dashboard,
     run_loadgen,
     run_watch,
 )
@@ -270,7 +271,7 @@ def test_metrics_op_both_formats(tmp_path):
     body, prom, bad = asyncio.run(scenario())
 
     assert body["ok"] and body["format"] == "json"
-    assert body["version"] == 2
+    assert body["version"] == 3
     assert body["stats"]["admitted"] == 3
     snapshot = body["snapshot"]
     assert snapshot["counters"]["service.admitted"]["total"] == 3
@@ -474,3 +475,97 @@ def test_run_watch_polls_a_live_daemon(tmp_path):
     assert len(frames) == 2
     assert "SLO objectives" in frames[0]
     assert "\x1b" not in frames[0]  # clear=False stays pipe-safe
+
+
+def test_render_fleet_dashboard_rows_and_down_shards():
+    live = {
+        "stats": {"next_slot": 7, "queue_depth": 2, "max_queue": 64,
+                  "submitted": 12, "admitted": 10, "rejected": 2,
+                  "cost_per_slot": 1.25},
+        "snapshot": {"histograms": {"service.decision_s": {
+            "count": 12, "p99": 0.004}}},
+        "slo": {"admission_ratio": {"ok": False, "value": 0.83,
+                                    "budget": 0.9}},
+    }
+    frame = render_fleet_dashboard({"east": live, "west": {"down": "boom"}})
+    assert "postcard fleet — 2 shard(s)" in frame
+    lines = frame.splitlines()
+    east_row = next(l for l in lines if l.startswith("east"))
+    assert "12" in east_row and "4.00ms" in east_row
+    west_row = next(l for l in lines if l.startswith("west"))
+    assert "DOWN" in west_row
+    assert "SLO breaches:" in frame
+    assert "east: admission_ratio" in frame
+
+
+def test_run_watch_fleet_mode_polls_two_daemons(tmp_path):
+    east = _daemon_config(tmp_path, socket_path=str(tmp_path / "east.sock"))
+    west = _daemon_config(tmp_path, socket_path=str(tmp_path / "west.sock"))
+    frames = []
+
+    async def scenario():
+        daemons = [ServiceDaemon(east), ServiceDaemon(west)]
+        for daemon in daemons:
+            await daemon.start()
+        conn = await _Connection.open("", 0, east.socket_path)
+        try:
+            futures = [
+                conn.send({"op": "submit", **submit_fields(i)})
+                for i in range(2)
+            ]
+            await _tick(conn)
+            await asyncio.gather(*futures)
+            return await run_watch(
+                endpoints={
+                    "east": f"unix:{east.socket_path}",
+                    "west": f"unix:{west.socket_path}",
+                },
+                interval_s=0.01,
+                iterations=2,
+                clear=False,
+                write=frames.append,
+            )
+        finally:
+            await conn.close()
+            for daemon in daemons:
+                await daemon.stop()
+
+    rendered = asyncio.run(scenario())
+    assert rendered == 2
+    assert len(frames) == 2
+    lines = frames[0].splitlines()
+    assert any(l.startswith("east") for l in lines)
+    assert any(l.startswith("west") for l in lines)
+    # The east shard took the traffic; its row carries the counts.
+    east_row = next(l for l in lines if l.startswith("east"))
+    assert " 2" in east_row
+    assert "\x1b" not in frames[0]
+
+
+def test_run_watch_fleet_mode_marks_dead_shard_down(tmp_path):
+    east = _daemon_config(tmp_path, socket_path=str(tmp_path / "east.sock"))
+    frames = []
+
+    async def scenario():
+        daemon = ServiceDaemon(east)
+        await daemon.start()
+        try:
+            return await run_watch(
+                endpoints={
+                    "east": f"unix:{east.socket_path}",
+                    "ghost": f"unix:{tmp_path / 'ghost.sock'}",
+                },
+                interval_s=0.01,
+                iterations=1,
+                clear=False,
+                write=frames.append,
+            )
+        finally:
+            await daemon.stop()
+
+    rendered = asyncio.run(scenario())
+    assert rendered == 1
+    ghost_row = next(
+        l for l in frames[0].splitlines() if l.startswith("ghost")
+    )
+    assert "DOWN" in ghost_row
