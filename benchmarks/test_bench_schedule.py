@@ -1,0 +1,79 @@
+"""Schedule churn — incremental rebuilds bit-identical to cold, and faster.
+
+Two layers of defense around the link-schedule exit criterion:
+
+* The committed ``results/BENCH_schedule.json`` (written by
+  ``scripts/bench_schedule.py`` at full scale: 40 rolling-window
+  builds over a 10-DC windowed mesh, a schedule mutation every 4th
+  build) must carry passing gates — every incremental build
+  arc-for-arc identical to its cold build, and the best incremental
+  pass at least 20% faster — plus a windowed-vs-always-on sweep for
+  the EXPERIMENTS.md table.
+* The identity core re-runs here at reduced scale (fewer builds, a
+  smaller mesh) so a regression in the epoch fast path fails in CI
+  even before the record is regenerated.  Timing is not re-gated live
+  (noisy runners); bit-identity is.
+"""
+
+import json
+import pathlib
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "scripts"))
+
+from bench_schedule import (  # noqa: E402
+    CHURN_EVERY,
+    arc_tuples,
+    churn_schedule,
+    mutate,
+)
+
+from repro import complete_topology
+from repro.timeexp.cache import GraphCache
+from repro.timeexp.graph import TimeExpandedGraph
+
+RECORD = pathlib.Path(__file__).parent / "results" / "BENCH_schedule.json"
+
+MIN_REDUCTION_PERCENT = 20.0
+
+
+def test_committed_schedule_record_gates():
+    record = json.loads(RECORD.read_text())
+    assert record["benchmark"] == "schedule"
+    assert record["identical_results"] is True
+    assert record["reduction_percent"] >= MIN_REDUCTION_PERCENT, record
+    # The headline number is internally consistent with the raw spans,
+    # so a hand-edited record cannot sneak through.
+    incremental = record["incremental_best_seconds"]
+    cold = record["cold_best_seconds"]
+    assert incremental > 0 and cold > 0
+    recomputed = 100.0 * (1.0 - incremental / cold)
+    assert abs(recomputed - record["reduction_percent"]) < 0.5, record
+    # The sweep must cover the always-on reference and at least one
+    # windowed scenario with strictly partial coverage.
+    scenarios = {row["scenario"]: row for row in record["windowed_sweep"]}
+    assert "always-on" in scenarios
+    assert scenarios["always-on"]["coverage"] == 1.0
+    windowed = [r for r in record["windowed_sweep"] if r["coverage"] < 1.0]
+    assert windowed, record["windowed_sweep"]
+    for row in record["windowed_sweep"]:
+        assert row["requests"] > 0
+        assert 0 <= row["rejected"] <= row["requests"]
+        assert row["cost_per_slot"] >= 0
+
+
+def test_incremental_rebuilds_identical_live():
+    """Reduced-scale churn loop: cache output must match cold builds."""
+    builds, horizon = 12, 8
+    topology = complete_topology(6, capacity=50.0, seed=7)
+    schedule = churn_schedule(topology, builds + horizon)
+    links = sorted(schedule.scheduled_links())
+    cache = GraphCache(topology, link_schedule=schedule)
+    for build in range(builds):
+        if build and build % CHURN_EVERY == 0:
+            mutate(schedule, links, build)
+        incremental = cache.build(build, horizon)
+        cold = TimeExpandedGraph(
+            topology, build, horizon, link_schedule=schedule
+        )
+        assert arc_tuples(incremental) == arc_tuples(cold), build

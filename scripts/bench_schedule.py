@@ -1,0 +1,254 @@
+#!/usr/bin/env python
+"""Benchmark link-schedule churn: incremental GraphCache vs cold builds.
+
+Part one (the gate): a rolling online window over a windowed topology
+with schedule mutations landing between builds — the LEO scenario's
+steady state.  Each build is done twice, through the persistent
+:class:`GraphCache` (epoch-tracked window invalidation) and from
+scratch via :class:`TimeExpandedGraph`; the two must be **arc-for-arc
+identical** on every build, and the cache must win on wall clock
+(best-of-trials, same reasoning as ``timeit``).
+
+Part two (informational): a windowed-vs-always-on simulation sweep —
+the same seeded workload scheduled with and without a LEO pass
+schedule — recording cost per slot and admissions for the
+EXPERIMENTS.md table.
+
+Usage::
+
+    PYTHONPATH=src python scripts/bench_schedule.py \
+        [-o benchmarks/results/BENCH_schedule.json] [--trials 5] \
+        [--min-reduction 20]
+
+Exit status is nonzero if any incremental build differs from its cold
+build, or if the measured rebuild reduction falls below
+``--min-reduction`` (pass 0 to make the timing informational on noisy
+runners).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+
+from repro import Simulation, complete_topology
+from repro.net.presets import leo_pass_schedule
+from repro.registry import make_scheduler
+from repro.timeexp.cache import GraphCache
+from repro.timeexp.graph import TimeExpandedGraph
+from repro.traffic import PaperWorkload
+
+NUM_DCS = 10
+CAPACITY = 100.0
+NUM_SLOTS = 12
+MAX_DEADLINE = 3
+MAX_FILES = 10
+TOPOLOGY_SEED = 2012
+WORKLOAD_SEED = 3012
+
+#: Rolling-window rebuild scenario (part one).
+CHURN_BUILDS = 40
+CHURN_HORIZON = 16
+#: Every Nth build mutates one link's windows before rebuilding.
+CHURN_EVERY = 4
+
+
+def churn_schedule(topology, num_slots):
+    """The part-one schedule: LEO passes over the bench topology."""
+    return leo_pass_schedule(
+        topology,
+        num_slots,
+        fraction=0.5,
+        period=6,
+        pass_length=2,
+        seed=TOPOLOGY_SEED,
+    )
+
+
+def mutate(schedule, links, build_index):
+    """One deterministic mutation: re-window a rotating link."""
+    src, dst = links[build_index % len(links)]
+    start = build_index % (CHURN_BUILDS - 2)
+    schedule.set_windows(src, dst, [(start, start + 2)])
+
+
+def arc_tuples(graph):
+    return [
+        (a.src, a.dst, a.slot, a.kind, a.capacity, a.price) for a in graph.arcs
+    ]
+
+
+def run_churn_once():
+    """One rolling-window pass; returns (identical, cache_s, cold_s)."""
+    topology = complete_topology(NUM_DCS, capacity=CAPACITY, seed=TOPOLOGY_SEED)
+    total_slots = CHURN_BUILDS + CHURN_HORIZON
+    schedule = churn_schedule(topology, total_slots)
+    links = sorted(schedule.scheduled_links())
+    cache = GraphCache(topology, link_schedule=schedule)
+
+    identical = True
+    cache_s = cold_s = 0.0
+    for build in range(CHURN_BUILDS):
+        if build and build % CHURN_EVERY == 0:
+            mutate(schedule, links, build)
+        t0 = time.perf_counter()
+        incremental = cache.build(build, CHURN_HORIZON)
+        t1 = time.perf_counter()
+        cold = TimeExpandedGraph(
+            topology, build, CHURN_HORIZON, link_schedule=schedule
+        )
+        t2 = time.perf_counter()
+        cache_s += t1 - t0
+        cold_s += t2 - t1
+        if arc_tuples(incremental) != arc_tuples(cold):
+            identical = False
+    return identical, cache_s, cold_s
+
+
+def run_simulation(link_schedule):
+    """One seeded online run; returns the SimulationResult."""
+    topology = complete_topology(NUM_DCS, capacity=CAPACITY, seed=TOPOLOGY_SEED)
+    workload = PaperWorkload(
+        topology,
+        max_deadline=MAX_DEADLINE,
+        max_files=MAX_FILES,
+        seed=WORKLOAD_SEED,
+    )
+    scheduler = make_scheduler(
+        "postcard", topology, horizon=NUM_SLOTS + MAX_DEADLINE
+    )
+    if link_schedule is not None:
+        scheduler.state.link_schedule = link_schedule
+    return Simulation(scheduler, workload, NUM_SLOTS).run()
+
+
+def windowed_sweep():
+    """Windowed-vs-always-on cost/admission rows (part two)."""
+    topology = complete_topology(NUM_DCS, capacity=CAPACITY, seed=TOPOLOGY_SEED)
+    horizon_slots = NUM_SLOTS + MAX_DEADLINE
+    scenarios = [
+        ("always-on", None),
+        (
+            "leo-50pct",
+            leo_pass_schedule(
+                topology, horizon_slots, fraction=0.5, period=6,
+                pass_length=2, seed=TOPOLOGY_SEED,
+            ),
+        ),
+        (
+            "leo-25pct",
+            leo_pass_schedule(
+                topology, horizon_slots, fraction=0.25, period=6,
+                pass_length=2, seed=TOPOLOGY_SEED,
+            ),
+        ),
+    ]
+    rows = []
+    for name, schedule in scenarios:
+        result = run_simulation(schedule)
+        rows.append(
+            {
+                "scenario": name,
+                "coverage": round(
+                    schedule.coverage(horizon_slots), 4
+                ) if schedule else 1.0,
+                "cost_per_slot": round(result.final_cost_per_slot, 4),
+                "requests": result.total_requests,
+                "rejected": result.total_rejected,
+            }
+        )
+        print(
+            f"sweep {name}: cost/slot {result.final_cost_per_slot:.2f} "
+            f"rejected {result.total_rejected}/{result.total_requests}"
+        )
+    return rows
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "-o",
+        "--output",
+        default="benchmarks/results/BENCH_schedule.json",
+        help="where to write the JSON record",
+    )
+    parser.add_argument("--trials", type=int, default=5)
+    parser.add_argument(
+        "--min-reduction",
+        type=float,
+        default=20.0,
+        help="fail if the best incremental-rebuild reduction (%%) is "
+        "below this; 0 disables the timing gate",
+    )
+    args = parser.parse_args(argv)
+
+    cache_samples, cold_samples = [], []
+    identical = True
+    for trial in range(args.trials):
+        ok, cache_s, cold_s = run_churn_once()
+        identical = identical and ok
+        cache_samples.append(cache_s)
+        cold_samples.append(cold_s)
+        print(
+            f"trial {trial + 1}/{args.trials}: incremental {cache_s:.3f}s "
+            f"cold {cold_s:.3f}s "
+            f"({'identical' if ok else 'MISMATCH'})"
+        )
+    if not identical:
+        print(
+            "FAIL: incremental rebuild diverged from cold build",
+            file=sys.stderr,
+        )
+        return 1
+
+    cache_best = min(cache_samples)
+    cold_best = min(cold_samples)
+    reduction = 100.0 * (1.0 - cache_best / cold_best)
+
+    sweep = windowed_sweep()
+
+    record = {
+        "benchmark": "schedule",
+        "scenario": {
+            "datacenters": NUM_DCS,
+            "capacity": CAPACITY,
+            "builds": CHURN_BUILDS,
+            "horizon": CHURN_HORIZON,
+            "mutate_every": CHURN_EVERY,
+            "topology_seed": TOPOLOGY_SEED,
+            "workload_seed": WORKLOAD_SEED,
+        },
+        "trials": args.trials,
+        "identical_results": identical,
+        "incremental_best_seconds": round(cache_best, 6),
+        "cold_best_seconds": round(cold_best, 6),
+        "reduction_percent": round(reduction, 2),
+        "windowed_sweep": sweep,
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+    }
+    with open(args.output, "w") as fh:
+        fh.write(json.dumps(record, indent=1) + "\n")
+
+    print(
+        f"\nbest rebuild pass: incremental {cache_best:.3f}s vs cold "
+        f"{cold_best:.3f}s over {CHURN_BUILDS} builds"
+    )
+    print(f"reduction: {reduction:.1f}%  ->  {args.output}")
+
+    if args.min_reduction > 0 and reduction < args.min_reduction:
+        print(
+            f"FAIL: reduction {reduction:.1f}% below the "
+            f"{args.min_reduction:.0f}% gate",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

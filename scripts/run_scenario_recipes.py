@@ -1,0 +1,165 @@
+#!/usr/bin/env python
+"""Execute every ``bash`` recipe in docs/SCENARIOS.md as a smoke test.
+
+The cookbook's promise is that its recipes run *verbatim*; this script
+is the mechanism that keeps the promise true in CI.  It extracts every
+fenced ```` ```bash ```` block from the document and replays it line by
+line in a fresh scratch directory:
+
+* ordinary lines are shell commands (trailing ``\\`` continuations are
+  joined) and must exit 0;
+* ``# expect: TEXT`` lines assert that TEXT appears verbatim in the
+  combined stdout+stderr of the most recent command;
+* other ``#`` comment lines are ignored.
+
+Each block gets its own scratch directory, so recipes must be
+self-contained — a block that reads ``leo.json`` must also create it.
+``PYTHONPATH`` is pointed at the repo's ``src/`` so ``python -m repro``
+works from anywhere.  Blocks fenced as ``console`` or ``text`` are
+documentation-only and never executed.
+
+Usage::
+
+    python scripts/run_scenario_recipes.py [--doc docs/SCENARIOS.md]
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import pathlib
+import re
+import subprocess
+import sys
+import tempfile
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+FENCE_RE = re.compile(r"^```bash\s*$")
+FENCE_END_RE = re.compile(r"^```\s*$")
+EXPECT_PREFIX = "# expect: "
+
+
+def extract_recipes(doc: pathlib.Path):
+    """``[(heading, [lines...]), ...]`` for every ```bash block."""
+    recipes = []
+    heading = doc.name
+    lines = doc.read_text().splitlines()
+    i = 0
+    while i < len(lines):
+        line = lines[i]
+        if line.startswith("#") and not line.startswith("#!"):
+            heading = line.lstrip("#").strip() or heading
+        if FENCE_RE.match(line):
+            block = []
+            i += 1
+            while i < len(lines) and not FENCE_END_RE.match(lines[i]):
+                block.append(lines[i])
+                i += 1
+            recipes.append((heading, block))
+        i += 1
+    return recipes
+
+
+def join_continuations(block):
+    """Merge trailing-backslash continuations into single commands."""
+    merged, pending = [], ""
+    for raw in block:
+        line = pending + raw.rstrip()
+        if line.endswith("\\"):
+            pending = line[:-1] + " "
+            continue
+        pending = ""
+        merged.append(line)
+    if pending.strip():
+        merged.append(pending.rstrip())
+    return merged
+
+
+def run_recipe(heading, block, env, timeout):
+    """Replay one block; returns (commands, expects) or raises."""
+    commands = expects = 0
+    last_output = ""
+    last_command = "<none>"
+    with tempfile.TemporaryDirectory(prefix="recipe-") as scratch:
+        for line in join_continuations(block):
+            stripped = line.strip()
+            if not stripped:
+                continue
+            if stripped.startswith(EXPECT_PREFIX):
+                needle = stripped[len(EXPECT_PREFIX):].strip()
+                expects += 1
+                if needle not in last_output:
+                    raise AssertionError(
+                        f"[{heading}] expected {needle!r} in the output "
+                        f"of:\n  $ {last_command}\n--- output ---\n"
+                        f"{last_output}"
+                    )
+                continue
+            if stripped.startswith("#"):
+                continue
+            commands += 1
+            last_command = stripped
+            proc = subprocess.run(
+                stripped,
+                shell=True,
+                cwd=scratch,
+                env=env,
+                capture_output=True,
+                text=True,
+                timeout=timeout,
+            )
+            last_output = proc.stdout + proc.stderr
+            if proc.returncode != 0:
+                raise AssertionError(
+                    f"[{heading}] command exited {proc.returncode}:\n"
+                    f"  $ {stripped}\n--- output ---\n{last_output}"
+                )
+    return commands, expects
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--doc",
+        default=str(REPO_ROOT / "docs" / "SCENARIOS.md"),
+        help="cookbook to replay (default: docs/SCENARIOS.md)",
+    )
+    parser.add_argument(
+        "--timeout", type=float, default=300.0, help="per-command timeout"
+    )
+    args = parser.parse_args(argv)
+
+    doc = pathlib.Path(args.doc)
+    recipes = extract_recipes(doc)
+    if not recipes:
+        print(f"error: no ```bash recipes found in {doc}", file=sys.stderr)
+        return 1
+
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    env["PYTHONPATH"] = src + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+
+    total_commands = total_expects = 0
+    for index, (heading, block) in enumerate(recipes, start=1):
+        print(f"recipe {index}/{len(recipes)} [{heading}] ...", flush=True)
+        try:
+            commands, expects = run_recipe(heading, block, env, args.timeout)
+        except AssertionError as exc:
+            print(f"FAIL {exc}", file=sys.stderr)
+            return 1
+        total_commands += commands
+        total_expects += expects
+        print(f"  ok: {commands} commands, {expects} expectations")
+
+    print(
+        f"\n{len(recipes)} recipes replayed from {doc.name}: "
+        f"{total_commands} commands, {total_expects} expectations, all green"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -14,6 +14,9 @@ Usage (after ``pip install -e .``)::
     python -m repro example fig3
     python -m repro trace generate --datacenters 6 --slots 5 -o trace.json
     python -m repro trace run trace.json --scheduler postcard
+    python -m repro schedule generate --preset leo --slots 12 -o leo.json
+    python -m repro schedule show leo.json --slots 12
+    python -m repro simulate --slots 12 --link-schedule leo.json
     python -m repro report events.jsonl
     python -m repro serve --port 0 --checkpoint-dir ckpt/
     python -m repro loadgen --port 7411 --requests 200 --rate 1000 --drain
@@ -193,10 +196,10 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     from repro import obs
 
     if args.jobs > 1:
-        if args.profile or args.obs_jsonl or args.show_links:
+        if args.profile or args.obs_jsonl or args.show_links or args.link_schedule:
             print(
-                "note: --profile/--obs-jsonl/--show-links need in-process "
-                "state; ignoring --jobs and running serially",
+                "note: --profile/--obs-jsonl/--show-links/--link-schedule "
+                "need in-process state; ignoring --jobs and running serially",
                 file=sys.stderr,
             )
         else:
@@ -207,6 +210,16 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     )
     horizon = args.slots + args.max_deadline
     faults = _build_fault_model(args, topology)
+    link_schedule = None
+    if args.link_schedule:
+        from repro.errors import TopologyError
+        from repro.net.schedule import LinkSchedule
+
+        try:
+            link_schedule = LinkSchedule.from_file(args.link_schedule)
+        except TopologyError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
     backend = "resilient" if args.solver_chain else None
     rows = []
     chaos = []
@@ -228,6 +241,8 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
             scheduler = make_scheduler(name, topology, horizon, backend=backend)
             if faults is not None:
                 scheduler.state.fault_model = faults.copy()
+            if link_schedule is not None:
+                scheduler.state.link_schedule = link_schedule
             workload = PaperWorkload(
                 topology,
                 max_deadline=args.max_deadline,
@@ -265,6 +280,8 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     if faults is not None:
         headers.extend(["salvaged", "lost", "misses"])
     print(format_table(headers, rows))
+    if link_schedule is not None:
+        print(link_schedule.describe(args.slots))
     for line in hybrid_lines:
         print(line)
     for name, result in chaos:
@@ -383,6 +400,101 @@ def _cmd_trace_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_maintenance_windows(specs: List[str]):
+    """``SRC:DST:START:END`` outage specs -> ((src, dst), start, end)."""
+    outages = []
+    for spec in specs:
+        parts = spec.split(":")
+        if len(parts) != 4:
+            raise ValueError(
+                f"maintenance window {spec!r} is not SRC:DST:START:END"
+            )
+        src, dst, start, end = (int(p) for p in parts)
+        outages.append(((src, dst), start, end))
+    return outages
+
+
+def _cmd_schedule_generate(args: argparse.Namespace) -> int:
+    """Write a link-schedule JSON from one of the scenario presets."""
+    from repro.errors import TopologyError
+    from repro.net.presets import (
+        ground_station_downlink_schedule,
+        leo_pass_schedule,
+        maintenance_schedule,
+    )
+
+    topology = complete_topology(
+        args.datacenters, capacity=args.capacity, seed=args.seed
+    )
+    try:
+        if args.preset == "leo":
+            schedule = leo_pass_schedule(
+                topology,
+                args.slots,
+                fraction=args.fraction,
+                period=args.period,
+                pass_length=args.pass_length,
+                seed=args.seed,
+            )
+        elif args.preset == "downlink":
+            schedule = ground_station_downlink_schedule(
+                topology,
+                args.slots,
+                station_dcs=args.stations,
+                period=args.period,
+                window_length=args.pass_length,
+            )
+        else:  # maintenance
+            if not args.window:
+                print(
+                    "error: --preset maintenance needs at least one "
+                    "--window SRC:DST:START:END",
+                    file=sys.stderr,
+                )
+                return 1
+            try:
+                outages = _parse_maintenance_windows(args.window)
+            except ValueError as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                return 1
+            schedule = maintenance_schedule(
+                topology, args.slots, outages, repeat_every=args.repeat_every
+            )
+    except TopologyError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    schedule.to_file(args.output)
+    print(
+        f"wrote {schedule.num_windows} windows for {len(schedule)} links "
+        f"to {args.output}"
+    )
+    print(schedule.describe(args.slots))
+    return 0
+
+
+def _cmd_schedule_show(args: argparse.Namespace) -> int:
+    """Summarize a link-schedule file, link by link."""
+    from repro.errors import TopologyError
+    from repro.net.schedule import LinkSchedule
+
+    try:
+        schedule = LinkSchedule.from_file(args.schedule)
+    except TopologyError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    print(schedule.describe(args.slots if args.slots else None))
+    rows = []
+    for src, dst in schedule.scheduled_links():
+        windows = schedule.windows_for(src, dst)
+        spans = " ".join(
+            f"[{w.start_slot},{w.end_slot})" for w in windows
+        ) or "(dark)"
+        rows.append([f"{src}->{dst}", len(windows), spans])
+    if rows:
+        print(format_table(["link", "windows", "up spans"], rows))
+    return 0
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     import asyncio
 
@@ -400,6 +512,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             seed=args.seed,
             scheduler=args.scheduler,
             backend="resilient" if args.solver_chain else None,
+            link_schedule_path=args.link_schedule,
             max_deadline=args.max_deadline,
             tick_seconds=args.tick_seconds,
             max_queue=args.max_queue,
@@ -447,9 +560,15 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             else f"tcp:{config.host}:{daemon.port}"
         )
         resumed = " (resumed from checkpoint)" if daemon.broker.resumed else ""
+        windowed = (
+            f" windowed-links={len(daemon.broker.link_schedule)}"
+            if daemon.broker.link_schedule
+            else ""
+        )
         print(
             f"serving on {endpoint} scheduler={config.scheduler} "
-            f"tick={config.tick_seconds}s queue<={config.max_queue}{resumed}",
+            f"tick={config.tick_seconds}s queue<={config.max_queue}"
+            f"{windowed}{resumed}",
             flush=True,
         )
         try:
@@ -1015,6 +1134,12 @@ def build_parser() -> argparse.ArgumentParser:
         "chain (highs -> simplex -> interior_point)",
     )
     p_sim.add_argument(
+        "--link-schedule",
+        metavar="FILE",
+        help="restrict links to the availability windows in FILE "
+        "(generate one with `python -m repro schedule generate`)",
+    )
+    p_sim.add_argument(
         "--jobs",
         type=int,
         default=1,
@@ -1069,6 +1194,80 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--seed", type=int, default=0)
     p_run.set_defaults(func=_cmd_trace_run)
 
+    p_sched = sub.add_parser(
+        "schedule",
+        help="generate or inspect link-availability schedules "
+        "(see docs/SCENARIOS.md)",
+    )
+    sched_sub = p_sched.add_subparsers(dest="schedule_command", required=True)
+
+    p_sgen = sched_sub.add_parser(
+        "generate", help="write a link-schedule JSON from a scenario preset"
+    )
+    p_sgen.add_argument(
+        "--preset",
+        choices=["leo", "downlink", "maintenance"],
+        required=True,
+        help="leo: periodic constellation passes over a random link "
+        "subset; downlink: appointment windows at ground-station DCs; "
+        "maintenance: always-on minus explicit outage windows",
+    )
+    p_sgen.add_argument("--datacenters", type=int, default=8)
+    p_sgen.add_argument("--capacity", type=float, default=30.0)
+    p_sgen.add_argument("--slots", type=int, default=10)
+    p_sgen.add_argument("--seed", type=int, default=0)
+    p_sgen.add_argument(
+        "--fraction",
+        type=float,
+        default=0.5,
+        help="(leo) fraction of links riding the constellation",
+    )
+    p_sgen.add_argument(
+        "--period",
+        type=int,
+        default=8,
+        help="(leo/downlink) slots between window starts",
+    )
+    p_sgen.add_argument(
+        "--pass-length",
+        type=int,
+        default=3,
+        help="(leo/downlink) slots each window stays up",
+    )
+    p_sgen.add_argument(
+        "--stations",
+        type=int,
+        nargs="+",
+        default=[0],
+        help="(downlink) ground-station datacenter ids",
+    )
+    p_sgen.add_argument(
+        "--window",
+        action="append",
+        metavar="SRC:DST:START:END",
+        help="(maintenance) one outage span; repeatable",
+    )
+    p_sgen.add_argument(
+        "--repeat-every",
+        type=int,
+        default=None,
+        help="(maintenance) recur the outage pattern every N slots",
+    )
+    p_sgen.add_argument("-o", "--output", required=True)
+    p_sgen.set_defaults(func=_cmd_schedule_generate)
+
+    p_show = sched_sub.add_parser(
+        "show", help="summarize a link-schedule file"
+    )
+    p_show.add_argument("schedule")
+    p_show.add_argument(
+        "--slots",
+        type=int,
+        default=0,
+        help="report coverage over the first N slots",
+    )
+    p_show.set_defaults(func=_cmd_schedule_show)
+
     p_serve = sub.add_parser(
         "serve", help="run the transfer-broker daemon (see docs/SERVICE.md)"
     )
@@ -1079,6 +1278,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument(
         "--socket", metavar="PATH", default=None,
         help="serve on a unix socket instead of TCP",
+    )
+    p_serve.add_argument(
+        "--link-schedule",
+        metavar="FILE",
+        help="broker under the availability windows in FILE",
     )
     p_serve.add_argument("--datacenters", type=int, default=10)
     p_serve.add_argument("--capacity", type=float, default=100.0)

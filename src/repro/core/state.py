@@ -46,6 +46,11 @@ class NetworkState:
         #: outages it is allowed to know about.  Surprise outages stay
         #: invisible here until the engine detects them mid-run.
         self.fault_model = None
+        #: Optional :class:`repro.net.schedule.LinkSchedule`; link-slots
+        #: outside a scheduled link's availability windows report zero
+        #: residual capacity, so every scheduler routes — and
+        #: time-shifts — around dark windows through this one gate.
+        self.link_schedule = None
         #: Slot at which the current charging period began.
         self.period_start: int = 0
         #: Bills of completed charging periods (dollars each).
@@ -67,8 +72,13 @@ class NetworkState:
     def residual_capacity(self, src: int, dst: int, slot: int) -> float:
         """Capacity left for new traffic on (src, dst) during slot n
         (zero while the link is *visibly* down, if a fault model is
-        attached — surprise outages are not knowable here)."""
+        attached — surprise outages are not knowable here — and zero
+        outside a link schedule's availability windows)."""
         if self.fault_model is not None and self.fault_model.is_visible_down(
+            src, dst, slot
+        ):
+            return 0.0
+        if self.link_schedule is not None and not self.link_schedule.is_up(
             src, dst, slot
         ):
             return 0.0

@@ -232,7 +232,13 @@ class FastLaneScheduler(Scheduler):
         """
         best: Optional[Tuple[float, int, List[ScheduleEntry]]] = None
         candidates = self._paths.candidates(
-            request.source, request.destination, request.deadline_slots
+            request.source,
+            request.destination,
+            request.deadline_slots,
+            # Window-aware candidates: never spend ALAP sweeps on a path
+            # with a hop that stays dark for the whole request window.
+            schedule=getattr(self._state, "link_schedule", None),
+            window=(request.release_slot, request.last_slot + 1),
         )
         for path in candidates:
             entries = self._plan_on_path(path, request, headroom_first=True)

@@ -8,17 +8,33 @@ the topology is fixed for a scheduler's lifetime, the candidate lists
 are computed once per pair and cached — after warm-up, admission does
 no graph search at all, which is what makes per-request admission
 O(paths x window) instead of an LP solve.
+
+With a :class:`repro.net.schedule.LinkSchedule` in play the picture is
+time-varying: a path that is cheapest on paper is useless if one of
+its hops never lights up inside the request's window.  ``candidates``
+therefore accepts the schedule plus the request's slot window, drops
+paths with a fully-dark hop, prefers paths whose hops are up
+throughout the window, and — when the static list runs short — runs a
+window-specific search over the subgraph of links with at least one
+up-slot.  Window-specific results are cached under the schedule's
+**epoch**, so a reopened link is re-discovered by the very next query
+after the mutation without rebuilding the static index.
 """
 
 from __future__ import annotations
 
 import itertools
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import networkx as nx
 
 from repro.errors import SchedulingError
+from repro.net.schedule import LinkSchedule
 from repro.net.topology import Topology
+
+#: Window-cache entries kept before wholesale pruning; epoch churn
+#: retires entries naturally, this only bounds pathological workloads.
+_WINDOW_CACHE_LIMIT = 4096
 
 
 class CandidatePathIndex:
@@ -41,13 +57,61 @@ class CandidatePathIndex:
         self.max_paths = max_paths
         self._graph = topology.to_networkx()
         self._cache: Dict[Tuple[int, int], List[List[int]]] = {}
+        #: (src, dst, schedule epoch, first, last) -> window-feasible
+        #: paths.  Keyed by epoch so any schedule mutation — a link
+        #: reopening included — invalidates by key miss, not by rebuild.
+        self._window_cache: Dict[Tuple[int, int, int, int, int], List[List[int]]] = {}
 
-    def candidates(self, src: int, dst: int, max_hops: int) -> List[List[int]]:
+    def candidates(
+        self,
+        src: int,
+        dst: int,
+        max_hops: int,
+        schedule: Optional[LinkSchedule] = None,
+        window: Optional[Tuple[int, int]] = None,
+    ) -> List[List[int]]:
         """Up to ``max_paths`` cheapest paths with at most ``max_hops`` hops.
 
         Returns node-id lists (``[src, ..., dst]``), cheapest first.
         An unreachable pair returns an empty list (and caches that).
+
+        With ``schedule`` and ``window`` (half-open ``(first, last)``
+        slot range) the result is window-aware: paths containing a hop
+        with no up-slot inside the window are dropped, survivors are
+        re-ranked so fully-lit paths come before ones that must thread
+        dark gaps, and a window-specific search backfills if the static
+        cheapest list was decimated.
         """
+        base = self._base_paths(src, dst)
+        if schedule is None or window is None or not len(schedule):
+            usable = [p for p in base if len(p) - 1 <= max_hops]
+            return usable[: self.max_paths]
+
+        first, last = window
+        usable = [
+            path
+            for path in base
+            if len(path) - 1 <= max_hops
+            and self._window_feasible(path, schedule, first, last)
+        ]
+        if len(usable) < self.max_paths:
+            for path in self._window_paths(src, dst, schedule, first, last):
+                if len(path) - 1 <= max_hops and path not in usable:
+                    usable.append(path)
+        # Fully-lit paths first; among equals the cheapest-first order
+        # of the underlying searches is preserved (sort is stable).
+        usable.sort(
+            key=lambda path: sum(
+                1
+                for a, b in zip(path, path[1:])
+                if not schedule.fully_up_in_range(a, b, first, last)
+            )
+        )
+        return usable[: self.max_paths]
+
+    # -- internals -------------------------------------------------------
+
+    def _base_paths(self, src: int, dst: int) -> List[List[int]]:
         paths = self._cache.get((src, dst))
         if paths is None:
             try:
@@ -58,8 +122,41 @@ class CandidatePathIndex:
             except nx.NetworkXNoPath:
                 paths = []
             self._cache[(src, dst)] = paths
-        usable = [p for p in paths if len(p) - 1 <= max_hops]
-        return usable[: self.max_paths]
+        return paths
+
+    @staticmethod
+    def _window_feasible(
+        path: List[int], schedule: LinkSchedule, first: int, last: int
+    ) -> bool:
+        """Every hop has at least one up-slot inside the window."""
+        return all(
+            schedule.up_in_range(a, b, first, last)
+            for a, b in zip(path, path[1:])
+        )
+
+    def _window_paths(
+        self, src: int, dst: int, schedule: LinkSchedule, first: int, last: int
+    ) -> List[List[int]]:
+        """Cheapest paths over the links with an up-slot in the window."""
+        key = (src, dst, schedule.epoch, first, last)
+        paths = self._window_cache.get(key)
+        if paths is None:
+            if len(self._window_cache) >= _WINDOW_CACHE_LIMIT:
+                self._window_cache.clear()
+            live = self._graph.edge_subgraph(
+                (a, b)
+                for a, b in self._graph.edges
+                if schedule.up_in_range(a, b, first, last)
+            )
+            try:
+                generator = nx.shortest_simple_paths(
+                    live, src, dst, weight="price"
+                )
+                paths = list(itertools.islice(generator, self.max_paths * 2))
+            except (nx.NetworkXNoPath, nx.NodeNotFound):
+                paths = []
+            self._window_cache[key] = paths
+        return paths
 
     def __len__(self) -> int:
         """Number of (src, dst) pairs already indexed."""

@@ -4,10 +4,12 @@ Models the paper's setting: a set of geographically distributed
 datacenters operated by one cloud provider, inter-connected by directed
 overlay links leased from ISPs.  Each link carries a per-unit price
 (``a_ij``) and a per-slot capacity; capacities may vary over time once
-transfers are committed (see :mod:`repro.core.state`).
+transfers are committed (see :mod:`repro.core.state`), and links may be
+limited to scheduled availability windows (see :mod:`repro.net.schedule`).
 """
 
 from repro.net.topology import Datacenter, Link, Topology
+from repro.net.schedule import AvailabilityWindow, LinkSchedule
 from repro.net.generators import (
     complete_topology,
     fig1_topology,
@@ -20,8 +22,10 @@ from repro.net.generators import (
 )
 
 __all__ = [
+    "AvailabilityWindow",
     "Datacenter",
     "Link",
+    "LinkSchedule",
     "Topology",
     "complete_topology",
     "fig1_topology",

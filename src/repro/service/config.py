@@ -56,6 +56,12 @@ class ServiceConfig:
     horizon: int = 4096
     max_deadline: int = 16
 
+    #: Path to a :class:`repro.net.schedule.LinkSchedule` JSON file.
+    #: Loaded at broker construction and re-attached after every
+    #: checkpoint/WAL restore (the schedule, like the topology, is
+    #: config — not state — so snapshots stay schedule-free).
+    link_schedule_path: Optional[str] = None
+
     tick_seconds: float = DEFAULT_TICK_SECONDS
     max_queue: int = 1024
     max_batch: int = 0
@@ -248,6 +254,19 @@ class ServiceConfig:
         return complete_topology(
             self.datacenters, capacity=self.capacity, seed=self.seed
         )
+
+    def link_schedule(self):
+        """The loaded :class:`~repro.net.schedule.LinkSchedule`, or None."""
+        if not self.link_schedule_path:
+            return None
+        from repro.net.schedule import LinkSchedule
+
+        try:
+            return LinkSchedule.from_file(self.link_schedule_path)
+        except Exception as exc:
+            raise ServiceError(
+                f"cannot load link schedule {self.link_schedule_path}: {exc}"
+            ) from exc
 
     @property
     def endpoint(self) -> str:

@@ -101,6 +101,10 @@ class TransferBroker:
             config.scheduler, self.topology, config.horizon,
             backend=config.backend, **scheduler_kwargs,
         )
+        #: Availability windows the broker schedules under (config-
+        #: derived, like the topology; snapshots never carry it).
+        self.link_schedule = config.link_schedule()
+        self.scheduler.state.link_schedule = self.link_schedule
         #: client id -> decision record (the idempotency/status log).
         self.decisions: Dict[str, Dict[str, Any]] = {}
         #: Next virtual slot to process.
@@ -144,6 +148,10 @@ class TransferBroker:
     def _adopt_snapshot(self, snapshot) -> None:
         """Restore state, queue, clock, and books from one snapshot."""
         self.scheduler.adopt_state(snapshot.state)
+        # Snapshots don't serialize the link schedule (it is config, not
+        # state) — re-attach it to the restored state object, which is a
+        # different object from the one wired up at construction.
+        self.scheduler.state.link_schedule = self.link_schedule
         self.queue.requeue_front(
             [PendingTransfer.from_payload(p) for p in snapshot.pending]
         )
@@ -647,6 +655,12 @@ class TransferBroker:
             "degraded": getattr(self.scheduler, "degraded", 0),
             "lp_skipped": getattr(self.scheduler, "lp_skipped", 0),
             "wal": bool(self.store and self.store.wal_enabled),
+            "windowed_links": (
+                len(self.link_schedule) if self.link_schedule else 0
+            ),
+            "link_windows": (
+                self.link_schedule.num_windows if self.link_schedule else 0
+            ),
             "period_slots": self.config.period_slots,
             "period_start": self.state.period_start,
             "periods_banked": len(self.state.banked_period_bills),

@@ -202,6 +202,7 @@ class Simulation:
         """
         state = self.scheduler.state
         ledger = state.ledger
+        link_schedule = getattr(state, "link_schedule", None)
         for src, dst in ledger.used_links():
             capacity = state.topology.link(src, dst).capacity
             usage = ledger.usage(src, dst)
@@ -210,6 +211,15 @@ class Simulation:
                     raise SimulationError(
                         f"audit: link ({src},{dst}) carries {volume:.6f} GB at "
                         f"slot {slot}, over capacity {capacity:.6f}"
+                    )
+                if (
+                    link_schedule is not None
+                    and volume > VOLUME_ATOL
+                    and not link_schedule.is_up(src, dst, slot)
+                ):
+                    raise SimulationError(
+                        f"audit: link ({src},{dst}) carries {volume:.6f} GB at "
+                        f"slot {slot}, outside its availability windows"
                     )
         late = {rid: l for rid, l in result.lateness.items() if l > 0}
         if late:

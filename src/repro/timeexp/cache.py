@@ -18,6 +18,13 @@ equivalence suite (``tests/test_compile_equivalence.py``) pins this.
 Cache reuse is observable through the ``timeexp.cache.hit`` /
 ``timeexp.cache.refresh`` counters (arcs reused vs. rebuilt).
 
+With a :class:`repro.net.schedule.LinkSchedule` attached, the cache
+additionally tracks each scheduled link's **window epoch**: between
+builds, only links whose windows actually changed are re-gated —
+static schedules ride the bit-identical fast path at zero extra cost,
+and a schedule mutation invalidates exactly the mutated links' arcs
+(``timeexp.cache.window_invalidations`` counts them per build).
+
 History: introduced in PR 3 (fast-path scheduling).  Because every
 build re-validates each cached arc's capacity, the cache is also
 correct under PR 4's hybrid scheduler, whose LP lane builds graphs
@@ -30,7 +37,8 @@ from __future__ import annotations
 from typing import Callable, Dict, List, Optional
 
 from repro.errors import TopologyError
-from repro.net.topology import Topology
+from repro.net.schedule import LinkSchedule
+from repro.net.topology import LinkKey, Topology
 from repro.obs import registry as obs
 from repro.timeexp.graph import Arc, ArcKind, TimeExpandedGraph
 
@@ -51,10 +59,18 @@ class GraphCache:
         topology: Topology,
         storage_capacity: float = float("inf"),
         include_holdover: bool = True,
+        link_schedule: Optional[LinkSchedule] = None,
     ):
         self.topology = topology
         self.storage_capacity = storage_capacity
         self.include_holdover = include_holdover
+        self.link_schedule = link_schedule
+        #: Per scheduled link: its window epoch as of the previous
+        #: build.  A link whose epoch is unchanged (and with no
+        #: capacity_fn in play) keeps its cached arcs without even
+        #: re-gating them; a mutated link is re-gated arc by arc.
+        self._window_epochs: Dict[LinkKey, int] = {}
+        self._prev_used_capacity_fn = False
         #: slot -> arc list in construction order (transit arcs in link
         #: order, then holdover arcs), as of the most recent build.
         self._slot_arcs: Dict[int, List[Arc]] = {}
@@ -82,6 +98,7 @@ class GraphCache:
             raise TopologyError(f"horizon must be >= 1 slot, got {horizon}")
         if start_slot < 0:
             raise TopologyError(f"start_slot must be non-negative, got {start_slot}")
+        changed_links = self._changed_window_links(capacity_fn)
         reused = refreshed = 0
         slot_arcs: Dict[int, List[Arc]] = {}
         for slot in range(start_slot, start_slot + horizon):
@@ -90,7 +107,9 @@ class GraphCache:
                 arcs = self._build_slot(slot, capacity_fn)
                 refreshed += len(arcs)
             else:
-                arcs, hits = self._refresh_slot(slot, cached, capacity_fn)
+                arcs, hits = self._refresh_slot(
+                    slot, cached, capacity_fn, changed_links
+                )
                 reused += hits
                 refreshed += len(arcs) - hits
             if arcs is not cached:
@@ -103,6 +122,17 @@ class GraphCache:
             del self._slot_arcs[slot]
             self._slot_prep.pop(slot, None)
 
+        if self.link_schedule is not None:
+            for link in self.topology.links:
+                epoch = self.link_schedule.link_epoch(link.src, link.dst)
+                if epoch:
+                    self._window_epochs[link.key] = epoch
+            if changed_links is not None:
+                obs.counter(
+                    "timeexp.cache.window_invalidations", len(changed_links)
+                )
+        self._prev_used_capacity_fn = capacity_fn is not None
+
         self.reused_arcs += reused
         self.refreshed_arcs += refreshed
         obs.counter("timeexp.cache.hit", reused)
@@ -114,10 +144,36 @@ class GraphCache:
             capacity_fn=capacity_fn,
             storage_capacity=self.storage_capacity,
             include_holdover=self.include_holdover,
+            link_schedule=self.link_schedule,
             _slot_arcs=slot_arcs,
         )
         graph.assembly_prep = self._slot_prep
         return graph
+
+    def _changed_window_links(
+        self, capacity_fn: Optional[CapacityFn]
+    ) -> Optional[frozenset]:
+        """Links whose availability windows changed since the last build.
+
+        Returns None when no schedule is attached (nothing to gate).
+        The result feeds :meth:`_refresh_slot`'s fast path: with no
+        ``capacity_fn`` in play, a cached arc of an *unchanged* link is
+        reused without even re-deriving its gated capacity.  That skip
+        is only sound when the previous build also ran without a
+        ``capacity_fn`` (otherwise cached caps are residuals, not gated
+        statics), so after a capacity_fn build every link counts as
+        changed once.
+        """
+        if self.link_schedule is None:
+            return None
+        if capacity_fn is None and self._prev_used_capacity_fn:
+            return frozenset(link.key for link in self.topology.links)
+        return frozenset(
+            link.key
+            for link in self.topology.links
+            if self.link_schedule.link_epoch(link.src, link.dst)
+            != self._window_epochs.get(link.key, 0)
+        )
 
     def invalidate(self) -> None:
         """Forget every cached arc (e.g. after a topology-level change
@@ -125,17 +181,33 @@ class GraphCache:
         outside ``capacity_fn``'s own accounting)."""
         self._slot_arcs.clear()
         self._slot_prep.clear()
+        self._window_epochs.clear()
 
     # -- internals -------------------------------------------------------
+
+    def _transit_cap(
+        self,
+        src: int,
+        dst: int,
+        slot: int,
+        capacity_fn: Optional[CapacityFn],
+        static_cap: float,
+    ) -> float:
+        """Effective per-slot transit capacity, window-gated first."""
+        if self.link_schedule is not None and not self.link_schedule.is_up(
+            src, dst, slot
+        ):
+            return 0.0
+        if capacity_fn is not None:
+            return capacity_fn(src, dst, slot)
+        return static_cap
 
     def _build_slot(self, slot: int, capacity_fn: Optional[CapacityFn]) -> List[Arc]:
         """Fresh arcs for one slot, in the canonical construction order."""
         arcs: List[Arc] = []
         for link in self.topology.links:
-            cap = (
-                capacity_fn(link.src, link.dst, slot)
-                if capacity_fn is not None
-                else link.capacity
+            cap = self._transit_cap(
+                link.src, link.dst, slot, capacity_fn, link.capacity
             )
             if cap < 0:
                 raise TopologyError(
@@ -158,18 +230,31 @@ class GraphCache:
         slot: int,
         cached: List[Arc],
         capacity_fn: Optional[CapacityFn],
+        changed_links: Optional[frozenset] = None,
     ) -> tuple:
-        """Re-validate one cached slot; returns (arcs, reused_count)."""
+        """Re-validate one cached slot; returns (arcs, reused_count).
+
+        ``changed_links`` is the window-epoch delta from
+        :meth:`_changed_window_links`: when no ``capacity_fn`` is in
+        play, arcs of links *not* in the set are reused verbatim —
+        their gated capacity cannot have moved since the last build.
+        """
         hits = 0
         arcs = cached
+        skip_unchanged = capacity_fn is None and changed_links is not None
         for i, arc in enumerate(cached):
             if arc.kind is ArcKind.HOLDOVER:
                 hits += 1
                 continue
-            cap = (
-                capacity_fn(arc.src, arc.dst, slot)
-                if capacity_fn is not None
-                else self.topology.link(arc.src, arc.dst).capacity
+            if skip_unchanged and arc.link_key not in changed_links:
+                hits += 1
+                continue
+            cap = self._transit_cap(
+                arc.src,
+                arc.dst,
+                slot,
+                capacity_fn,
+                self.topology.link(arc.src, arc.dst).capacity,
             )
             if cap == arc.capacity:
                 hits += 1

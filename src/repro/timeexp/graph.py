@@ -68,6 +68,13 @@ class TimeExpandedGraph:
     storage is uncapacitated, matching the paper (datacenters have disk
     to spare relative to WAN bandwidth); pass ``storage_capacity`` to
     study the capacitated variant.
+
+    ``link_schedule`` (a :class:`repro.net.schedule.LinkSchedule`)
+    zeroes a transit arc's capacity whenever the underlying link is
+    outside its availability windows, *before* any ``capacity_fn``
+    override — a dark link has no capacity regardless of what the
+    residual accounting says.  Holdover arcs are never gated: a dark
+    window is precisely when store-and-forward holds data.
     """
 
     def __init__(
@@ -78,6 +85,7 @@ class TimeExpandedGraph:
         capacity_fn: Optional[Callable[[int, int, int], float]] = None,
         storage_capacity: float = float("inf"),
         include_holdover: bool = True,
+        link_schedule=None,
         _slot_arcs: Optional[Dict[int, List[Arc]]] = None,
     ):
         if horizon < 1:
@@ -89,6 +97,7 @@ class TimeExpandedGraph:
         self.horizon = horizon
         self.include_holdover = include_holdover
         self.storage_capacity = storage_capacity
+        self.link_schedule = link_schedule
 
         self.arcs: List[Arc] = []
         self._out: Dict[TimeNode, List[Arc]] = {}
@@ -120,11 +129,16 @@ class TimeExpandedGraph:
         with obs.span("timeexp.build", horizon=horizon):
             for slot in range(start_slot, start_slot + horizon):
                 for link in topology.links:
-                    cap = (
-                        capacity_fn(link.src, link.dst, slot)
-                        if capacity_fn is not None
-                        else link.capacity
-                    )
+                    if link_schedule is not None and not link_schedule.is_up(
+                        link.src, link.dst, slot
+                    ):
+                        cap = 0.0
+                    else:
+                        cap = (
+                            capacity_fn(link.src, link.dst, slot)
+                            if capacity_fn is not None
+                            else link.capacity
+                        )
                     if cap < 0:
                         raise TopologyError(
                             f"negative residual capacity on ({link.src},{link.dst}) "
