@@ -1,0 +1,235 @@
+#!/usr/bin/env python
+"""Benchmark forecast-driven proactive scheduling vs the reactive hybrid.
+
+Part one (the gate): the diurnal proactive-placement scenario — an
+urgent short-deadline diurnal stream (it sets each day's watermark)
+merged with a deferrable day-deadline bulk stream, billed daily.  The
+reactive hybrid parks bulk as late as possible, which is the *next*
+day's peak phase; at the billing rollover those pre-committed slots
+re-seed the new period's charged watermark high.  The forecast-aware
+hybrid reserves predicted peak load and tucks the same bulk into
+predicted troughs, so each day restarts from a lower watermark.  Both
+runs must admit every file (equal admission — the forecast shapes
+placement, never admission), must not trip the stability guard, and
+the forecast run must cut the total bill by at least ``--min-reduction``
+percent (default 5).
+
+Part two (informational): the same comparison swept over workload
+seeds, recording the per-seed reduction for the EXPERIMENTS.md table —
+the direction must hold beyond one lucky draw.
+
+Usage::
+
+    PYTHONPATH=src python scripts/bench_forecast.py \
+        [-o benchmarks/results/BENCH_forecast.json] [--min-reduction 5]
+
+Exit status is nonzero if admission differs between the two headline
+runs, the guard trips, or the measured reduction falls below
+``--min-reduction`` (pass 0 to make the cost gate informational).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+
+from repro import Simulation, complete_topology
+from repro.forecast import ForecastConfig, ForecastProvider
+from repro.heuristic import HybridScheduler
+from repro.traffic import DiurnalWorkload, MergedWorkload
+
+NUM_DCS = 3
+CAPACITY = 500.0
+PRICE_LOW = 1.0
+PRICE_HIGH = 4.0
+SLOTS_PER_DAY = 24
+DAYS = 4
+TOPOLOGY_SEED = 3
+WORKLOAD_SEED = 5
+
+#: The urgent stream: short deadlines, strong diurnal swing.  Its peak
+#: is what sets each day's charged watermark.
+URGENT_DEADLINE = 2
+URGENT_PEAK_FILES = 20
+URGENT_TROUGH_FILES = 4
+
+#: The bulk stream: a full day of deadline slack — the volume a
+#: proactive scheduler can park anywhere in the coming cycle.
+BULK_PEAK_FILES = 8
+BULK_TROUGH_FILES = 2
+
+MIN_SIZE = 40.0
+MAX_SIZE = 60.0
+
+#: Informational sweep seeds (part two).
+SWEEP_SEEDS = (2, 5, 17, 42)
+
+
+def build_workload(topology, seed):
+    """Urgent diurnal + deferrable bulk, phase-aligned."""
+    return MergedWorkload([
+        DiurnalWorkload(
+            topology,
+            max_deadline=URGENT_DEADLINE,
+            peak_files=URGENT_PEAK_FILES,
+            trough_files=URGENT_TROUGH_FILES,
+            slots_per_day=SLOTS_PER_DAY,
+            min_size=MIN_SIZE,
+            max_size=MAX_SIZE,
+            seed=seed,
+        ),
+        DiurnalWorkload(
+            topology,
+            max_deadline=SLOTS_PER_DAY,
+            peak_files=BULK_PEAK_FILES,
+            trough_files=BULK_TROUGH_FILES,
+            slots_per_day=SLOTS_PER_DAY,
+            min_size=MIN_SIZE,
+            max_size=MAX_SIZE,
+            seed=seed + 100,
+        ),
+    ])
+
+
+def run_once(workload_seed, forecast, days=DAYS):
+    """One seeded hybrid run; returns the SimulationResult."""
+    topology = complete_topology(
+        NUM_DCS,
+        capacity=CAPACITY,
+        price_low=PRICE_LOW,
+        price_high=PRICE_HIGH,
+        seed=TOPOLOGY_SEED,
+    )
+    workload = build_workload(topology, workload_seed)
+    num_slots = days * SLOTS_PER_DAY
+    scheduler = HybridScheduler(
+        topology, horizon=num_slots + SLOTS_PER_DAY + 2, on_infeasible="drop"
+    )
+    if forecast:
+        scheduler.attach_forecast(
+            ForecastProvider(
+                ForecastConfig(period=SLOTS_PER_DAY, horizon=SLOTS_PER_DAY)
+            )
+        )
+    return Simulation(
+        scheduler, workload, num_slots, slots_per_period=SLOTS_PER_DAY
+    ).run()
+
+
+def compare(workload_seed, days=DAYS):
+    """Reactive vs forecast at one seed; returns a comparison row."""
+    reactive = run_once(workload_seed, forecast=False, days=days)
+    proactive = run_once(workload_seed, forecast=True, days=days)
+    reduction = 100.0 * (1.0 - proactive.total_bill / reactive.total_bill)
+    stats = proactive.forecast or {}
+    return {
+        "workload_seed": workload_seed,
+        "reactive_bill": round(reactive.total_bill, 2),
+        "forecast_bill": round(proactive.total_bill, 2),
+        "reduction_percent": round(reduction, 2),
+        "requests": reactive.total_requests,
+        "reactive_rejected": reactive.total_rejected,
+        "forecast_rejected": proactive.total_rejected,
+        "reactive_max_lateness": reactive.max_lateness(),
+        "forecast_max_lateness": proactive.max_lateness(),
+        "forecast_mape": stats.get("mape"),
+        "forecast_trust": stats.get("trust"),
+        "guard_trips": stats.get("guard_trips"),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "-o",
+        "--output",
+        default="benchmarks/results/BENCH_forecast.json",
+        help="where to write the JSON record",
+    )
+    parser.add_argument(
+        "--min-reduction",
+        type=float,
+        default=5.0,
+        help="fail if the headline bill reduction (%%) is below this; "
+        "0 disables the cost gate",
+    )
+    args = parser.parse_args(argv)
+
+    headline = compare(WORKLOAD_SEED)
+    print(
+        f"headline seed {WORKLOAD_SEED}: reactive "
+        f"{headline['reactive_bill']:.0f} vs forecast "
+        f"{headline['forecast_bill']:.0f} "
+        f"({headline['reduction_percent']:+.2f}%), rejected "
+        f"{headline['reactive_rejected']}/{headline['forecast_rejected']} "
+        f"of {headline['requests']}, guard trips {headline['guard_trips']}"
+    )
+
+    sweep = []
+    for seed in SWEEP_SEEDS:
+        row = compare(seed)
+        sweep.append(row)
+        print(
+            f"sweep seed {seed}: {row['reduction_percent']:+.2f}% "
+            f"(rejected {row['reactive_rejected']}/{row['forecast_rejected']})"
+        )
+
+    record = {
+        "benchmark": "forecast",
+        "scenario": {
+            "datacenters": NUM_DCS,
+            "capacity": CAPACITY,
+            "slots_per_day": SLOTS_PER_DAY,
+            "days": DAYS,
+            "urgent_deadline": URGENT_DEADLINE,
+            "urgent_peak_files": URGENT_PEAK_FILES,
+            "urgent_trough_files": URGENT_TROUGH_FILES,
+            "bulk_deadline": SLOTS_PER_DAY,
+            "bulk_peak_files": BULK_PEAK_FILES,
+            "bulk_trough_files": BULK_TROUGH_FILES,
+            "min_size": MIN_SIZE,
+            "max_size": MAX_SIZE,
+            "topology_seed": TOPOLOGY_SEED,
+            "workload_seed": WORKLOAD_SEED,
+        },
+        "headline": headline,
+        "seed_sweep": sweep,
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+    }
+    with open(args.output, "w") as fh:
+        fh.write(json.dumps(record, indent=1) + "\n")
+    print(f"\n-> {args.output}")
+
+    failed = False
+    if headline["reactive_rejected"] != headline["forecast_rejected"]:
+        print(
+            "FAIL: admission differs between reactive and forecast runs",
+            file=sys.stderr,
+        )
+        failed = True
+    if headline["forecast_max_lateness"] != 0:
+        print("FAIL: forecast run missed a deadline", file=sys.stderr)
+        failed = True
+    if headline["guard_trips"]:
+        print("FAIL: stability guard tripped on the headline run", file=sys.stderr)
+        failed = True
+    if (
+        args.min_reduction > 0
+        and headline["reduction_percent"] < args.min_reduction
+    ):
+        print(
+            f"FAIL: reduction {headline['reduction_percent']:.2f}% below "
+            f"the {args.min_reduction:.0f}% gate",
+            file=sys.stderr,
+        )
+        failed = True
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -99,6 +99,29 @@ def _hybrid_summary(name: str, result) -> str:
     )
 
 
+def _forecast_summary(name: str, stats: dict) -> str:
+    """One-line forecast accuracy/activity report for a run."""
+    return (
+        f"forecast [{name}]: predictor={stats['predictor']} "
+        f"mape={stats['mape']:.2f} trust={stats['trust']:.2f} "
+        f"shifted={stats['shifted_gb']:.1f} GB "
+        f"guard-trips={stats['guard_trips']}"
+    )
+
+
+def _attach_forecast(scheduler, args) -> bool:
+    """Attach a ForecastProvider when the scheduler supports one."""
+    attach = getattr(scheduler, "attach_forecast", None)
+    if attach is None:
+        return False
+    from repro.forecast import ForecastConfig, ForecastProvider
+
+    period = args.forecast_period
+    horizon = args.forecast_horizon or period
+    attach(ForecastProvider(ForecastConfig(period=period, horizon=horizon)))
+    return True
+
+
 def _cmd_simulate_parallel(args: argparse.Namespace) -> int:
     """Fan the per-scheduler runs of ``simulate`` out to workers.
 
@@ -196,10 +219,17 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     from repro import obs
 
     if args.jobs > 1:
-        if args.profile or args.obs_jsonl or args.show_links or args.link_schedule:
+        if (
+            args.profile
+            or args.obs_jsonl
+            or args.show_links
+            or args.link_schedule
+            or args.forecast
+        ):
             print(
-                "note: --profile/--obs-jsonl/--show-links/--link-schedule "
-                "need in-process state; ignoring --jobs and running serially",
+                "note: --profile/--obs-jsonl/--show-links/--link-schedule/"
+                "--forecast need in-process state; ignoring --jobs and "
+                "running serially",
                 file=sys.stderr,
             )
         else:
@@ -243,6 +273,12 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
                 scheduler.state.fault_model = faults.copy()
             if link_schedule is not None:
                 scheduler.state.link_schedule = link_schedule
+            if args.forecast and not _attach_forecast(scheduler, args):
+                print(
+                    f"note: scheduler {name!r} has no forecast hook; "
+                    "running it reactively",
+                    file=sys.stderr,
+                )
             workload = PaperWorkload(
                 topology,
                 max_deadline=args.max_deadline,
@@ -253,6 +289,8 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
             last_scheduler = scheduler
             if result.escalations + result.fast_slots > 0:
                 hybrid_lines.append(_hybrid_summary(name, result))
+            if result.forecast is not None:
+                hybrid_lines.append(_forecast_summary(name, result.forecast))
             row = [
                 name,
                 result.final_cost_per_slot,
@@ -526,6 +564,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             max_slots=args.max_slots,
             period_slots=args.period_slots,
             period_prune=args.period_prune,
+            forecast=args.forecast,
+            forecast_period=args.forecast_period,
+            forecast_horizon=args.forecast_horizon,
         )
     except ServiceError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -826,6 +867,7 @@ def _cmd_fleet_serve(args: argparse.Namespace) -> int:
         fleet = FleetConfig(
             shards=shards,
             gateway_dc=args.gateway,
+            gateway_mode=args.gateway_mode,
             datacenters=args.datacenters,
             capacity=args.capacity,
             seed=args.seed,
@@ -896,7 +938,8 @@ def _cmd_fleet_serve(args: argparse.Namespace) -> int:
         await router.start()
         print(
             f"fleet router on {router.endpoint} shards="
-            f"{','.join(sorted(shards))} gateway_dc={fleet.gateway_dc}",
+            f"{','.join(sorted(shards))} gateway_dc={fleet.gateway_dc} "
+            f"gateway_mode={fleet.gateway_mode}",
             flush=True,
         )
         try:
@@ -1146,6 +1189,27 @@ def build_parser() -> argparse.ArgumentParser:
         help="run schedulers in N worker processes (same seeds, same "
         "results; incompatible with --profile/--obs-jsonl/--show-links)",
     )
+    p_sim.add_argument(
+        "--forecast",
+        action="store_true",
+        help="attach an online traffic forecaster to forecast-capable "
+        "schedulers (hybrid): predicted background load steers paid "
+        "lifts into forecast-quiet slots (see docs/FORECAST.md)",
+    )
+    p_sim.add_argument(
+        "--forecast-period",
+        type=int,
+        default=24,
+        metavar="SLOTS",
+        help="seasonal period the predictors learn (default 24)",
+    )
+    p_sim.add_argument(
+        "--forecast-horizon",
+        type=int,
+        default=0,
+        metavar="SLOTS",
+        help="how far ahead reservations extend (default: one period)",
+    )
     p_sim.set_defaults(func=_cmd_simulate)
 
     p_fig = sub.add_parser("figure", help="regenerate a paper figure")
@@ -1351,6 +1415,19 @@ def build_parser() -> argparse.ArgumentParser:
         "boundary (bounds memory on long runs; needs --period-slots)",
     )
     p_serve.add_argument(
+        "--forecast", action="store_true",
+        help="attach an online traffic forecaster (hybrid scheduler "
+        "only); accuracy rides the `metrics` op and `repro watch`",
+    )
+    p_serve.add_argument(
+        "--forecast-period", type=int, default=24, metavar="SLOTS",
+        help="seasonal period the forecaster learns (default 24)",
+    )
+    p_serve.add_argument(
+        "--forecast-horizon", type=int, default=0, metavar="SLOTS",
+        help="reservation horizon (default: one period)",
+    )
+    p_serve.add_argument(
         "--obs-jsonl", metavar="PATH",
         help="stream service instrumentation events to PATH",
     )
@@ -1489,6 +1566,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_fs.add_argument(
         "--gateway", type=int, default=0, metavar="DC",
         help="gateway datacenter cross-shard relays hop through",
+    )
+    p_fs.add_argument(
+        "--gateway-mode", choices=("fixed", "cheapest"), default="fixed",
+        help="route relays through the fixed --gateway DC, or pick the "
+        "cheapest gateway per transfer from link prices",
     )
     p_fs.add_argument("--host", default="127.0.0.1")
     p_fs.add_argument(

@@ -152,6 +152,7 @@ def build_postcard_model(
     cost_fn_factory=None,
     charge_exempt=None,
     charged_volume_fn=None,
+    predicted_volume_fn=None,
     graph: Optional[TimeExpandedGraph] = None,
     graph_cache: Optional[GraphCache] = None,
     assembly: str = "legacy",
@@ -194,6 +195,13 @@ def build_postcard_model(
     charged_volume_fn:
         Optional override for ``X_ij(t-1)``; percentile-aware callers
         pass the charged volume *excluding* amnestied burst slots.
+    predicted_volume_fn:
+        Optional ``(src, dst, slot) -> GB`` of *forecast* background
+        traffic added to the committed volume in each charge row (see
+        :mod:`repro.forecast`).  The LP then treats predicted-busy
+        cells as already lifting the watermark, steering paid traffic
+        toward predicted-quiet slots.  Capacity rows are untouched —
+        forecasts shape cost, never feasibility or admission.
     graph:
         Optional pre-built :class:`TimeExpandedGraph` covering exactly
         the requests' window (validated); saves rebuilding it.
@@ -253,6 +261,7 @@ def build_postcard_model(
             cost_fn_factory=cost_fn_factory,
             charge_exempt=charge_exempt,
             charged_volume_fn=charged_volume_fn,
+            predicted_volume_fn=predicted_volume_fn,
         )
 
 
@@ -267,6 +276,7 @@ def _assemble_legacy(
     cost_fn_factory,
     charge_exempt,
     charged_volume_fn,
+    predicted_volume_fn,
 ) -> PostcardModel:
     """Operator-algebra assembly — the executable reference."""
     model = Model(name)
@@ -363,6 +373,8 @@ def _assemble_legacy(
             if charge_exempt is not None and charge_exempt(key[0], key[1], slot):
                 continue
             committed = state.committed_volume(key[0], key[1], slot)
+            if predicted_volume_fn is not None:
+                committed += predicted_volume_fn(key[0], key[1], slot)
             model.add_constraint(
                 x >= LinExpr.sum(users) + committed,
                 name=f"chg[{key[0]},{key[1]},{slot}]",
@@ -413,6 +425,7 @@ def _assemble_fast(
     cost_fn_factory,
     charge_exempt,
     charged_volume_fn,
+    predicted_volume_fn,
 ) -> PostcardModel:
     """Direct-construction assembly, float-identical to the reference.
 
@@ -693,6 +706,8 @@ def _assemble_fast(
             if charge_exempt is not None and charge_exempt(key[0], key[1], slot):
                 continue
             committed = committed_map.get(slot, 0.0)
+            if predicted_volume_fn is not None:
+                committed += predicted_volume_fn(key[0], key[1], slot)
             coeffs = {index: 1.0}
             for var in users:
                 coeffs[var.index] = -1.0

@@ -166,6 +166,10 @@ class PostcardScheduler(Scheduler):
         self._warm: Optional[WarmStart] = None
         #: objective value of the last solved slot (cost per interval).
         self.last_objective: Optional[float] = None
+        #: Optional :class:`~repro.forecast.provider.ForecastProvider`;
+        #: when active, its predictions join the committed volume in
+        #: the LP's charge rows (never the capacity rows).
+        self.forecast = None
 
     @property
     def state(self) -> NetworkState:
@@ -213,6 +217,14 @@ class PostcardScheduler(Scheduler):
     def _solve(self, requests: List[TransferRequest]) -> TransferSchedule:
         with obs.span("scheduler.solve", scheduler=self.name,
                       requests=len(requests)):
+            forecast = self.forecast
+            predicted_volume_fn = None
+            if (
+                forecast is not None
+                and forecast.active
+                and forecast.config.lp_charge_rows
+            ):
+                predicted_volume_fn = forecast.predicted_volume
             with obs.span("scheduler.build_model"):
                 built = build_postcard_model(
                     self._state,
@@ -221,6 +233,7 @@ class PostcardScheduler(Scheduler):
                     storage_capacity=self.storage_capacity,
                     storage_price=self.storage_price,
                     cost_fn_factory=self.cost_fn_factory,
+                    predicted_volume_fn=predicted_volume_fn,
                     graph_cache=self._graph_cache,
                     assembly="fast" if self.incremental else "legacy",
                 )

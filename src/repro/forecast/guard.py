@@ -1,0 +1,95 @@
+"""The TARDIS-style stability guard: bounded shift + adaptive damping.
+
+A forecast-driven controller has a feedback loop: shifted volume
+changes the traffic the predictors then observe, which changes the
+forecasts, which changes the shifting.  TARDIS (PAPERS.md) shows the
+loop stays stable when two knobs bound it, and :class:`StabilityGuard`
+implements both:
+
+* **Bounded shift fraction** — the reservation a forecast may place on
+  any (link, slot) cell is capped at ``max_shift_fraction`` of the
+  link's capacity, so even a confidently wrong forecast can never
+  starve a cell or flip the whole schedule.
+* **Error-adaptive damping** — reservations are scaled by a *trust*
+  factor ``1 / (1 + beta * mape)`` computed from the scoreboard's
+  rolling volume-weighted MAPE: the worse the recent forecasts, the
+  less the controller acts on them, decaying smoothly to (near) zero
+  influence — i.e. to the reactive scheduler — as predictions degrade.
+
+On top of the smooth damping sits a **trip wire**: if the rolling MAPE
+exceeds ``trip_mape`` the guard trips, forcing trust to zero for
+``trip_cooldown`` slots (and counting the trip, which the CI smoke run
+asserts stays at zero on clean workloads).
+"""
+
+from __future__ import annotations
+
+from repro.errors import SchedulingError
+from repro.obs import registry as obs
+
+
+class StabilityGuard:
+    """Damping + bounding policy for forecast-driven reservations."""
+
+    def __init__(
+        self,
+        max_shift_fraction: float = 0.6,
+        damping_beta: float = 0.35,
+        min_trust: float = 0.0,
+        trip_mape: float = 2.5,
+        trip_cooldown: int = 24,
+    ):
+        if not 0.0 < max_shift_fraction <= 1.0:
+            raise SchedulingError(
+                f"max_shift_fraction must be in (0, 1], got {max_shift_fraction}"
+            )
+        if damping_beta < 0.0:
+            raise SchedulingError(
+                f"damping_beta must be non-negative, got {damping_beta}"
+            )
+        if not 0.0 <= min_trust <= 1.0:
+            raise SchedulingError(f"min_trust must be in [0, 1], got {min_trust}")
+        if trip_mape <= 0.0:
+            raise SchedulingError(f"trip_mape must be positive, got {trip_mape}")
+        if trip_cooldown < 0:
+            raise SchedulingError(
+                f"trip_cooldown must be non-negative, got {trip_cooldown}"
+            )
+        self.max_shift_fraction = max_shift_fraction
+        self.damping_beta = damping_beta
+        self.min_trust = min_trust
+        self.trip_mape = trip_mape
+        self.trip_cooldown = trip_cooldown
+        #: Times the trip wire fired (MAPE above ``trip_mape``).
+        self.trips = 0
+        self._cooldown_until = -1
+
+    def update(self, slot: int, mape: float) -> None:
+        """Check the trip wire against the current rolling MAPE.
+
+        Called once per observed slot; while a cooldown from an earlier
+        trip is active, a still-bad MAPE does not re-trip (one trip per
+        excursion, not one per slot).
+        """
+        if slot < self._cooldown_until:
+            return
+        if mape > self.trip_mape:
+            self.trips += 1
+            self._cooldown_until = slot + 1 + self.trip_cooldown
+            obs.counter("forecast.guard_trips", slot=slot, mape=round(mape, 4))
+
+    def tripped(self, slot: int) -> bool:
+        """True while a trip's cooldown suppresses all forecast influence."""
+        return slot < self._cooldown_until
+
+    def trust(self, slot: int, mape: float) -> float:
+        """The damping factor applied to every reservation this slot."""
+        if self.tripped(slot):
+            return 0.0
+        return max(self.min_trust, 1.0 / (1.0 + self.damping_beta * max(0.0, mape)))
+
+    def bound(self, reservation: float, capacity: float) -> float:
+        """Clamp a raw reservation to the bounded shift fraction."""
+        if reservation <= 0.0:
+            return 0.0
+        return min(reservation, self.max_shift_fraction * capacity)

@@ -113,6 +113,9 @@ class FastLaneScheduler(Scheduler):
         self.on_infeasible = on_infeasible
         self._paths = CandidatePathIndex(topology, max_paths=num_candidate_paths)
         self._tracker = UtilizationTracker(self._state)
+        #: Optional :class:`~repro.forecast.provider.ForecastProvider`;
+        #: ``None`` (the default) keeps placement purely reactive.
+        self._forecast = None
 
     @property
     def state(self) -> NetworkState:
@@ -123,10 +126,35 @@ class FastLaneScheduler(Scheduler):
 
         The utilization tracker holds a state reference, so it is
         rebuilt alongside — a stale tracker would answer capacity
-        queries against the abandoned state.
+        queries against the abandoned state.  An attached forecast
+        provider is re-wired onto the fresh tracker (and keeps its
+        predictor state: the traffic process did not change, only the
+        ledger object did).
         """
         self._state = state
         self._tracker = UtilizationTracker(state)
+        if self._forecast is not None:
+            self.attach_forecast(self._forecast)
+
+    def attach_forecast(self, provider) -> None:
+        """Wire a forecast provider into the ALAP placement passes.
+
+        The provider's damped reservations are subtracted from the
+        headroom/residual answers of two extra *preference* passes;
+        the plain passes still run after them, so admission is
+        untouched — a reservation can only change where admitted
+        volume parks.
+        """
+        self._forecast = provider
+        self._tracker.reservation = (
+            provider.reservation if provider is not None else None
+        )
+        if provider is not None and not provider.bound:
+            provider.bind(self._state)
+
+    @property
+    def forecast(self):
+        return self._forecast
 
     @property
     def tracker(self) -> UtilizationTracker:
@@ -334,9 +362,26 @@ class FastLaneScheduler(Scheduler):
             return sum(v for d, v in dues.items() if d <= n)
 
         remaining = total
-        cap_fns = [self._tracker.residual]
-        if headroom_first:
-            cap_fns.insert(0, self._tracker.headroom)
+        forecast = self._forecast
+        if forecast is not None and forecast.active:
+            # Forecast-aware preference passes run before their
+            # reactive twins: park volume in forecast-quiet slots
+            # first (free, then paid), and only then fall back to the
+            # unreserved views — so a wrong forecast degrades
+            # placement preference, never admission.  With every
+            # reservation zero (cold or fully damped provider) the
+            # prefixed passes place exactly what the plain ones would,
+            # bit for bit.
+            cap_fns = []
+            if headroom_first:
+                cap_fns.append(self._tracker.forecast_headroom)
+                cap_fns.append(self._tracker.headroom)
+            cap_fns.append(self._tracker.forecast_residual)
+            cap_fns.append(self._tracker.residual)
+        else:
+            cap_fns = [self._tracker.residual]
+            if headroom_first:
+                cap_fns.insert(0, self._tracker.headroom)
         for cap_fn in cap_fns:
             if remaining <= tol:
                 break

@@ -158,6 +158,10 @@ class HybridScheduler(Scheduler):
         #: the LP lane is poisoned — its warm-start and graph-cache
         #: scratch state may be mid-mutation on that thread.
         self._zombie: Optional[threading.Thread] = None
+        #: Optional :class:`~repro.forecast.provider.ForecastProvider`
+        #: driving proactive placement in both lanes; ``None`` (the
+        #: default) is the purely reactive scheduler, bit for bit.
+        self.forecast = None
 
     @property
     def state(self) -> NetworkState:
@@ -173,6 +177,11 @@ class HybridScheduler(Scheduler):
         """
         self._lp.adopt_state(state)
         self._fast.adopt_state(state)
+        if self.forecast is not None:
+            # Predictor state (learned seasonals, accuracy windows)
+            # survives the swap; only the capacity cache and link set
+            # are refreshed from the restored topology.
+            self.forecast.bind(state)
 
     @property
     def fast_lane(self) -> FastLaneScheduler:
@@ -181,6 +190,20 @@ class HybridScheduler(Scheduler):
     @property
     def lp_lane(self) -> PostcardScheduler:
         return self._lp
+
+    def attach_forecast(self, provider) -> None:
+        """Drive both lanes from ``provider``'s predictions.
+
+        The fast lane gains the forecast-aware ALAP passes (reserved
+        cells are tried last among otherwise-equal slots) and the LP
+        lane adds predicted background volume to its charge rows.
+        Admission is untouched in both lanes: the plain residual pass
+        still runs, and LP capacity rows never see a reservation.
+        """
+        self.forecast = provider
+        self._fast.attach_forecast(provider)
+        self._lp.forecast = provider
+        provider.bind(self.state)
 
     def on_slot(self, slot: int, requests: List[TransferRequest]) -> TransferSchedule:
         """Plan with the fast lane; escalate to the LP under pressure.
@@ -193,6 +216,21 @@ class HybridScheduler(Scheduler):
             The committed schedule, from whichever lane handled the
             slot.
         """
+        forecast = self.forecast
+        if forecast is not None:
+            forecast.begin_slot(slot)
+        schedule = self._dispatch(slot, requests)
+        if forecast is not None:
+            # Observe *after* commit so the slot's own placements are
+            # part of the actual the predictors train on.  Empty-request
+            # slots still observe: links may carry volume deferred from
+            # earlier slots, and skipping them would desync seasonals.
+            forecast.note_placements(schedule.entries)
+            forecast.observe_slot(slot, requests, self.state)
+        return schedule
+
+    def _dispatch(self, slot: int, requests: List[TransferRequest]) -> TransferSchedule:
+        """Route one slot through the fast lane or the LP."""
         if not requests:
             return TransferSchedule()
         plan = self._fast.plan_slot(slot, requests)
@@ -220,8 +258,22 @@ class HybridScheduler(Scheduler):
         escalation-worthy, and replaying it through the pressure test
         would route it to the LP and diverge the ledger.  Forcing the
         recorded lane keeps replay deterministic under any watchdog
-        history.
+        history.  The forecast lifecycle mirrors :meth:`on_slot` so a
+        provider attached before replay retrains to the same state it
+        held when the WAL was written.
         """
+        forecast = self.forecast
+        if forecast is not None:
+            forecast.begin_slot(slot)
+        schedule = self._replay_dispatch(slot, requests, lane)
+        if forecast is not None:
+            forecast.note_placements(schedule.entries)
+            forecast.observe_slot(slot, requests, self.state)
+        return schedule
+
+    def _replay_dispatch(
+        self, slot: int, requests: List[TransferRequest], lane: str
+    ) -> TransferSchedule:
         if not requests:
             return TransferSchedule()
         if lane == "lp":

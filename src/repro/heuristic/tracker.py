@@ -42,6 +42,11 @@ class UtilizationTracker:
         #: (src, dst, slot) -> tentative volume planned but not yet
         #: committed to the ledger by the current batch.
         self._pending: Dict[LinkSlot, float] = defaultdict(float)
+        #: Optional ``(src, dst, slot) -> GB`` callback reserving
+        #: forecast-predicted background load on future cells; set by
+        #: :meth:`FastLaneScheduler.attach_forecast`.  ``None`` keeps
+        #: every query purely reactive.
+        self.reservation = None
 
     # -- the pending layer -------------------------------------------------
 
@@ -80,6 +85,26 @@ class UtilizationTracker:
             + self.pending(src, dst, slot)
         )
         return max(0.0, min(paid, self.residual(src, dst, slot)))
+
+    def forecast_residual(self, src: int, dst: int, slot: int) -> float:
+        """Residual capacity minus the forecast reservation on a cell.
+
+        The forecast-aware ALAP pass uses this instead of
+        :meth:`residual` so paid lifts prefer slots the predictors mark
+        quiet; the plain :meth:`residual` pass still runs last, so the
+        reservation shapes placement but never admission.
+        """
+        residual = self.residual(src, dst, slot)
+        if self.reservation is None or residual <= 0.0:
+            return residual
+        return max(0.0, residual - self.reservation(src, dst, slot))
+
+    def forecast_headroom(self, src: int, dst: int, slot: int) -> float:
+        """Paid headroom minus the forecast reservation on a cell."""
+        headroom = self.headroom(src, dst, slot)
+        if self.reservation is None or headroom <= 0.0:
+            return headroom
+        return max(0.0, headroom - self.reservation(src, dst, slot))
 
     def utilization(self, src: int, dst: int, slot: int) -> float:
         """(committed + pending) / raw link capacity for one cell."""

@@ -248,6 +248,14 @@ class MetricsSnapshot:
                 if hist is None:
                     hist = self.gauge_histograms[name] = Histogram(self._bounds)
                 hist.observe(value)
+        elif kind == "hist":
+            # Explicit distribution samples (e.g. forecast errors):
+            # folded like the seconds-valued gauges, whatever the unit.
+            value = float(event.get("value", 0.0))
+            hist = self.gauge_histograms.get(name)
+            if hist is None:
+                hist = self.gauge_histograms[name] = Histogram(self._bounds)
+            hist.observe(value)
 
     # -- queries ---------------------------------------------------------
 

@@ -206,6 +206,21 @@ class Registry:
             event["attrs"] = attrs
         self._dispatch(event)
 
+    def histogram(self, name: str, value: float, **attrs: Any) -> None:
+        """Record a distribution sample of the named histogram.
+
+        Gauges report *state* (last/min/max); histogram samples report
+        a *distribution* — :class:`~repro.obs.metrics.MetricsSnapshot`
+        folds them into percentile estimates regardless of the unit
+        (forecast errors in GB, not just latencies in seconds)."""
+        if not self._sinks:
+            return
+        event: Dict[str, Any] = {"type": "hist", "name": name,
+                                 "value": value}
+        if attrs:
+            event["attrs"] = attrs
+        self._dispatch(event)
+
 
 #: The process-wide default registry all library instrumentation uses.
 _default_registry = Registry()
@@ -249,3 +264,8 @@ def trace(**attrs: Any) -> Any:
 def gauge(name: str, value: float, **attrs: Any) -> None:
     """Sample a gauge on the default registry."""
     _default_registry.gauge(name, value, **attrs)
+
+
+def histogram(name: str, value: float, **attrs: Any) -> None:
+    """Record a histogram sample on the default registry."""
+    _default_registry.histogram(name, value, **attrs)

@@ -26,7 +26,7 @@ from repro.errors import ObservabilityError
 
 PathLike = Union[str, Path]
 
-_EVENT_TYPES = ("span", "counter", "gauge")
+_EVENT_TYPES = ("span", "counter", "gauge", "hist")
 
 
 @dataclass
@@ -131,7 +131,9 @@ class Collector:
             if stat is None:
                 stat = self.counters[name] = CounterStat()
             stat.add(float(event.get("value", 0.0)))
-        elif kind == "gauge":
+        elif kind == "gauge" or kind == "hist":
+            # The batch collector has no bucketed view; histogram
+            # samples fold into the same last/min/max aggregate.
             stat = self.gauges.get(name)
             if stat is None:
                 stat = self.gauges[name] = GaugeStat()
@@ -214,7 +216,7 @@ def load_events(path: PathLike) -> List[dict]:
         if not isinstance(event, dict) or event.get("type") not in _EVENT_TYPES:
             raise ObservabilityError(
                 f"{path}:{line_number}: not an observability event "
-                f"(expected a JSON object with type span|counter|gauge)"
+                f"(expected a JSON object with type span|counter|gauge|hist)"
             )
         events.append(event)
     return events

@@ -24,7 +24,9 @@ from repro.service.fabric import (
     RelayTracker,
     ShardDownError,
     plan_relay,
+    relay_gateway,
     rollup_stats,
+    select_gateway,
     serve_fleet,
     split_deadline,
 )
@@ -71,7 +73,9 @@ __all__ = [
     "parse_endpoint",
     "percentile",
     "plan_relay",
+    "relay_gateway",
     "render_dashboard",
+    "select_gateway",
     "render_fleet_dashboard",
     "rollup_stats",
     "run_fleet_loadgen",

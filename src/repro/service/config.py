@@ -116,6 +116,17 @@ class ServiceConfig:
     #: Stop after this many processed slots (0 = run until drained).
     max_slots: int = 0
 
+    #: Attach an online :class:`~repro.forecast.ForecastProvider` to
+    #: the scheduler (forecast-capable schedulers only — hybrid).  Like
+    #: the link schedule, the provider is config-not-state: it is
+    #: rebuilt at broker construction and retrains deterministically
+    #: from WAL replay, so snapshots stay forecast-free.
+    forecast: bool = False
+    #: Seasonal period the predictors learn, in slots.
+    forecast_period: int = 24
+    #: Reservation horizon in slots (0 = one period).
+    forecast_horizon: int = 0
+
     #: Attach the live telemetry plane (MetricsSnapshot sink + SLO
     #: gauges + the ``metrics`` protocol op's data source).  Off, the
     #: daemon emits nothing unless an external sink is attached.
@@ -202,6 +213,15 @@ class ServiceConfig:
             )
         if self.slo_max_degraded < 0:
             raise ServiceError("slo_max_degraded must be non-negative")
+        if self.forecast and self.scheduler != "hybrid":
+            raise ServiceError(
+                "forecast=True needs a forecast-capable scheduler; "
+                f"scheduler {self.scheduler!r} has no attach_forecast hook"
+            )
+        if self.forecast_period < 2:
+            raise ServiceError("forecast_period must be >= 2")
+        if self.forecast_horizon < 0:
+            raise ServiceError("forecast_horizon must be non-negative")
         if self.slot_wall_seconds <= 0:
             raise ServiceError("slot_wall_seconds must be positive")
         if self.wall_epoch < 0:

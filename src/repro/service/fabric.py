@@ -80,6 +80,10 @@ class FleetConfig:
 
     shards: Dict[str, str]
     gateway_dc: int = 0
+    #: "fixed" routes every cross-shard relay through ``gateway_dc``;
+    #: "cheapest" picks the gateway per transfer from link prices (and,
+    #: in the in-process fabric, live watermark credit).
+    gateway_mode: str = "fixed"
 
     datacenters: int = 10
     capacity: float = 100.0
@@ -108,10 +112,25 @@ class FleetConfig:
                 f"gateway_dc {self.gateway_dc} is not one of the "
                 f"{self.datacenters} datacenters"
             )
+        if self.gateway_mode not in ("fixed", "cheapest"):
+            raise ServiceError(
+                f"gateway_mode must be 'fixed' or 'cheapest', "
+                f"got {self.gateway_mode!r}"
+            )
 
     def shard_map(self) -> ShardMap:
         return ShardMap(
             sorted(self.shards), vnodes=self.vnodes, version=self.map_version
+        )
+
+    def topology(self):
+        """The topology every shard schedules on (same seed everywhere),
+        rebuilt locally so routers can price relay hops without asking
+        a shard."""
+        from repro.net.generators import complete_topology
+
+        return complete_topology(
+            self.datacenters, capacity=self.capacity, seed=self.seed
         )
 
     def shard_config(self, name: str) -> ServiceConfig:
@@ -184,8 +203,70 @@ class RelayLeg:
         return {"op": "submit", **self.submit_fields()}
 
 
+def select_gateway(
+    source: int,
+    destination: int,
+    size_gb: float,
+    topology,
+    *,
+    watermarks=None,
+    fallback: int = 0,
+) -> int:
+    """The cheapest relay gateway for one source -> destination transfer.
+
+    Scores every third datacenter ``g`` (endpoints excluded — a relay
+    always hands off at a genuine intermediate hop) by the marginal
+    watermark cost of pushing ``size_gb`` over both hops::
+
+        price(s,g) * max(0, size - credit(s,g))
+      + price(g,d) * max(0, size - credit(g,d))
+
+    where ``credit(a, b)`` is the free-GB allowance ``watermarks(a, b)``
+    returns for the link — typically the already-paid percentile
+    watermark ``X_ab``, under which extra traffic is free.  Without a
+    provider the credit is zero everywhere and the score collapses to
+    the plain two-hop price.  Deterministic: ties break to the lowest
+    datacenter id.  With no eligible candidate (a two-datacenter
+    topology) the configured ``fallback`` gateway is returned.
+    """
+    best = None
+    best_score = None
+    for dc in topology.datacenters:
+        g = dc.id
+        if g == source or g == destination:
+            continue
+        score = 0.0
+        for a, b in ((source, g), (g, destination)):
+            credit = float(watermarks(a, b)) if watermarks is not None else 0.0
+            score += topology.link(a, b).price * max(0.0, size_gb - credit)
+        if best_score is None or score < best_score or (
+            score == best_score and g < best
+        ):
+            best = g
+            best_score = score
+    return fallback if best is None else best
+
+
+def relay_gateway(legs: List[RelayLeg], default: int) -> int:
+    """The gateway a planned relay actually hops through.
+
+    Two legs meet at the gateway; a degenerate single-leg relay (fixed
+    gateway coinciding with an endpoint) hops through the configured
+    ``default``.
+    """
+    if len(legs) == 2:
+        return legs[0].destination
+    return default
+
+
 def plan_relay(
-    fields: Dict[str, Any], shard_map: ShardMap, gateway_dc: int
+    fields: Dict[str, Any],
+    shard_map: ShardMap,
+    gateway_dc: int,
+    *,
+    gateway_mode: str = "fixed",
+    topology=None,
+    watermarks=None,
 ) -> Optional[List[RelayLeg]]:
     """The legs a submission decomposes into, or None for a direct one.
 
@@ -197,6 +278,12 @@ def plan_relay(
     bills the leg it carries.  When the gateway coincides with an
     endpoint the relay degenerates to a single leg on the shard that
     carries it.
+
+    With ``gateway_mode="cheapest"`` (and a ``topology``) the gateway
+    is picked per transfer by :func:`select_gateway` instead of the
+    fixed ``gateway_dc``; ``watermarks`` is an optional
+    ``(shard, src, dst) -> free_gb`` provider consulted per hop — leg A
+    is billed by the source's shard, leg B by the destination's.
     """
     source = int(fields["source"])
     destination = int(fields["destination"])
@@ -207,6 +294,15 @@ def plan_relay(
     cid = fields["id"]
     size = float(fields["size_gb"])
     deadline = int(fields["deadline_slots"])
+    if gateway_mode == "cheapest" and topology is not None:
+        credit = None
+        if watermarks is not None:
+            def credit(a, b, _s=source, _ss=src_shard, _ds=dst_shard):
+                return watermarks(_ss if a == _s else _ds, a, b)
+        gateway_dc = select_gateway(
+            source, destination, size, topology,
+            watermarks=credit, fallback=gateway_dc,
+        )
     if gateway_dc == source:
         # The transfer already starts at the gateway: one ingress leg,
         # billed by the destination's shard.
@@ -463,9 +559,18 @@ class BrokerFabric:
         #: Fabric-level final records (direct + composed relays).
         self.decisions: Dict[str, Dict[str, Any]] = {}
         self.counts = {"submitted": 0, "direct": 0, "relayed": 0}
+        self._topology = (
+            fleet.topology() if fleet.gateway_mode == "cheapest" else None
+        )
 
     def shard_of(self, source: int) -> str:
         return self.map.shard_for(source)
+
+    def _watermarks(self, shard: str, src: int, dst: int) -> float:
+        """Free-GB credit on (src, dst) as billed by ``shard``: the
+        paid watermark its broker already carries for the link."""
+        state = self.brokers[shard].scheduler.state
+        return state.charged_volume(src, dst)
 
     def submit(self, fields: Dict[str, Any]) -> Tuple[str, Any]:
         """Route one validated submission; mirrors broker.submit."""
@@ -476,7 +581,12 @@ class BrokerFabric:
         relay = self.tracker.get(cid)
         if relay is not None:
             return "pending", relay
-        legs = plan_relay(fields, self.map, self.fleet.gateway_dc)
+        legs = plan_relay(
+            fields, self.map, self.fleet.gateway_dc,
+            gateway_mode=self.fleet.gateway_mode,
+            topology=self._topology,
+            watermarks=self._watermarks,
+        )
         self.counts["submitted"] += 1
         if legs is None:
             shard = self.map.shard_for(int(fields["source"]))
@@ -487,7 +597,7 @@ class BrokerFabric:
                 self.decisions[cid] = record
                 return "decided", record
             return "pending", value
-        relay = Relay(cid, legs, self.fleet.gateway_dc)
+        relay = Relay(cid, legs, relay_gateway(legs, self.fleet.gateway_dc))
         self.tracker.register(relay)
         self.counts["relayed"] += 1
         self._advance(relay)
@@ -616,6 +726,12 @@ class FleetRouter:
         self._conn_locks: Dict[str, asyncio.Lock] = {}
         self._server: Optional[asyncio.base_events.Server] = None
         self._stopped = asyncio.Event()
+        # Cheapest-gateway routing prices hops on a local rebuild of
+        # the shared topology; shard watermarks live in other
+        # processes, so the router scores by price alone.
+        self._topology = (
+            fleet.topology() if fleet.gateway_mode == "cheapest" else None
+        )
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -840,7 +956,11 @@ class FleetRouter:
             # A reconnecting client re-parks on its in-flight relay.
             relay.reply = (writer, lock)
             return
-        legs = plan_relay(fields, self.map, self.fleet.gateway_dc)
+        legs = plan_relay(
+            fields, self.map, self.fleet.gateway_dc,
+            gateway_mode=self.fleet.gateway_mode,
+            topology=self._topology,
+        )
         self.counts["submitted"] += 1
         if legs is None:
             shard = self.map.shard_for(fields["source"])
@@ -850,7 +970,7 @@ class FleetRouter:
                 self._forward_direct(shard, fields, writer, lock)
             )
         else:
-            relay = Relay(cid, legs, self.fleet.gateway_dc)
+            relay = Relay(cid, legs, relay_gateway(legs, self.fleet.gateway_dc))
             relay.reply = (writer, lock)
             self.tracker.register(relay)
             self.counts["relayed"] += 1

@@ -105,6 +105,21 @@ class TransferBroker:
         #: derived, like the topology; snapshots never carry it).
         self.link_schedule = config.link_schedule()
         self.scheduler.state.link_schedule = self.link_schedule
+        if config.forecast:
+            # Config-not-state, like the link schedule: the provider is
+            # attached before any recovery below, so WAL replay retrains
+            # its predictors from the replayed slots deterministically.
+            from repro.forecast import ForecastConfig, ForecastProvider
+
+            self.scheduler.attach_forecast(
+                ForecastProvider(
+                    ForecastConfig(
+                        period=config.forecast_period,
+                        horizon=config.forecast_horizon
+                        or config.forecast_period,
+                    )
+                )
+            )
         #: client id -> decision record (the idempotency/status log).
         self.decisions: Dict[str, Dict[str, Any]] = {}
         #: Next virtual slot to process.
@@ -660,6 +675,11 @@ class TransferBroker:
             ),
             "link_windows": (
                 self.link_schedule.num_windows if self.link_schedule else 0
+            ),
+            "forecast": (
+                self.scheduler.forecast.stats()
+                if getattr(self.scheduler, "forecast", None) is not None
+                else None
             ),
             "period_slots": self.config.period_slots,
             "period_start": self.state.period_start,

@@ -81,6 +81,16 @@ def render_dashboard(response: Dict[str, Any]) -> str:
             f"{time.strftime('%Y-%m-%d %H:%M:%S', time.localtime(wall.get('next_slot_wall_ts', 0.0)))} "
             f"({wall.get('slot_wall_seconds', '?')}s per slot)"
         )
+    forecast = stats.get("forecast")
+    if forecast:
+        lines.append(
+            f"forecast: predictor={forecast.get('predictor', '?')} "
+            f"{'warm' if forecast.get('active') else 'warming'} "
+            f"mape={forecast.get('mape', 0.0):.2f} "
+            f"trust={forecast.get('trust', 0.0):.2f} "
+            f"shifted={forecast.get('shifted_gb', 0.0):.1f}GB "
+            f"guard-trips={forecast.get('guard_trips', 0)}"
+        )
 
     if slo:
         lines.append("")

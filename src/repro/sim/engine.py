@@ -154,6 +154,9 @@ class Simulation:
         # fault_model above).
         result.escalations = getattr(self.scheduler, "escalations", 0)
         result.fast_slots = getattr(self.scheduler, "fast_slots", 0)
+        forecast = getattr(self.scheduler, "forecast", None)
+        if forecast is not None:
+            result.forecast = forecast.stats()
         self._deadlines = deadlines
         if self.slots_per_period:
             # Close the trailing (possibly partial) period, extended to

@@ -92,6 +92,9 @@ class SimulationResult:
     #: slots the fast lane handled end to end.
     escalations: int = 0
     fast_slots: int = 0
+    #: :meth:`ForecastProvider.stats` snapshot when the run's scheduler
+    #: had a forecast provider attached; ``None`` for reactive runs.
+    forecast: Optional[Dict] = None
 
     # -- derived metrics -------------------------------------------------
 

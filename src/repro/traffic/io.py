@@ -145,3 +145,117 @@ def save_schedule(schedule: TransferSchedule, path: PathLike) -> None:
 def load_schedule(path: PathLike) -> TransferSchedule:
     """Read a schedule previously written by :func:`save_schedule`."""
     return schedule_from_json(Path(path).read_text())
+
+
+#: Generator family -> (class name, serialized parameter fields).  The
+#: topology is *not* serialized — workloads are reconstructed against a
+#: caller-supplied topology, mirroring how the generators are built.
+_WORKLOAD_FAMILIES = {
+    "paper": (
+        "PaperWorkload",
+        ("max_deadline", "min_files", "max_files", "min_size", "max_size",
+         "seed", "deadline_distribution", "min_deadline"),
+    ),
+    "diurnal": (
+        "DiurnalWorkload",
+        ("max_deadline", "peak_files", "trough_files", "slots_per_day",
+         "phase_slots", "min_size", "max_size", "seed"),
+    ),
+    "poisson": (
+        "PoissonWorkload",
+        ("max_deadline", "rate", "min_size", "max_size", "seed"),
+    ),
+    "flash_crowd": (
+        "FlashCrowdWorkload",
+        ("max_deadline", "base_rate", "burst_probability", "burst_files",
+         "min_size", "max_size", "seed"),
+    ),
+}
+
+
+def _workload_payload(workload) -> dict:
+    from repro.traffic import workload as wl
+
+    for family, (cls_name, params) in _WORKLOAD_FAMILIES.items():
+        if type(workload) is getattr(wl, cls_name):
+            return {
+                "family": family,
+                "params": {name: getattr(workload, name) for name in params},
+            }
+    if type(workload) is wl.MergedWorkload:
+        return {
+            "family": "merged",
+            "components": [
+                _workload_payload(c) for c in workload.components
+            ],
+        }
+    raise WorkloadError(
+        f"cannot serialize workload of type {type(workload).__name__}; "
+        "supported: paper, diurnal, poisson, flash_crowd, merged"
+    )
+
+
+def workload_to_json(workload) -> str:
+    """Encode a generator workload (family + parameters) as JSON.
+
+    Covers the parametric families (and merges of them); an explicit
+    :class:`~repro.traffic.workload.TraceWorkload` is a request list —
+    serialize it with :func:`requests_to_json` instead.
+    """
+    payload = {
+        "version": _TRACE_VERSION,
+        "kind": "postcard-workload",
+        **_workload_payload(workload),
+    }
+    return json.dumps(payload, indent=2)
+
+
+def _workload_from_payload(payload: dict, topology):
+    from repro.traffic import workload as wl
+
+    family = payload.get("family")
+    if family == "merged":
+        return wl.MergedWorkload([
+            _workload_from_payload(c, topology)
+            for c in payload.get("components", [])
+        ])
+    if family not in _WORKLOAD_FAMILIES:
+        raise WorkloadError(f"unknown workload family {family!r}")
+    cls_name, params = _WORKLOAD_FAMILIES[family]
+    given = payload.get("params", {})
+    unknown = set(given) - set(params)
+    if unknown:
+        raise WorkloadError(
+            f"workload family {family!r} has no parameters {sorted(unknown)}"
+        )
+    return getattr(wl, cls_name)(topology, **given)
+
+
+def workload_from_json(text: str, topology):
+    """Decode a workload document against ``topology``.
+
+    The round-trip is exact: every serialized parameter (seed,
+    seasonality period, phase) is restored, so the rebuilt generator
+    releases bit-identical requests slot by slot.
+    """
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise WorkloadError(f"workload is not valid JSON: {exc}") from exc
+    if payload.get("kind") != "postcard-workload":
+        raise WorkloadError("not a postcard workload document")
+    if payload.get("version") != _TRACE_VERSION:
+        raise WorkloadError(
+            f"unsupported workload version {payload.get('version')!r}"
+        )
+    return _workload_from_payload(payload, topology)
+
+
+def save_workload(workload, path: PathLike) -> None:
+    """Write a generator workload description to ``path`` as JSON."""
+    Path(path).write_text(workload_to_json(workload))
+
+
+def load_workload(path: PathLike, topology):
+    """Read a workload written by :func:`save_workload`."""
+    return workload_from_json(Path(path).read_text(), topology)

@@ -36,6 +36,11 @@ class NoisyPreview:
     size_noise:
         Relative standard deviation of multiplicative size error
         (e.g. 0.2 = sizes previewed within ~±20%).
+    track_accuracy:
+        Attach a :class:`~repro.forecast.ForecastScoreboard` so the
+        synthetic preview reports the same rolling MAPE/bias numbers
+        (and ``repro.obs`` counters) the learned predictors do; call
+        :meth:`score` once per simulated slot to feed it.
     """
 
     def __init__(
@@ -47,6 +52,8 @@ class NoisyPreview:
         size_noise: float = 0.0,
         max_deadline: int = 4,
         seed: Optional[int] = None,
+        track_accuracy: bool = False,
+        score_window: int = 96,
     ):
         if not 0.0 <= miss_rate <= 1.0:
             raise WorkloadError("miss_rate must be in [0, 1]")
@@ -62,6 +69,13 @@ class NoisyPreview:
         self.max_deadline = max_deadline
         self.seed = seed if seed is not None else 0
         self._node_ids = topology.node_ids()
+        self.scoreboard = None
+        if track_accuracy:
+            from repro.forecast import ForecastScoreboard
+
+            self.scoreboard = ForecastScoreboard(
+                window=score_window, name="preview"
+            )
 
     def __call__(self, slot: int) -> List[TransferRequest]:
         """The degraded preview of ``slot``'s arrivals.
@@ -100,3 +114,29 @@ class NoisyPreview:
                     )
                 )
         return out
+
+    def score(self, slot: int):
+        """Score ``slot``'s preview against the slot's real arrivals.
+
+        Folds per-(source, destination) previewed vs actual GB into the
+        shared scoreboard — misses show up as under-forecast bias,
+        phantoms as over-forecast — and returns its summary dict.
+        Requires ``track_accuracy=True``.
+        """
+        if self.scoreboard is None:
+            raise WorkloadError(
+                "construct NoisyPreview with track_accuracy=True to score"
+            )
+        predicted: dict = {}
+        for request in self(slot):
+            key = (request.source, request.destination)
+            predicted[key] = predicted.get(key, 0.0) + request.size_gb
+        actual: dict = {}
+        for request in self.workload.requests_at(slot):
+            key = (request.source, request.destination)
+            actual[key] = actual.get(key, 0.0) + request.size_gb
+        for key in sorted(set(predicted) | set(actual)):
+            self.scoreboard.observe(
+                key, predicted.get(key, 0.0), actual.get(key, 0.0)
+            )
+        return self.scoreboard.summary()

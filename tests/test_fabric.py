@@ -9,11 +9,14 @@ sockets — which shares the relay state machine with the asyncio
 import pytest
 
 from repro.errors import ServiceError
+from repro.net.topology import Datacenter, Link, Topology
 from repro.service.fabric import (
     BrokerFabric,
     FleetConfig,
     plan_relay,
+    relay_gateway,
     rollup_stats,
+    select_gateway,
     split_deadline,
 )
 
@@ -231,6 +234,94 @@ def test_fabric_status_and_stats_rollup():
     assert fleet_totals["admitted"] == 2
     per_shard = [stats["shards"][name]["submitted"] for name in stats["shards"]]
     assert sum(per_shard) == 2
+
+
+# -- cheapest-gateway selection --------------------------------------------
+
+
+def relay_topology(price_via_2=1.0, price_via_3=5.0) -> Topology:
+    """4 DCs; transfers 0 -> 1 can hop via 2 or 3 at tunable prices."""
+    dcs = [Datacenter(i) for i in range(4)]
+    links = [
+        Link(0, 2, price_via_2, 100.0), Link(2, 1, price_via_2, 100.0),
+        Link(0, 3, price_via_3, 100.0), Link(3, 1, price_via_3, 100.0),
+    ]
+    return Topology(dcs, links)
+
+
+def test_fleet_config_validates_gateway_mode():
+    with pytest.raises(ServiceError, match="gateway_mode"):
+        make_fleet(gateway_mode="random")
+    assert make_fleet(gateway_mode="cheapest").gateway_mode == "cheapest"
+
+
+def test_select_gateway_picks_lowest_price():
+    topo = relay_topology(price_via_2=1.0, price_via_3=5.0)
+    assert select_gateway(0, 1, 2.0, topo) == 2
+    topo = relay_topology(price_via_2=5.0, price_via_3=1.0)
+    assert select_gateway(0, 1, 2.0, topo) == 3
+
+
+def test_select_gateway_ties_break_low_and_fallback():
+    topo = relay_topology(price_via_2=3.0, price_via_3=3.0)
+    assert select_gateway(0, 1, 2.0, topo) == 2
+    # Two datacenters: no third hop exists, the fixed gateway stands.
+    tiny = Topology([Datacenter(0), Datacenter(1)], [Link(0, 1, 1.0, 10.0)])
+    assert select_gateway(0, 1, 2.0, tiny, fallback=0) == 0
+
+
+def test_select_gateway_watermark_credit_flips_choice():
+    # Via 3 is pricier per GB, but its links carry enough paid
+    # watermark that the transfer rides free — it must win.
+    topo = relay_topology(price_via_2=1.0, price_via_3=5.0)
+    credit = {(0, 3): 2.0, (3, 1): 2.0}
+    chosen = select_gateway(
+        0, 1, 2.0, topo, watermarks=lambda a, b: credit.get((a, b), 0.0)
+    )
+    assert chosen == 3
+
+
+def test_plan_relay_cheapest_mode_routes_per_transfer():
+    fleet = make_fleet(gateway_mode="cheapest")
+    shard_map = fleet.shard_map()
+    topo = fleet.topology()
+    src, dst = shard_pair(shard_map, same=False)
+    legs = plan_relay(
+        fields("t", src, dst, size=3.0), shard_map, fleet.gateway_dc,
+        gateway_mode="cheapest", topology=topo,
+    )
+    assert len(legs) == 2
+    chosen = relay_gateway(legs, fleet.gateway_dc)
+    assert chosen == select_gateway(
+        src, dst, 3.0, topo, fallback=fleet.gateway_dc
+    )
+    assert chosen not in (src, dst)
+    assert legs[0].destination == chosen == legs[1].source
+
+
+def test_fabric_cheapest_gateway_end_to_end():
+    fleet = make_fleet(gateway_mode="cheapest")
+    fabric = BrokerFabric(fleet)
+    src, dst = shard_pair(fabric.map, same=False)
+    # Cold brokers carry zero watermark everywhere, so the expected
+    # gateway is the pure price optimum.
+    expected = select_gateway(src, dst, 2.0, fabric._topology)
+    fabric.submit(fields("x1", src, dst))
+    finals = fabric.run_until_settled()
+    assert finals[0]["decision"] == "admitted"
+    assert finals[0]["relay"]["gateway"] == expected
+    leg_records = finals[0]["relay"]["legs"]
+    assert leg_records[0]["destination"] == expected
+    assert leg_records[1]["source"] == expected
+
+
+def test_fabric_fixed_mode_still_uses_configured_gateway():
+    fleet = make_fleet()
+    fabric = BrokerFabric(fleet)
+    src, dst = shard_pair(fabric.map, same=False, exclude=(fleet.gateway_dc,))
+    fabric.submit(fields("x1", src, dst))
+    finals = fabric.run_until_settled()
+    assert finals[0]["relay"]["gateway"] == fleet.gateway_dc
 
 
 def test_rollup_stats_sums_and_maxes():

@@ -71,6 +71,46 @@ def test_deterministic_per_slot(setup):
     assert a == b
 
 
+def test_score_requires_tracking(setup):
+    topo, workload = setup
+    preview = NoisyPreview(workload, topo)
+    assert preview.scoreboard is None
+    with pytest.raises(WorkloadError, match="track_accuracy"):
+        preview.score(0)
+
+
+def test_perfect_preview_scores_zero_error(setup):
+    topo, workload = setup
+    preview = NoisyPreview(workload, topo, track_accuracy=True)
+    for slot in range(5):
+        summary = preview.score(slot)
+    assert summary["observations"] > 0
+    assert summary["mape"] == 0.0
+    assert summary["bias"] == 0.0
+
+
+def test_misses_score_as_under_forecast(setup):
+    topo, workload = setup
+    preview = NoisyPreview(workload, topo, miss_rate=1.0, track_accuracy=True)
+    for slot in range(5):
+        summary = preview.score(slot)
+    assert summary["mape"] == pytest.approx(1.0)
+    assert summary["bias"] == pytest.approx(-1.0)
+
+
+def test_phantoms_score_as_over_forecast(setup):
+    topo, workload = setup
+    preview = NoisyPreview(
+        workload, topo, phantom_rate=3.0, seed=1, track_accuracy=True
+    )
+    for slot in range(10):
+        summary = preview.score(slot)
+    assert summary["mape"] > 0.0
+    assert summary["bias"] > 0.0
+    # Per-pair detail is available through the shared scoreboard API.
+    assert preview.scoreboard.keys()
+
+
 def test_lookahead_with_noisy_preview_stays_feasible(setup):
     """A wrong preview must never break the committed schedules: the
     controller re-solves each slot with the real files."""
